@@ -1,0 +1,91 @@
+"""Ablation — where does the Flink Beam slowdown come from?
+
+The paper's future work asks "how much time is spent in which part of the
+execution plans".  This benchmark answers it constructively: it re-runs the
+Beam grep query with individual overhead sources switched off and
+attributes the slowdown to (a) per-ParDo record wrapping, (b) the extra
+source/sink translation cost, and (c) chaining being disabled.
+"""
+
+import dataclasses
+
+from conftest import save_artifact
+
+import repro.beam as beam
+from repro.beam.io import kafka
+from repro.beam.runners.flink import FlinkRunner, FlinkRunnerOverheads
+from repro.benchmark.config import scaled_config
+from repro.benchmark.harness import StreamBenchHarness
+from repro.engines.flink import FlinkCluster
+
+
+def run_variants():
+    config = scaled_config(
+        runs=1, parallelisms=(1,), systems=("flink",), queries=("grep",)
+    )
+    harness = StreamBenchHarness(config)
+    harness.ingest()
+
+    def run(overheads: FlinkRunnerOverheads, fuse: bool) -> float:
+        harness.admin.recreate_topic("ablation-out")
+        runner = FlinkRunner(
+            FlinkCluster(harness.simulator, cost_model=harness.cost_models["flink"]),
+            overheads=overheads,
+            fuse_pardos=fuse,
+        )
+        pipeline = beam.Pipeline(runner=runner)
+        (
+            pipeline
+            | kafka.read(harness.broker, config.input_topic).without_metadata()
+            | beam.Values()
+            | beam.Filter(lambda line: "test" in line, label="Grep", cost_weight=0.4)
+            | kafka.write(harness.broker, "ablation-out")
+        )
+        return pipeline.run().job_result.base_duration
+
+    full = FlinkRunnerOverheads()
+    variants = {
+        "full Beam translation": run(full, fuse=False),
+        "- ParDo wrapping": run(
+            dataclasses.replace(full, pardo_wrap_in=0.0), fuse=False
+        ),
+        "- source/sink wrapping": run(
+            dataclasses.replace(full, source_wrap_in=0.0, sink_wrap_out=0.0),
+            fuse=False,
+        ),
+        "- chaining re-enabled": run(full, fuse=True),
+        "no overheads at all": run(
+            FlinkRunnerOverheads(0.0, 0.0, 0.0, 0.0, 0.0), fuse=True
+        ),
+    }
+    return variants
+
+
+def test_ablation_beam_overheads(benchmark):
+    variants = benchmark.pedantic(run_variants, rounds=1, iterations=1)
+
+    lines = ["Ablation — Flink Beam grep, overhead attribution"]
+    full = variants["full Beam translation"]
+    for name, duration in variants.items():
+        saved = full - duration
+        lines.append(
+            f"{name:28s} {duration:8.3f}s   (saves {saved:7.3f}s, "
+            f"{100 * saved / full:5.1f}%)"
+        )
+    lines.append(
+        "note: for selective queries (grep) fusing can show a negative "
+        "saving — a fused stage charges its wrapper costs on all stage "
+        "inputs, while unfused post-filter operators only see survivors "
+        "(simplification documented in repro.engines.flink.executor)."
+    )
+    save_artifact("ablation_beam_overheads", "\n".join(lines))
+
+    # per-ParDo record wrapping dominates the Flink Beam penalty
+    pardo_saving = full - variants["- ParDo wrapping"]
+    io_saving = full - variants["- source/sink wrapping"]
+    chain_saving = full - variants["- chaining re-enabled"]
+    assert pardo_saving > io_saving
+    assert pardo_saving > chain_saving
+    assert pardo_saving > 0.4 * full
+    # removing everything approaches (but cannot beat) the native path
+    assert variants["no overheads at all"] < 0.35 * full

@@ -1,0 +1,71 @@
+"""Extension — fault-tolerance behaviour (the paper's future-work bullet).
+
+Quantifies what Table I's "exactly-once" costs: the checkpointing overhead
+of a failure-free run, and the recovery penalty of a mid-run crash, for
+both sink modes.
+"""
+
+from conftest import save_artifact
+
+from repro.engines.common.recovery import FailureInjector
+from repro.engines.flink import CollectSink, FlinkCluster, StreamExecutionEnvironment
+from repro.simtime import Simulator
+from repro.workloads.aol import generate_records
+
+RECORDS = 50_000
+
+
+def run_variants():
+    lines = generate_records(RECORDS, seed=21)
+    simulator = Simulator(seed=21)
+
+    def run(checkpointing, exactly_once, failure):
+        env = StreamExecutionEnvironment(FlinkCluster(simulator))
+        if checkpointing:
+            env.enable_checkpointing(
+                interval_records=5_000, exactly_once=exactly_once
+            )
+        sink = CollectSink()
+        env.from_collection(lines).filter(
+            lambda line: "test" in line, cost_weight=0.4
+        ).add_sink(sink)
+        result = env.execute("ft", failure=failure)
+        return result, len(sink.values)
+
+    crash = FailureInjector(at_fraction=0.77, recovery_delay=1.0)
+    plain, plain_out = run(False, True, None)
+    checkpointed, ck_out = run(True, True, None)
+    recovered, rec_out = run(True, True, crash)
+    at_least_once, alo_out = run(True, False, crash)
+    return {
+        "no checkpointing": (plain, plain_out),
+        "checkpointing on": (checkpointed, ck_out),
+        "crash + exactly-once": (recovered, rec_out),
+        "crash + at-least-once": (at_least_once, alo_out),
+    }
+
+
+def test_fault_tolerance_costs(benchmark):
+    variants = benchmark.pedantic(run_variants, rounds=1, iterations=1)
+
+    lines = [
+        "Fault tolerance — Flink grep, checkpoint/recovery costs",
+        f"{'variant':24s} {'duration(s)':>12s} {'outputs':>8s}",
+    ]
+    for name, (result, outputs) in variants.items():
+        lines.append(f"{name:24s} {result.duration:12.3f} {outputs:8d}")
+    save_artifact("fault_tolerance", "\n".join(lines))
+
+    plain, plain_out = variants["no checkpointing"]
+    checkpointed, ck_out = variants["checkpointing on"]
+    recovered, rec_out = variants["crash + exactly-once"]
+    lossy, alo_out = variants["crash + at-least-once"]
+
+    # checkpointing costs a little; recovery costs more
+    assert checkpointed.base_duration >= plain.base_duration
+    assert recovered.duration > checkpointed.duration
+    # exactly-once: identical output count despite the crash
+    assert rec_out == ck_out == plain_out
+    # at-least-once: the crash leaks duplicates
+    assert alo_out > plain_out
+    assert recovered.recovery.failures == 1

@@ -1,0 +1,46 @@
+"""Figure 10 — relative standard deviation per system-query-SDK combination.
+
+The paper's observations: one value stands out (identity on native Flink,
+0.54, caused by outlier runs); Beam implementations show *lower* relative
+deviation than native ones (their longer runs drown the absolute jitter).
+"""
+
+from conftest import save_artifact
+
+from repro.benchmark.reporting import render_figure10
+from repro.benchmark import stats
+
+
+def test_fig10_relative_stddev(benchmark, full_report):
+    def derive():
+        return {
+            (system, kind, query): full_report.relative_std(system, query, kind)
+            for system in full_report.config.systems
+            for kind in full_report.config.kinds
+            for query in full_report.config.queries
+        }
+
+    covs = benchmark(derive)
+    save_artifact("fig10_stddev", render_figure10(full_report))
+
+    # all 24 combinations present and finite
+    assert len(covs) == 24
+    assert all(v >= 0 for v in covs.values())
+    # the standout: identity on native Flink (outlier runs, Table III)
+    flink_identity = covs[("flink", "native", "identity")]
+    assert flink_identity > 0.3
+    assert flink_identity == max(covs.values())
+    # Beam Flink runs are long and therefore relatively stable
+    for query in full_report.config.queries:
+        assert covs[("flink", "beam", query)] < 0.15
+
+
+def test_fig10_pooling_matches_paper_formula(full_report):
+    """The report pools parallelisms by averaging per-parallelism CoVs."""
+    manual = stats.mean(
+        [
+            stats.relative_std(full_report.times("spark", "grep", "native", p))
+            for p in full_report.config.parallelisms
+        ]
+    )
+    assert full_report.relative_std("spark", "grep", "native") == manual

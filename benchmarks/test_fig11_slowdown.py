@@ -1,0 +1,60 @@
+"""Figure 11 — slowdown factors sf(dsps, query).
+
+The paper's headline figure.  Qualitative pass criteria (DESIGN.md §4):
+
+* Beam slower in every cell except Apex grep (paper: sf ≈ 0.91);
+* Apex identity/projection slowdowns in the tens (paper: 56.6 / 58.5),
+  sample lower but still dramatic (paper: 32.2);
+* Flink and Spark slowdowns in the ~3-14 range with the *fastest* query
+  (grep) penalised most and the long-running identity/projection least;
+* the Spark penalty is the mildest overall.
+"""
+
+from conftest import save_artifact
+
+from repro.benchmark.calibration import PAPER_SLOWDOWN_FACTORS
+from repro.benchmark.reporting import render_figure11
+
+
+def test_fig11_slowdown_factors(benchmark, full_report):
+    def derive():
+        return {
+            (system, query): full_report.slowdown(system, query)
+            for system in full_report.config.systems
+            for query in full_report.config.queries
+        }
+
+    sf = benchmark(derive)
+    save_artifact("fig11_slowdown", render_figure11(full_report))
+
+    # Beam slower everywhere except Apex grep
+    for (system, query), value in sf.items():
+        if (system, query) == ("apex", "grep"):
+            assert 0.6 < value < 1.5, f"apex grep sf {value:.2f} not near parity"
+        else:
+            assert value > 1.5, f"sf({system},{query}) = {value:.2f}"
+
+    # Apex identity/projection dwarf everything else
+    assert sf[("apex", "identity")] > 15
+    assert sf[("apex", "projection")] > 15
+    assert sf[("apex", "sample")] > 10
+    assert sf[("apex", "projection")] > 3 * max(
+        sf[("flink", q)] for q in full_report.config.queries
+    )
+
+    # Flink and Spark: grep penalised most, identity/projection least
+    for system in ("flink", "spark"):
+        assert sf[(system, "grep")] > sf[(system, "identity")]
+        assert sf[(system, "grep")] > sf[(system, "projection")]
+
+    # Spark's penalty is mildest for the long-running queries
+    assert sf[("spark", "identity")] < sf[("flink", "identity")]
+
+    # and the ordering of every cell matches the paper's ordering
+    ours_order = sorted(sf, key=sf.get)
+    paper_order = sorted(sf, key=PAPER_SLOWDOWN_FACTORS.get)
+    # allow local swaps: compare rank displacement
+    displacement = sum(
+        abs(ours_order.index(cell) - paper_order.index(cell)) for cell in sf
+    ) / len(sf)
+    assert displacement <= 2.0, f"mean rank displacement {displacement:.2f}"

@@ -1,0 +1,37 @@
+"""Figures 12 & 13 — Flink execution plans for the grep query.
+
+Native (Figure 12): three elements — a custom source, a filter operator and
+an unnamed sink.  Beam-translated (Figure 13): seven elements — the
+``PTransformTranslation.UnknownRawPTransform`` source, a Flat Map, and five
+``ParDoTranslation.RawParDo`` operators, with no dedicated data sink.
+"""
+
+from conftest import save_artifact
+
+from repro.benchmark.reporting import render_grep_plans
+
+
+def test_fig12_13_grep_execution_plans(benchmark):
+    native_text, beam_text = benchmark.pedantic(
+        render_grep_plans, rounds=1, iterations=1
+    )
+    save_artifact(
+        "fig12_13_plans",
+        "Figure 12 — native plan\n"
+        + native_text
+        + "\n\nFigure 13 — Beam-translated plan\n"
+        + beam_text,
+    )
+
+    # Figure 12: three elements
+    assert native_text.count("Parallelism: 1") == 3
+    assert "Source: Custom Source" in native_text
+    assert "Filter" in native_text
+    assert "Sink: Unnamed" in native_text
+
+    # Figure 13: seven elements, the translated names, no dedicated sink
+    assert beam_text.count("Parallelism: 1") == 7
+    assert "PTransformTranslation.UnknownRawPTransform" in beam_text
+    assert "Flat Map" in beam_text
+    assert beam_text.count("ParDoTranslation.RawParDo") == 5
+    assert "Data Sink" not in beam_text

@@ -1,0 +1,43 @@
+"""Figure 6 — average execution times of the identity query.
+
+Twelve setups: {Apex, Flink, Spark} × {Beam, native} × {P1, P2}.  The
+benchmark measures the wall time of running the identity slice of the
+matrix; the rendered figure compares our simulated means against the
+paper's, and the shape assertions pin the qualitative findings.
+"""
+
+from conftest import save_artifact
+from shape import (
+    assert_apex_beam_dramatic,
+    assert_beam_slower,
+    assert_spark_beam_parallelism_penalty,
+    assert_spark_fastest_native,
+)
+
+from repro.benchmark.harness import StreamBenchHarness
+from repro.benchmark.reporting import render_figure_times
+
+QUERY = "identity"
+
+
+def run_slice(bench_config):
+    import dataclasses
+
+    config = dataclasses.replace(bench_config, queries=(QUERY,))
+    return StreamBenchHarness(config).run_matrix()
+
+
+def test_fig6_identity_times(benchmark, bench_config):
+    report = benchmark.pedantic(run_slice, args=(bench_config,), rounds=1, iterations=1)
+    save_artifact("fig6_identity", render_figure_times(report, QUERY))
+
+    assert_beam_slower(report, QUERY)
+    assert_apex_beam_dramatic(report, QUERY)
+    assert_spark_fastest_native(report, QUERY)
+    assert_spark_beam_parallelism_penalty(report, QUERY)
+    # identity emits every input record on every setup
+    for system in report.config.systems:
+        for kind in report.config.kinds:
+            assert (
+                report.records_out(system, QUERY, kind, 1) == report.config.records
+            )

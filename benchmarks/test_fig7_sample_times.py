@@ -1,0 +1,37 @@
+"""Figure 7 — average execution times of the sample query.
+
+The paper's observations: native implementations cluster tightly, the Apex
+Beam time drops to roughly half of its identity time (outputs drop to
+~40%), and overall times sit slightly below the identity query's.
+"""
+
+import dataclasses
+
+from conftest import save_artifact
+from shape import assert_apex_beam_dramatic, assert_beam_slower
+
+from repro.benchmark.harness import StreamBenchHarness
+from repro.benchmark.reporting import render_figure_times
+
+QUERY = "sample"
+
+
+def run_slice(bench_config):
+    config = dataclasses.replace(bench_config, queries=("identity", QUERY))
+    return StreamBenchHarness(config).run_matrix()
+
+
+def test_fig7_sample_times(benchmark, bench_config):
+    report = benchmark.pedantic(run_slice, args=(bench_config,), rounds=1, iterations=1)
+    save_artifact("fig7_sample", render_figure_times(report, QUERY))
+
+    assert_beam_slower(report, QUERY)
+    assert_apex_beam_dramatic(report, QUERY)
+    # sample outputs ≈ 40% of the input
+    out = report.records_out("flink", QUERY, "native", 1)
+    assert 0.35 * report.config.records < out < 0.45 * report.config.records
+    # Apex Beam sample ≈ half its identity time (paper: "about 50%")
+    for p in report.config.parallelisms:
+        identity = report.mean_time("apex", "identity", "beam", p)
+        sample = report.mean_time("apex", QUERY, "beam", p)
+        assert 0.35 * identity < sample < 0.7 * identity

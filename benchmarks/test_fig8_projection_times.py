@@ -1,0 +1,42 @@
+"""Figure 8 — average execution times of the projection query.
+
+The paper's observation: projection results are "similar to the numbers for
+the identity query in all aspects" — splitting the record and emitting one
+column neither helps nor hurts much, despite the smaller output tuples.
+"""
+
+import dataclasses
+
+from conftest import save_artifact
+from shape import (
+    assert_apex_beam_dramatic,
+    assert_beam_slower,
+    assert_spark_beam_parallelism_penalty,
+)
+
+from repro.benchmark.harness import StreamBenchHarness
+from repro.benchmark.reporting import render_figure_times
+
+QUERY = "projection"
+
+
+def run_slice(bench_config):
+    config = dataclasses.replace(bench_config, queries=("identity", QUERY))
+    return StreamBenchHarness(config).run_matrix()
+
+
+def test_fig8_projection_times(benchmark, bench_config):
+    report = benchmark.pedantic(run_slice, args=(bench_config,), rounds=1, iterations=1)
+    save_artifact("fig8_projection", render_figure_times(report, QUERY))
+
+    assert_beam_slower(report, QUERY)
+    assert_apex_beam_dramatic(report, QUERY)
+    assert_spark_beam_parallelism_penalty(report, QUERY)
+    # projection emits exactly one output per input
+    assert report.records_out("spark", QUERY, "native", 1) == report.config.records
+    # "similar to identity in all aspects": within ~2x per Beam setup
+    for system in report.config.systems:
+        for p in report.config.parallelisms:
+            identity = report.mean_time(system, "identity", "beam", p)
+            projection = report.mean_time(system, QUERY, "beam", p)
+            assert 0.5 * identity < projection < 2.0 * identity

@@ -1,0 +1,45 @@
+"""Figure 9 — average execution times of the grep query.
+
+The paper's observations: overall the lowest times; the Flink and Spark
+native implementations are fastest; and — the surprising result — the Apex
+Beam implementation is orders of magnitude faster than for the other
+queries, landing at roughly native speed (slowdown factor ≈ 0.91).
+"""
+
+import dataclasses
+
+from conftest import save_artifact
+from shape import assert_beam_slower, assert_spark_beam_parallelism_penalty
+
+from repro.benchmark.harness import StreamBenchHarness
+from repro.benchmark.reporting import render_figure_times
+from repro.workloads.aol import expected_grep_matches
+
+QUERY = "grep"
+
+
+def run_slice(bench_config):
+    config = dataclasses.replace(bench_config, queries=("identity", QUERY))
+    return StreamBenchHarness(config).run_matrix()
+
+
+def test_fig9_grep_times(benchmark, bench_config):
+    report = benchmark.pedantic(run_slice, args=(bench_config,), rounds=1, iterations=1)
+    save_artifact("fig9_grep", render_figure_times(report, QUERY))
+
+    assert_beam_slower(report, QUERY)
+    assert_spark_beam_parallelism_penalty(report, QUERY)
+    # the grep output is ~0.3% of the input (3,003 records at full scale)
+    expected = expected_grep_matches(report.config.records)
+    for system in report.config.systems:
+        assert report.records_out(system, QUERY, "native", 1) == expected
+    # grep is the fastest query for the native systems
+    for system in report.config.systems:
+        grep = report.mean_time(system, QUERY, "native", 1)
+        identity = report.mean_time(system, "identity", "native", 1)
+        assert grep < identity
+    # Apex Beam grep ≈ native Apex grep (the paper's one non-slowdown)
+    apex_sf = report.slowdown("apex", QUERY)
+    assert 0.6 < apex_sf < 1.5
+    # ...while Apex Beam identity is catastrophically slower
+    assert report.slowdown("apex", "identity") > 15 * apex_sf

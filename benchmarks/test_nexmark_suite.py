@@ -1,0 +1,118 @@
+"""Extension — does the Beam penalty generalise beyond StreamBench?
+
+The paper closes noting that "changed workload characteristics might also
+influence performance results" and points to the NEXMark-based Beam suite.
+This benchmark runs NEXMark Q0/Q1/Q2 natively and through Beam on all
+three engines and computes the same slowdown factors — showing the paper's
+conclusion (Beam costs 3-50x, worst on Apex for output-heavy queries)
+carries over to a different workload.
+"""
+
+from conftest import save_artifact
+
+import repro.beam as beam
+from repro.beam.runners import ApexRunner, FlinkRunner, SparkRunner
+from repro.engines.apex import ApexLauncher, CollectOutputOperator, DAG, FunctionOperator
+from repro.engines.apex.operators import CollectionInputOperator
+from repro.engines.flink import CollectSink, FlinkCluster, StreamExecutionEnvironment
+from repro.engines.spark import SparkCluster, SparkConf, SparkContext, StreamingContext
+from repro.simtime import Simulator
+from repro.workloads.nexmark import NexmarkGenerator
+from repro.workloads.nexmark_queries import (
+    beam_q0,
+    beam_q1,
+    beam_q2,
+    q0_passthrough,
+    q1_currency_conversion,
+    q2_selection,
+)
+from repro.yarn import YarnCluster
+
+EVENTS = 30_000
+QUERIES = {
+    "Q0 passthrough": (q0_passthrough, beam_q0),
+    "Q1 conversion": (q1_currency_conversion, beam_q1),
+    "Q2 selection": (q2_selection, beam_q2),
+}
+
+
+def run_suite():
+    events = NexmarkGenerator(EVENTS, seed=8).event_list()
+    sim = Simulator(seed=8)
+    results = {}
+
+    def native(system, function):
+        if system == "flink":
+            env = StreamExecutionEnvironment(FlinkCluster(sim))
+            sink = CollectSink()
+            stream = env.from_collection(events)
+            if function is not None:
+                stream = stream.transform_with(function)
+            stream.add_sink(sink)
+            return env.execute("nexmark").base_duration
+        if system == "spark":
+            sc = SparkContext(SparkConf(), SparkCluster(sim))
+            ssc = StreamingContext(sc, records_per_batch=EVENTS // 10)
+            stream = ssc.queue_stream(events)
+            if function is not None:
+                stream = stream.transform_with(function)
+            stream.collect_into([])
+            duration = ssc.run("nexmark").base_duration
+            sc.stop()
+            return duration
+        dag = DAG("nexmark")
+        source = dag.add_operator("in", CollectionInputOperator(events))
+        port = source.output
+        if function is not None:
+            op = dag.add_operator("q", FunctionOperator(function))
+            dag.add_stream("s", port, op.input)
+            port = op.output
+        out = dag.add_operator("out", CollectOutputOperator())
+        dag.add_stream("o", port, out.input)
+        return ApexLauncher(YarnCluster(sim)).launch(dag).base_duration
+
+    def with_beam(system, transform):
+        runner = {
+            "flink": lambda: FlinkRunner(FlinkCluster(sim)),
+            "spark": lambda: SparkRunner(
+                SparkCluster(sim), records_per_batch=EVENTS // 10
+            ),
+            "apex": lambda: ApexRunner(YarnCluster(sim)),
+        }[system]()
+        pipeline = beam.Pipeline(runner=runner)
+        pcoll = pipeline | beam.Create(events)
+        if transform is not None:
+            pcoll = pcoll | transform
+        pipeline.run()
+        return pipeline.result.job_result.base_duration
+
+    for name, (make_function, make_beam) in QUERIES.items():
+        for system in ("flink", "spark", "apex"):
+            native_time = native(system, make_function())
+            beam_time = with_beam(system, make_beam())
+            results[(name, system)] = (native_time, beam_time)
+    return results
+
+
+def test_nexmark_suite(benchmark):
+    results = benchmark.pedantic(run_suite, rounds=1, iterations=1)
+
+    lines = [
+        "NEXMark suite — native vs Beam (slowdown factors)",
+        f"{'query':16s} {'system':7s} {'native(s)':>10s} {'beam(s)':>10s} {'sf':>7s}",
+    ]
+    for (name, system), (native_time, beam_time) in results.items():
+        lines.append(
+            f"{name:16s} {system:7s} {native_time:10.3f} {beam_time:10.3f} "
+            f"{beam_time / native_time:7.2f}"
+        )
+    save_artifact("nexmark_suite", "\n".join(lines))
+
+    for (name, system), (native_time, beam_time) in results.items():
+        sf = beam_time / native_time
+        assert sf > 1.2, f"{name} on {system}: sf {sf:.2f}"
+    # the Apex output-volume pattern holds on NEXMark too: the passthrough
+    # (full output) suffers far more than the selective Q2
+    q0_apex = results[("Q0 passthrough", "apex")]
+    q2_apex = results[("Q2 selection", "apex")]
+    assert (q0_apex[1] / q0_apex[0]) > 3 * (q2_apex[1] / q2_apex[0])

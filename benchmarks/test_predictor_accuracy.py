@@ -1,0 +1,55 @@
+"""Extension — the slowdown predictor vs. measured campaign results.
+
+The paper's future work asks for the penalty to be "predictable".  This
+benchmark compares three columns for every (system, query) cell: the
+analytic prediction (no records processed), our measured campaign, and the
+paper's published factor.
+"""
+
+from conftest import save_artifact
+
+from repro.benchmark.calibration import PAPER_SLOWDOWN_FACTORS
+from repro.benchmark.predictor import QueryProfile, SlowdownPredictor
+from repro.benchmark.queries import QUERIES
+
+
+def test_predictor_vs_measured(benchmark, full_report):
+    predictor = SlowdownPredictor(records_per_batch=max(1, full_report.config.records // 10))
+
+    def derive():
+        return {
+            (system, query): predictor.predict_slowdown(
+                system,
+                QueryProfile.of(QUERIES[query]),
+                full_report.config.records,
+                parallelisms=full_report.config.parallelisms,
+            )
+            for system in full_report.config.systems
+            for query in full_report.config.queries
+        }
+
+    predicted = benchmark(derive)
+
+    lines = [
+        "Slowdown factors — predicted (analytic) vs measured vs paper",
+        f"{'system':7s} {'query':11s} {'predicted':>10s} {'measured':>9s} {'paper':>7s}",
+    ]
+    for (system, query), prediction in predicted.items():
+        measured = full_report.slowdown(system, query)
+        paper = PAPER_SLOWDOWN_FACTORS[(system, query)]
+        lines.append(
+            f"{system:7s} {query:11s} {prediction:10.2f} {measured:9.2f} {paper:7.2f}"
+        )
+    save_artifact("predictor_accuracy", "\n".join(lines))
+
+    # the noise-free prediction sits near the measured (noisy) factor:
+    # within a factor of two for every cell, and much closer for the long
+    # Beam-dominated runs
+    for (system, query), prediction in predicted.items():
+        measured = full_report.slowdown(system, query)
+        assert 0.5 < prediction / measured < 2.0, (
+            f"{system}/{query}: predicted {prediction:.2f}, measured {measured:.2f}"
+        )
+    assert predicted[("apex", "identity")] / full_report.slowdown(
+        "apex", "identity"
+    ) == __import__("pytest").approx(1.0, rel=0.35)

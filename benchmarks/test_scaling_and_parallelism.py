@@ -1,0 +1,89 @@
+"""Extension — scaling sweeps beyond the paper's setup.
+
+The paper's future work: "measurements can be extended with respect to ...
+query complexity as well as scaling, parallelism".  Two sweeps:
+
+* record-count scaling: execution times grow linearly and the slowdown
+  factor stays roughly stable across scales;
+* parallelism sweep to 8 (the paper stops at 2): in the calibrated model,
+  added parallelism never pays off for these tiny queries — coordination
+  overhead per record only grows, the paper's own observation at P2.
+"""
+
+import dataclasses
+
+from conftest import save_artifact
+
+from repro.benchmark.config import scaled_config
+from repro.benchmark.harness import StreamBenchHarness
+
+
+def record_scaling_sweep():
+    scales = (20_000, 40_000, 80_000)
+    rows = []
+    for records in scales:
+        config = scaled_config(
+            records=records,
+            runs=3,
+            parallelisms=(1,),
+            systems=("flink",),
+            queries=("grep",),
+        )
+        report = StreamBenchHarness(config).run_matrix()
+        rows.append(
+            (
+                records,
+                report.mean_time("flink", "grep", "native", 1),
+                report.mean_time("flink", "grep", "beam", 1),
+                report.slowdown("flink", "grep"),
+            )
+        )
+    return rows
+
+
+def test_record_count_scaling(benchmark):
+    rows = benchmark.pedantic(record_scaling_sweep, rounds=1, iterations=1)
+    lines = ["Scaling sweep — Flink grep, native vs Beam",
+             f"{'records':>10s} {'native(s)':>10s} {'beam(s)':>10s} {'sf':>7s}"]
+    for records, native, with_beam, sf in rows:
+        lines.append(f"{records:10d} {native:10.3f} {with_beam:10.3f} {sf:7.2f}")
+    save_artifact("scaling_records", "\n".join(lines))
+
+    # linear-ish growth: 4x records => 3x..5x time
+    assert 3.0 < rows[-1][1] / rows[0][1] < 5.5
+    assert 3.0 < rows[-1][2] / rows[0][2] < 5.5
+    # slowdown factor roughly stable across scales
+    factors = [row[3] for row in rows]
+    assert max(factors) < 2.5 * min(factors)
+
+
+def parallelism_sweep():
+    config = scaled_config(
+        runs=3,
+        parallelisms=(1, 2, 4, 8),
+        systems=("spark",),
+        queries=("identity",),
+    )
+    report = StreamBenchHarness(config).run_matrix()
+    return {
+        (kind, p): report.mean_time("spark", "identity", kind, p)
+        for kind in ("native", "beam")
+        for p in (1, 2, 4, 8)
+    }
+
+
+def test_parallelism_sweep(benchmark):
+    means = benchmark.pedantic(parallelism_sweep, rounds=1, iterations=1)
+    lines = ["Parallelism sweep — Spark identity",
+             f"{'P':>3s} {'native(s)':>10s} {'beam(s)':>10s}"]
+    for p in (1, 2, 4, 8):
+        lines.append(
+            f"{p:3d} {means[('native', p)]:10.3f} {means[('beam', p)]:10.3f}"
+        )
+    save_artifact("parallelism_sweep", "\n".join(lines))
+
+    # the Beam penalty grows with parallelism (the paper's P2 observation,
+    # extrapolated): P8 is clearly worse than P1
+    assert means[("beam", 8)] > 1.5 * means[("beam", 1)]
+    # while native Spark stays roughly flat
+    assert means[("native", 8)] < 2.0 * means[("native", 1)]

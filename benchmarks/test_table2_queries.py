@@ -1,0 +1,26 @@
+"""Table II — the StreamBench queries and their observed output sizes.
+
+Checks the workload-dependent claims of the paper's query table: grep
+emits ≈0.3% of the input (3,003 records at full scale), sample ≈40%,
+identity and projection exactly the input count.
+"""
+
+from conftest import save_artifact
+
+from repro.benchmark.reporting import render_table2
+from repro.workloads.aol import expected_grep_matches
+
+
+def test_table2_queries(benchmark, full_report, bench_config):
+    text = benchmark(render_table2, full_report)
+    save_artifact("table2", text)
+
+    records = bench_config.records
+    system = bench_config.systems[0]
+    assert full_report.records_out(system, "identity", "native", 1) == records
+    assert full_report.records_out(system, "projection", "native", 1) == records
+    assert full_report.records_out(system, "grep", "native", 1) == (
+        expected_grep_matches(records)
+    )
+    sample_out = full_report.records_out(system, "sample", "native", 1)
+    assert 0.35 * records < sample_out < 0.45 * records

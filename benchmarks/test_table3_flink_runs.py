@@ -1,0 +1,39 @@
+"""Table III — per-run times of the identity query on native Flink.
+
+The paper uses this table to explain Figure 10's outlier: seven of ten P1
+runs sit in a tight band while two-to-three runs are multiples slower
+(6.25s, 12.69s, 21.56s against a ~3.5s median); the P2 series is clean.
+"""
+
+from conftest import save_artifact
+
+from repro.benchmark.reporting import render_table3
+from repro.benchmark import stats
+
+
+def test_table3_flink_identity_runs(benchmark, full_report):
+    def derive():
+        return (
+            full_report.times("flink", "identity", "native", 1),
+            full_report.times("flink", "identity", "native", 2),
+        )
+
+    p1, p2 = benchmark(derive)
+    save_artifact("table3_flink_runs", render_table3(full_report))
+
+    assert len(p1) == full_report.config.runs
+    assert len(p2) == full_report.config.runs
+
+    median_p1 = sorted(p1)[len(p1) // 2]
+    outliers_p1 = [t for t in p1 if t > 1.6 * median_p1]
+    # P1: a majority of runs in the tight band, with clear outliers
+    assert 1 <= len(outliers_p1) <= 4
+    assert max(p1) > 2.5 * median_p1
+    # P2: comparatively homogeneous
+    median_p2 = sorted(p2)[len(p2) // 2]
+    assert max(p2) < 2.0 * median_p2
+    # the paper: "the highest execution time is more than seven times
+    # higher than the lowest" (P1)
+    assert max(p1) > 4 * min(p1)
+    # and the outliers drive the relative standard deviation
+    assert stats.relative_std(p1) > 2 * stats.relative_std(p2)

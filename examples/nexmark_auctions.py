@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""NEXMark auction queries — a second workload for the same question.
+
+The paper's related work discusses NEXMark and the Beam NEXMark suite; its
+future work asks whether "changed workload characteristics" move the
+numbers.  This example streams a NEXMark auction event stream (persons,
+auctions, bids in the classic 1:3:46 mix) through:
+
+* Q1 (currency conversion) natively on Flink and through Beam — the
+  slowdown generalises;
+* Q3 (the stateful person⋈auction join) on Flink natively and via a
+  stateful Beam ParDo — still refused by the Spark runner;
+* Q5 (hot items per window) on the DirectRunner, exercising the windowing
+  and trigger model.
+
+Run:  python examples/nexmark_auctions.py
+"""
+
+import repro.beam as beam
+from repro.beam.errors import UnsupportedFeatureError
+from repro.beam.runners import DirectRunner, FlinkRunner, SparkRunner
+from repro.engines.flink import CollectSink, FlinkCluster, StreamExecutionEnvironment
+from repro.engines.spark import SparkCluster
+from repro.simtime import Simulator
+from repro.workloads.nexmark import Bid, NexmarkGenerator
+from repro.workloads.nexmark_queries import (
+    beam_q1,
+    beam_q3,
+    beam_q5_hot_items,
+    q1_currency_conversion,
+    q3_local_item_suggestion,
+)
+
+EVENTS = 20_000
+
+
+def main() -> None:
+    events = NexmarkGenerator(EVENTS, seed=5).event_list()
+    bids = sum(1 for e in events if isinstance(e, Bid))
+    print(f"generated {EVENTS} NEXMark events ({bids} bids)")
+    simulator = Simulator(seed=5)
+
+    # -- Q1 natively vs through Beam -----------------------------------------
+    env = StreamExecutionEnvironment(FlinkCluster(simulator))
+    sink = CollectSink()
+    env.from_collection(events).transform_with(q1_currency_conversion()).add_sink(sink)
+    native = env.execute("q1-native")
+
+    runner = FlinkRunner(FlinkCluster(simulator))
+    pipeline = beam.Pipeline(runner=runner)
+    pipeline | beam.Create(events) | beam_q1()
+    with_beam = pipeline.run().job_result
+    assert runner.collected == sink.values
+    print(
+        f"\nQ1 currency conversion on Flink: native {native.duration:.3f}s, "
+        f"Beam {with_beam.duration:.3f}s "
+        f"(slowdown {with_beam.duration / native.duration:.1f}x, same "
+        f"{len(sink.values)} converted bids)"
+    )
+
+    # -- Q3: the stateful join -------------------------------------------------
+    env = StreamExecutionEnvironment(FlinkCluster(simulator))
+    q3_sink = CollectSink()
+    env.from_collection(events).transform_with(q3_local_item_suggestion()).add_sink(
+        q3_sink
+    )
+    env.execute("q3-native")
+    print(f"\nQ3 join found {len(q3_sink.values)} sellers in OR/ID/CA, e.g.:")
+    for row in q3_sink.values[:3]:
+        print(f"  {row}")
+
+    pipeline = beam.Pipeline(runner=SparkRunner(SparkCluster(simulator)))
+    pipeline | beam.Create(events) | beam_q3()
+    try:
+        pipeline.run()
+    except UnsupportedFeatureError as error:
+        print(f"Q3 via Beam on Spark: REFUSED ({type(error).__name__})")
+
+    # -- Q5: hot items per 5-second window (DirectRunner) ---------------------
+    pipeline = beam.Pipeline(runner=DirectRunner())
+    pcoll = pipeline | beam.Create(events, timestamps=[e.date_time for e in events])
+    for transform in beam_q5_hot_items(window_seconds=5.0):
+        pcoll = pcoll | transform
+    result = pipeline.run()
+    counts = result.outputs[pcoll.producer.full_label]
+    hottest = sorted(counts, key=lambda kv: -kv[1])[:5]
+    print("\nQ5 hottest auctions (bids in a 5s window):")
+    for auction, count in hottest:
+        print(f"  auction {auction}: {count} bids")
+
+
+if __name__ == "__main__":
+    main()

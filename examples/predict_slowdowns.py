@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Predicting the Beam penalty without running a single record.
+
+The paper closes with: "In the best case, it is possible to identify
+factors that influence the performance penalty applications suffer from
+and make them predictable."  This example does that: the
+:class:`SlowdownPredictor` compiles every (system, SDK) program through
+the engines' own translators and evaluates the cost models over record
+counts — no data is processed — and its slowdown factors land in the
+paper's bands.  It then validates one cell against an actual execution.
+
+Run:  python examples/predict_slowdowns.py
+"""
+
+from repro.benchmark import BenchmarkConfig, StreamBenchHarness
+from repro.benchmark.calibration import PAPER_SLOWDOWN_FACTORS
+from repro.benchmark.predictor import QueryProfile, SlowdownPredictor
+from repro.benchmark.queries import QUERIES
+from repro.workloads.aol import FULL_SCALE_RECORDS
+
+
+def main() -> None:
+    predictor = SlowdownPredictor()
+
+    print("predicted slowdown factors at the paper's scale "
+          "(no records processed):\n")
+    print(f"{'system':7s} {'query':11s} {'predicted':>10s} {'paper':>8s}")
+    for system in ("apex", "flink", "spark"):
+        for query in ("identity", "sample", "projection", "grep"):
+            profile = QueryProfile.of(QUERIES[query])
+            predicted = predictor.predict_slowdown(
+                system, profile, FULL_SCALE_RECORDS
+            )
+            paper = PAPER_SLOWDOWN_FACTORS[(system, query)]
+            print(f"{system:7s} {query:11s} {predicted:10.2f} {paper:8.2f}")
+
+    # validate one cell against an actual (reduced-scale) execution
+    records = 50_000
+    config = BenchmarkConfig(
+        records=records, runs=1, parallelisms=(1,), systems=("flink",),
+        queries=("grep",),
+    )
+    harness = StreamBenchHarness(config)
+    native = harness.run_setup("flink", "grep", "native", 1)[0]
+    with_beam = harness.run_setup("flink", "grep", "beam", 1)[0]
+    measured_sf = with_beam.duration / native.duration
+    predicted_sf = predictor.predict_slowdown(
+        "flink", QueryProfile.of(QUERIES["grep"]), records, parallelisms=(1,)
+    )
+    print(
+        f"\nvalidation (flink grep, {records} records): "
+        f"predicted sf {predicted_sf:.2f}, one measured run {measured_sf:.2f} "
+        "(difference = run-to-run noise)"
+    )
+    breakdown = predictor.predict("flink", "beam", QueryProfile.of(QUERIES["grep"]), records)
+    print("\nwhere the Beam time goes (flink grep, predicted):")
+    for stage, seconds in sorted(breakdown.per_stage.items(), key=lambda kv: -kv[1]):
+        print(f"  {stage[:56]:56s} {seconds:8.4f}s")
+
+
+if __name__ == "__main__":
+    main()

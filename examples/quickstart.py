@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Quickstart: one Beam pipeline, four runners, one measurement.
+
+Builds the simulated world (clock, Kafka-like broker), ingests a slice of
+the synthetic AOL workload, and runs the paper's grep query — once with the
+native Flink API and once as an Apache-Beam-style pipeline on every runner.
+Execution times come from broker LogAppendTime timestamps, exactly like the
+paper's result calculator.
+
+Run:  python examples/quickstart.py
+"""
+
+import repro.beam as beam
+from repro.beam.io import kafka
+from repro.beam.runners import ApexRunner, DirectRunner, FlinkRunner, SparkRunner
+from repro.benchmark import DataSender, ResultCalculator
+from repro.broker import AdminClient, BrokerCluster
+from repro.engines.flink import (
+    FlinkCluster,
+    KafkaSink,
+    KafkaSource,
+    StreamExecutionEnvironment,
+)
+from repro.engines.spark import SparkCluster
+from repro.simtime import Simulator
+from repro.workloads.aol import generate_records
+from repro.yarn import YarnCluster
+
+RECORDS = 100_000
+
+
+def main() -> None:
+    # -- the simulated world -------------------------------------------------
+    simulator = Simulator(seed=7)
+    broker = BrokerCluster(simulator, num_nodes=3)
+    admin = AdminClient(broker)
+    calculator = ResultCalculator(broker)
+
+    # -- phase 1: ingest the workload ---------------------------------------
+    lines = generate_records(RECORDS)
+    report = DataSender(broker, "input", ingestion_rate=100_000).send(lines)
+    print(f"ingested {report.records_sent} records in {report.duration:.2f}s "
+          f"(simulated)")
+
+    # -- native Flink grep ---------------------------------------------------
+    admin.recreate_topic("output-native")
+    env = StreamExecutionEnvironment(FlinkCluster(simulator))
+    (
+        env.add_source(KafkaSource(broker, "input"))
+        .filter(lambda line: "test" in line, cost_weight=0.4)
+        .add_sink(KafkaSink(broker, "output-native"))
+    )
+    env.execute("grep-native")
+    native = calculator.measure("output-native")
+    print(f"\nnative Flink grep: {native.records} matches "
+          f"in {native.execution_time:.2f}s")
+
+    # -- the same query as a Beam pipeline, on every runner ------------------
+    def build(pipeline: beam.Pipeline, out_topic: str) -> None:
+        (
+            pipeline
+            | kafka.read(broker, "input").without_metadata()
+            | beam.Values()
+            | beam.Filter(lambda line: "test" in line, label="Grep", cost_weight=0.4)
+            | kafka.write(broker, out_topic)
+        )
+
+    runners = {
+        "DirectRunner": DirectRunner(),
+        "FlinkRunner": FlinkRunner(FlinkCluster(simulator)),
+        "SparkRunner": SparkRunner(SparkCluster(simulator)),
+        "ApexRunner": ApexRunner(YarnCluster(simulator)),
+    }
+    print("\nthe same pipeline via the abstraction layer:")
+    for name, runner in runners.items():
+        topic = f"output-{name.lower()}"
+        admin.recreate_topic(topic)
+        pipeline = beam.Pipeline(runner=runner)
+        build(pipeline, topic)
+        pipeline.run()
+        measured = calculator.measure(topic)
+        print(f"  {name:13s} {measured.records:6d} matches "
+              f"in {measured.execution_time:8.2f}s")
+    print("\n(identical outputs everywhere; very different execution times —"
+          "\n the paper's point, in one script)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,27 @@
+"""repro — reproduction of Hesse et al., ICDCS 2019.
+
+"Quantitative Impact Evaluation of an Abstraction Layer for Data Stream
+Processing Systems" benchmarks the performance penalty of writing streaming
+applications against Apache Beam instead of the native APIs of Apache Flink,
+Apache Spark Streaming and Apache Apex.  This package rebuilds the entire
+stack as deterministic, discrete-event-simulated Python:
+
+* :mod:`repro.simtime` — virtual clock, event queue, seeded randomness;
+* :mod:`repro.broker` — a Kafka-like broker (topics, partitions, offsets,
+  LogAppendTime stamping, producers/consumers);
+* :mod:`repro.dataflow` — shared logical graph / execution plan model;
+* :mod:`repro.yarn` — a Hadoop-YARN-like resource manager substrate;
+* :mod:`repro.engines` — three stream processing engines with native APIs:
+  Flink-like (tuple-at-a-time, operator chaining), Spark-Streaming-like
+  (micro-batched D-Streams) and Apex-like (operators in YARN containers);
+* :mod:`repro.beam` — a Beam-like abstraction layer (Pipeline, PCollection,
+  PTransform, ParDo, ...) with one runner per engine;
+* :mod:`repro.workloads` — a synthetic AOL-search-log generator;
+* :mod:`repro.benchmark` — the paper's benchmark architecture (data sender,
+  result calculator, StreamBench queries, statistics and report rendering
+  for every table and figure of the evaluation).
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

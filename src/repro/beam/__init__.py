@@ -1,0 +1,106 @@
+"""A Beam-like abstraction layer (paper Section II-A).
+
+A unified programming model: pipelines written once against this SDK run
+unchanged on any of the three engines through their runners — and, as the
+paper quantifies, at a price.
+
+Public surface mirrors the Beam Python SDK::
+
+    import repro.beam as beam
+    from repro.beam.io import kafka
+    from repro.beam.runners import FlinkRunner
+
+    with beam.Pipeline(runner=FlinkRunner(flink_cluster)) as p:
+        (p
+         | kafka.read(broker, "input").without_metadata()
+         | beam.Values()
+         | beam.Filter(lambda line: "test" in line)
+         | kafka.write(broker, "output"))
+"""
+
+from repro.beam import coders, io, window
+from repro.beam.errors import (
+    BeamError,
+    PipelineStateError,
+    UnsupportedFeatureError,
+    WindowingError,
+)
+from repro.beam.pipeline import AppliedPTransform, Pipeline
+from repro.beam.pvalue import (
+    AsDict,
+    AsList,
+    AsSingleton,
+    PBegin,
+    PCollection,
+    PCollectionList,
+    PDone,
+)
+from repro.beam.transforms import (
+    CombinePerKey,
+    Count,
+    Create,
+    DoFn,
+    Filter,
+    FlatMap,
+    Flatten,
+    GroupByKey,
+    Impulse,
+    Keys,
+    KvSwap,
+    Map,
+    MeanPerKey,
+    ParDo,
+    PTransform,
+    Values,
+    WindowInto,
+    WithKeys,
+)
+from repro.beam.window import (
+    AfterCount,
+    AfterWatermark,
+    FixedWindows,
+    GlobalWindows,
+    SlidingWindows,
+)
+
+__all__ = [
+    "coders",
+    "io",
+    "window",
+    "BeamError",
+    "PipelineStateError",
+    "UnsupportedFeatureError",
+    "WindowingError",
+    "Pipeline",
+    "AppliedPTransform",
+    "AsList",
+    "AsDict",
+    "AsSingleton",
+    "PBegin",
+    "PCollection",
+    "PCollectionList",
+    "PDone",
+    "PTransform",
+    "DoFn",
+    "ParDo",
+    "Map",
+    "FlatMap",
+    "Filter",
+    "Create",
+    "Impulse",
+    "GroupByKey",
+    "Flatten",
+    "WindowInto",
+    "Values",
+    "Keys",
+    "KvSwap",
+    "WithKeys",
+    "CombinePerKey",
+    "Count",
+    "MeanPerKey",
+    "GlobalWindows",
+    "FixedWindows",
+    "SlidingWindows",
+    "AfterCount",
+    "AfterWatermark",
+]

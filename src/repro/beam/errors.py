@@ -1,0 +1,30 @@
+"""Beam layer errors."""
+
+from __future__ import annotations
+
+
+class BeamError(Exception):
+    """Base class for Beam layer errors."""
+
+
+class PipelineStateError(BeamError):
+    """A pipeline operation was attempted in an illegal state."""
+
+
+class UnsupportedFeatureError(BeamError):
+    """The chosen runner does not support a feature of the pipeline.
+
+    The paper's benchmark excludes the stateful StreamBench queries because
+    "Apache Beam does not support stateful processing when executed on
+    Apache Spark" — the Spark runner raises this error for stateful DoFns,
+    reproducing that capability gap.
+    """
+
+
+class WindowingError(BeamError):
+    """Illegal windowing/triggering combination.
+
+    Mirrors the Beam model rule the paper quotes in II-A: applying
+    GroupByKey to an unbounded PCollection requires non-global windowing or
+    an aggregation trigger.
+    """

@@ -1,0 +1,5 @@
+"""Beam IO connectors."""
+
+from repro.beam.io import kafka
+
+__all__ = ["kafka"]

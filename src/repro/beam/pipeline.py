@@ -1,0 +1,144 @@
+"""The Pipeline: Beam's application container (paper II-A).
+
+A Pipeline "represents the entire application definition, including data
+input, transformation, and output".  Applying transforms builds a graph of
+:class:`AppliedPTransform` nodes; ``run`` hands that graph to a runner,
+which translates it for a target engine — the exchangeability that is the
+whole point of the abstraction layer.
+"""
+
+from __future__ import annotations
+
+from typing import Any, TYPE_CHECKING
+
+from repro.beam.errors import BeamError, PipelineStateError
+from repro.beam.pvalue import PBegin, PCollection, PCollectionList, PDone, PValue
+from repro.beam.transforms.core import PTransform
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.beam.runners.base import PipelineResult, PipelineRunner
+
+
+class AppliedPTransform:
+    """One node of the executed pipeline graph.
+
+    Only *primitive* transforms appear as nodes; composites expand into
+    primitives during :meth:`Pipeline.apply` (detected by their expansion
+    returning an already-produced PCollection).
+    """
+
+    def __init__(
+        self,
+        full_label: str,
+        transform: PTransform,
+        inputs: list[PValue],
+        output: PValue,
+    ) -> None:
+        self.full_label = full_label
+        self.transform = transform
+        self.inputs = inputs
+        self.output = output
+
+    def __repr__(self) -> str:
+        return f"AppliedPTransform({self.full_label!r})"
+
+
+class Pipeline:
+    """Builds and runs a Beam program.
+
+    Usable as a context manager: leaving the ``with`` block runs the
+    pipeline and waits for completion, as in the Python SDK::
+
+        with Pipeline(runner=DirectRunner()) as p:
+            p | Create([1, 2, 3]) | Map(lambda x: x + 1) | collect_to(out)
+    """
+
+    def __init__(self, runner: "PipelineRunner | None" = None, options: dict[str, Any] | None = None) -> None:
+        self.runner = runner
+        self.options = options or {}
+        self.applied: list[AppliedPTransform] = []
+        self._labels: set[str] = set()
+        self._result: "PipelineResult | None" = None
+        self._ran = False
+
+    # ------------------------------------------------------------------
+    def __or__(self, transform: PTransform) -> PValue:
+        """``pipeline | transform`` applies a root transform."""
+        return self.apply(transform, PBegin(self))
+
+    def apply(self, transform: PTransform, input_value: PValue | PCollectionList) -> PValue:
+        """Apply ``transform`` to ``input_value``; returns its output.
+
+        Composite transforms expand into primitives recursively; only
+        primitives become :class:`AppliedPTransform` nodes.
+        """
+        if self._ran:
+            raise PipelineStateError("pipeline has already been run")
+        if not isinstance(transform, PTransform):
+            raise BeamError(
+                f"expected a PTransform, got {type(transform).__name__}; "
+                "did you forget Map()/ParDo()?"
+            )
+        output = transform.expand(input_value)
+        if not isinstance(output, (PCollection, PDone)):
+            raise BeamError(
+                f"{transform.label} expanded to {type(output).__name__}, "
+                "expected PCollection or PDone"
+            )
+        if output.producer is not None:
+            # Composite: its expansion already registered primitive nodes.
+            return output
+        inputs: list[PValue]
+        if isinstance(input_value, PCollectionList):
+            inputs = list(input_value)
+        else:
+            inputs = [input_value]
+        node = AppliedPTransform(
+            full_label=self._unique_label(transform.label),
+            transform=transform,
+            inputs=inputs,
+            output=output,
+        )
+        output.producer = node
+        self.applied.append(node)
+        return output
+
+    # ------------------------------------------------------------------
+    def run(self) -> "PipelineResult":
+        """Execute via the configured runner (defaults to DirectRunner)."""
+        if self._ran:
+            raise PipelineStateError("pipeline has already been run")
+        runner = self.runner
+        if runner is None:
+            from repro.beam.runners.direct import DirectRunner
+
+            runner = DirectRunner()
+        self._ran = True
+        self._result = runner.run_pipeline(self)
+        return self._result
+
+    @property
+    def result(self) -> "PipelineResult | None":
+        """The result of the last :meth:`run`, if any."""
+        return self._result
+
+    def __enter__(self) -> "Pipeline":
+        return self
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
+        if exc_type is None:
+            self.run()
+
+    # ------------------------------------------------------------------
+    def consumers(self, pcollection: PCollection) -> list[AppliedPTransform]:
+        """Applied transforms consuming ``pcollection``."""
+        return [node for node in self.applied if pcollection in node.inputs]
+
+    def _unique_label(self, base: str) -> str:
+        label = base
+        suffix = 1
+        while label in self._labels:
+            suffix += 1
+            label = f"{base}_{suffix}"
+        self._labels.add(label)
+        return label

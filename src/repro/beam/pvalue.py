@@ -1,0 +1,128 @@
+"""PValues: the edges of a Beam pipeline graph."""
+
+from __future__ import annotations
+
+from typing import Any, TYPE_CHECKING
+
+from repro.beam.window import DEFAULT_WINDOWING, WindowingStrategy
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.beam.pipeline import AppliedPTransform, Pipeline
+
+
+class PValue:
+    """Base class of everything flowing between transforms."""
+
+    def __init__(self, pipeline: "Pipeline") -> None:
+        self.pipeline = pipeline
+        self.producer: "AppliedPTransform | None" = None
+
+    def __or__(self, transform: Any) -> Any:
+        """``pvalue | transform`` applies the transform (Beam idiom)."""
+        return self.pipeline.apply(transform, self)
+
+
+class PBegin(PValue):
+    """The start marker: what root transforms (sources) are applied to."""
+
+
+class PCollection(PValue):
+    """A (conceptually distributed) data set, bounded or unbounded.
+
+    ``is_bounded`` drives the GroupByKey windowing validation; the
+    benchmark's Kafka reads are treated as bounded snapshots of an
+    unbounded stream (all input is ingested before the query runs), but
+    sources can mark themselves unbounded to exercise streaming semantics.
+    """
+
+    def __init__(
+        self,
+        pipeline: "Pipeline",
+        is_bounded: bool = True,
+        windowing: WindowingStrategy = DEFAULT_WINDOWING,
+        tag: str | None = None,
+    ) -> None:
+        super().__init__(pipeline)
+        self.is_bounded = is_bounded
+        self.windowing = windowing
+        self.tag = tag
+
+    def __repr__(self) -> str:
+        producer = self.producer.full_label if self.producer else "<unbound>"
+        kind = "bounded" if self.is_bounded else "unbounded"
+        return f"PCollection({kind}, from {producer})"
+
+
+class PCollectionList:
+    """An ordered bundle of PCollections (input to Flatten)."""
+
+    def __init__(self, pcollections: list[PCollection]) -> None:
+        if not pcollections:
+            raise ValueError("PCollectionList must not be empty")
+        pipelines = {pc.pipeline for pc in pcollections}
+        if len(pipelines) != 1:
+            raise ValueError("all PCollections must belong to the same pipeline")
+        self.pcollections = list(pcollections)
+        self.pipeline = pcollections[0].pipeline
+
+    def __or__(self, transform: Any) -> Any:
+        return self.pipeline.apply(transform, self)
+
+    def __iter__(self):
+        return iter(self.pcollections)
+
+    def __len__(self) -> int:
+        return len(self.pcollections)
+
+
+class PDone(PValue):
+    """Returned by terminal transforms (writes)."""
+
+
+class AsSideInput:
+    """Base class of side-input views (paper II-A: ParDo "also supports
+    aspects such as side inputs").
+
+    A view wraps a PCollection and defines how its materialised contents
+    are presented to the consuming DoFn.
+    """
+
+    def __init__(self, pcollection: "PCollection") -> None:
+        if not isinstance(pcollection, PCollection):
+            raise TypeError(
+                f"side inputs wrap PCollections, got {type(pcollection).__name__}"
+            )
+        self.pcollection = pcollection
+
+    def view(self, values: list[Any]) -> Any:
+        """Present the materialised elements to the DoFn."""
+        raise NotImplementedError
+
+
+class AsList(AsSideInput):
+    """The side PCollection as a list."""
+
+    def view(self, values: list[Any]) -> list[Any]:
+        return list(values)
+
+
+class AsDict(AsSideInput):
+    """The side PCollection of KV pairs as a dict (later keys win)."""
+
+    def view(self, values: list[Any]) -> dict[Any, Any]:
+        return dict(values)
+
+
+class AsSingleton(AsSideInput):
+    """The side PCollection's single element.
+
+    Raises at materialisation time unless exactly one element is present
+    (mirroring Beam's singleton-view semantics).
+    """
+
+    def view(self, values: list[Any]) -> Any:
+        if len(values) != 1:
+            raise ValueError(
+                f"AsSingleton expects exactly one element, got {len(values)}"
+            )
+        return values[0]

@@ -1,0 +1,28 @@
+"""Beam runners: translate pipelines onto execution engines.
+
+One runner per engine, exactly as in the paper's setup, plus a
+:class:`DirectRunner` that executes the Beam model in-process.  The engine
+runners translate linear ParDo chains and bounded global-window
+GroupByKeys; general shapes (Flatten, WindowInto, windowed or unbounded
+grouping) run on the DirectRunner — the semantics oracle the tests compare
+engine outputs against.
+"""
+
+from repro.beam.runners.apex import ApexRunner, ApexRunnerOverheads
+from repro.beam.runners.base import PipelineResult, PipelineRunner, PipelineState
+from repro.beam.runners.direct import DirectRunner
+from repro.beam.runners.flink import FlinkRunner, FlinkRunnerOverheads
+from repro.beam.runners.spark import SparkRunner, SparkRunnerOverheads
+
+__all__ = [
+    "PipelineRunner",
+    "PipelineResult",
+    "PipelineState",
+    "DirectRunner",
+    "FlinkRunner",
+    "FlinkRunnerOverheads",
+    "SparkRunner",
+    "SparkRunnerOverheads",
+    "ApexRunner",
+    "ApexRunnerOverheads",
+]

@@ -1,0 +1,111 @@
+"""Runner base classes and shared pipeline-shape analysis."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.beam.errors import UnsupportedFeatureError
+from repro.beam.io.kafka import KafkaRead, KafkaWrite
+from repro.beam.transforms.core import Create, GroupByKey, ParDo
+from repro.engines.common.results import JobResult
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.beam.pipeline import AppliedPTransform, Pipeline
+
+
+class PipelineState(enum.Enum):
+    """Terminal states of a pipeline run."""
+
+    DONE = "DONE"
+    FAILED = "FAILED"
+
+
+@dataclass
+class PipelineResult:
+    """What ``Pipeline.run`` returns."""
+
+    state: PipelineState
+    runner_name: str
+    job_result: JobResult | None = None
+    #: DirectRunner: materialised outputs keyed by producing transform label.
+    outputs: dict[str, list] = field(default_factory=dict)
+
+    def wait_until_finish(self) -> PipelineState:
+        """Runs are synchronous in simulation; returns the final state."""
+        return self.state
+
+
+class PipelineRunner:
+    """Base class: a runner turns a pipeline graph into an execution."""
+
+    name = "runner"
+
+    def run_pipeline(self, pipeline: "Pipeline") -> PipelineResult:
+        """Execute ``pipeline`` and return its result."""
+        raise NotImplementedError
+
+
+@dataclass
+class LinearBeamPipeline:
+    """The engine-runner-executable shape: source → (ParDo|GroupByKey)* → write.
+
+    ``source`` is a :class:`KafkaRead` or :class:`Create` node; ``pardos``
+    the transform chain in order (ParDos plus bounded global-window
+    GroupByKeys); ``write`` the optional terminal KafkaWrite.
+    """
+
+    source: "AppliedPTransform"
+    pardos: list["AppliedPTransform"]
+    write: "AppliedPTransform | None"
+
+
+def linearize_beam_graph(pipeline: "Pipeline", runner_name: str) -> LinearBeamPipeline:
+    """Validate the pipeline is a linear chain the engine runners support.
+
+    ParDo chains and bounded global-window GroupByKeys translate onto the
+    engines; Flatten/WindowInto (and windowed or unbounded GroupByKey)
+    require the DirectRunner in this reproduction.  Stateful DoFn rejection
+    is runner-specific and handled by the individual runners.
+    """
+    nodes = pipeline.applied
+    if not nodes:
+        raise UnsupportedFeatureError("empty pipeline")
+    source = nodes[0]
+    if not isinstance(source.transform, (KafkaRead, Create)):
+        raise UnsupportedFeatureError(
+            f"{runner_name}: pipeline must start with KafkaIO.Read or Create, "
+            f"got {type(source.transform).__name__}"
+        )
+    pardos: list["AppliedPTransform"] = []
+    write: "AppliedPTransform | None" = None
+    previous = source
+    for node in nodes[1:]:
+        if node.inputs != [previous.output]:
+            raise UnsupportedFeatureError(
+                f"{runner_name}: only linear pipelines are supported; "
+                f"{node.full_label} does not consume the previous output"
+            )
+        if isinstance(node.transform, KafkaWrite):
+            write = node
+            previous = node
+            continue
+        if write is not None:
+            raise UnsupportedFeatureError(
+                f"{runner_name}: no transforms allowed after KafkaIO.Write"
+            )
+        if not isinstance(node.transform, (ParDo, GroupByKey)):
+            raise UnsupportedFeatureError(
+                f"{runner_name} supports linear ParDo/GroupByKey pipelines; "
+                f"{type(node.transform).__name__} ({node.full_label}) requires "
+                "the DirectRunner"
+            )
+        if isinstance(node.transform, ParDo) and node.transform.side_inputs:
+            raise UnsupportedFeatureError(
+                f"{runner_name}: side inputs ({node.full_label}) require the "
+                "DirectRunner in this reproduction"
+            )
+        pardos.append(node)
+        previous = node
+    return LinearBeamPipeline(source=source, pardos=pardos, write=write)

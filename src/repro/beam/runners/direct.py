@@ -1,0 +1,138 @@
+"""The DirectRunner: in-process execution of the full Beam model.
+
+Supports every transform of this SDK — including GroupByKey with
+windowing, Flatten and stateful DoFns — at zero simulated cost (apart from
+broker writes).  It is the semantics oracle: tests compare engine-runner
+outputs against DirectRunner outputs.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import TYPE_CHECKING, Any
+
+from repro.beam.errors import BeamError
+from repro.beam.io.kafka import KafkaRead, KafkaRecord, KafkaWrite
+from repro.beam.pvalue import PCollection
+from repro.beam.runners.base import PipelineResult, PipelineRunner, PipelineState
+from repro.beam.transforms.core import (
+    Create,
+    Flatten,
+    GroupByKey,
+    Impulse,
+    ParDo,
+    WindowInto,
+)
+from repro.beam.window import MIN_TIMESTAMP, WindowedValue
+from repro.engines.common.io import KafkaWriter
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.beam.pipeline import Pipeline
+
+
+class DirectRunner(PipelineRunner):
+    """Executes the pipeline graph element by element, in process."""
+
+    name = "DirectRunner"
+
+    def run_pipeline(self, pipeline: "Pipeline") -> PipelineResult:
+        values: dict[int, list[WindowedValue]] = {}
+        outputs: dict[str, list[Any]] = {}
+
+        for node in pipeline.applied:
+            transform = node.transform
+            if isinstance(transform, (Create, Impulse, KafkaRead)):
+                produced = self._run_source(transform)
+            elif isinstance(transform, ParDo):
+                produced = self._run_pardo(
+                    transform, values[id(node.inputs[0])], values
+                )
+            elif isinstance(transform, WindowInto):
+                produced = [
+                    WindowedValue(
+                        wv.value, wv.timestamp, transform.window_fn.assign(wv.timestamp)
+                    )
+                    for wv in values[id(node.inputs[0])]
+                ]
+            elif isinstance(transform, GroupByKey):
+                produced = self._run_group_by_key(values[id(node.inputs[0])])
+            elif isinstance(transform, Flatten):
+                produced = []
+                for pc in node.inputs:
+                    produced.extend(values[id(pc)])
+            elif isinstance(transform, KafkaWrite):
+                produced = self._run_write(transform, values[id(node.inputs[0])])
+            else:
+                raise BeamError(
+                    f"DirectRunner cannot execute {type(transform).__name__}"
+                )
+            values[id(node.output)] = produced
+            outputs[node.full_label] = [wv.value for wv in produced]
+
+        return PipelineResult(
+            state=PipelineState.DONE, runner_name=self.name, outputs=outputs
+        )
+
+    # ------------------------------------------------------------------
+    def _run_source(self, transform: Create | Impulse | KafkaRead) -> list[WindowedValue]:
+        if isinstance(transform, Impulse):
+            return [WindowedValue(b"", MIN_TIMESTAMP)]
+        if isinstance(transform, Create):
+            timestamps = transform.timestamps or [MIN_TIMESTAMP] * len(transform.values)
+            return [
+                WindowedValue(value, ts)
+                for value, ts in zip(transform.values, timestamps)
+            ]
+        records = transform.read_records()
+        return [WindowedValue(record, record.timestamp) for record in records]
+
+    def _run_pardo(
+        self,
+        transform: ParDo,
+        elements: list[WindowedValue],
+        values: dict[int, list[WindowedValue]] | None = None,
+    ) -> list[WindowedValue]:
+        dofn = transform.dofn
+        if transform.side_inputs:
+            assert values is not None
+            dofn.side_inputs = {
+                name: view.view([wv.value for wv in values[id(view.pcollection)]])
+                for name, view in transform.side_inputs.items()
+            }
+        dofn.setup()
+        try:
+            produced: list[WindowedValue] = []
+            for wv in elements:
+                results = dofn.process(wv.value)
+                if results is None:
+                    continue
+                for result in results:
+                    produced.append(wv.with_value(result))
+            return produced
+        finally:
+            dofn.teardown()
+
+    def _run_group_by_key(self, elements: list[WindowedValue]) -> list[WindowedValue]:
+        groups: dict[tuple[Any, Any], list[WindowedValue]] = defaultdict(list)
+        for wv in elements:
+            value = wv.value
+            if not (isinstance(value, tuple) and len(value) == 2):
+                raise BeamError(
+                    f"GroupByKey expects (key, value) pairs, got {value!r}"
+                )
+            groups[(value[0], wv.window)].append(wv)
+        produced: list[WindowedValue] = []
+        for (key, window), group in groups.items():
+            timestamp = max(wv.timestamp for wv in group)
+            produced.append(
+                WindowedValue((key, [wv.value[1] for wv in group]), timestamp, window)
+            )
+        return produced
+
+    def _run_write(
+        self, transform: KafkaWrite, elements: list[WindowedValue]
+    ) -> list[WindowedValue]:
+        writer = KafkaWriter(transform.cluster, transform.topic)
+        writer.write_chunk([wv.value[1] for wv in elements])
+        writer.close()
+        return elements

@@ -1,0 +1,41 @@
+"""Beam transforms."""
+
+from repro.beam.transforms.core import (
+    Create,
+    DoFn,
+    Filter,
+    FlatMap,
+    Flatten,
+    GroupByKey,
+    Impulse,
+    Keys,
+    KvSwap,
+    Map,
+    ParDo,
+    PTransform,
+    Values,
+    WindowInto,
+    WithKeys,
+)
+from repro.beam.transforms.combiners import CombinePerKey, Count, MeanPerKey
+
+__all__ = [
+    "PTransform",
+    "DoFn",
+    "ParDo",
+    "Map",
+    "FlatMap",
+    "Filter",
+    "Create",
+    "Impulse",
+    "GroupByKey",
+    "Flatten",
+    "WindowInto",
+    "Values",
+    "Keys",
+    "KvSwap",
+    "WithKeys",
+    "CombinePerKey",
+    "Count",
+    "MeanPerKey",
+]

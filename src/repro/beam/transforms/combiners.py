@@ -1,0 +1,86 @@
+"""Combining transforms built on GroupByKey."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable
+
+from repro.beam.pvalue import PCollection, PValue
+from repro.beam.transforms.core import GroupByKey, Map, PTransform
+
+
+class CombinePerKey(PTransform):
+    """Group per key, then combine the grouped values with ``combine_fn``.
+
+    A composite of :class:`GroupByKey` and a Map — expansion registers the
+    primitives, exactly how Beam composites work.
+    """
+
+    def __init__(
+        self,
+        combine_fn: Callable[[Iterable[Any]], Any],
+        label: str | None = None,
+    ) -> None:
+        super().__init__(label or f"CombinePerKey({getattr(combine_fn, '__name__', 'fn')})")
+        self.combine_fn = combine_fn
+
+    def expand(self, input_value: PValue) -> PCollection:
+        combine = self.combine_fn
+        return (
+            input_value
+            | f"{self.label}/GroupByKey" >> GroupByKey()
+            | f"{self.label}/Combine"
+            >> Map(lambda kv: (kv[0], combine(kv[1])), cost_weight=1.2)
+        )
+
+
+class Count:
+    """Counting combiners (mirrors ``beam.combiners.Count``)."""
+
+    @staticmethod
+    def per_key(label: str = "Count.PerKey") -> CombinePerKey:
+        """Count occurrences per key."""
+        return CombinePerKey(_count_values, label=label)
+
+    @staticmethod
+    def per_element(label: str = "Count.PerElement") -> PTransform:
+        """Count occurrences of each distinct element."""
+        return _CountPerElement(label)
+
+
+class _CountPerElement(PTransform):
+    def expand(self, input_value: PValue) -> PCollection:
+        return (
+            input_value
+            | f"{self.label}/PairWithOne" >> Map(lambda v: (v, 1), cost_weight=0.3)
+            | f"{self.label}/CountPerKey" >> Count.per_key(f"{self.label}/Count")
+        )
+
+
+class MeanPerKey(PTransform):
+    """Arithmetic mean of the values per key."""
+
+    def __init__(self, label: str | None = None) -> None:
+        super().__init__(label or "MeanPerKey")
+
+    def expand(self, input_value: PValue) -> PCollection:
+        return (
+            input_value
+            | f"{self.label}/GroupByKey" >> GroupByKey()
+            | f"{self.label}/Mean"
+            >> Map(lambda kv: (kv[0], _mean(kv[1])), cost_weight=1.2)
+        )
+
+
+def _count_values(values: Iterable[Any]) -> int:
+    return sum(1 for _ in values)
+
+
+def _mean(values: Iterable[Any]) -> float:
+    total = 0.0
+    count = 0
+    for value in values:
+        total += value
+        count += 1
+    if count == 0:
+        raise ValueError("mean of empty group")
+    return total / count

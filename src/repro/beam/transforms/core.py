@@ -1,0 +1,292 @@
+"""Core Beam transforms: PTransform, DoFn, ParDo and friends.
+
+The structure follows the real SDK (paper Section II-A): ``ParDo`` is the
+element-wise primitive; ``Map``/``FlatMap``/``Filter`` are thin composites
+over it; ``GroupByKey`` aggregates per key (requiring non-global windowing
+or a trigger on unbounded inputs); ``Flatten`` merges PCollections.
+"""
+
+from __future__ import annotations
+
+import inspect
+from typing import Any, Callable, Iterable, Sequence
+
+from repro.beam.errors import BeamError, WindowingError
+from repro.beam.pvalue import AsSideInput, PBegin, PCollection, PCollectionList, PValue
+from repro.beam.window import Trigger, WindowFn, WindowingStrategy
+
+
+class PTransform:
+    """A data transformation: consumes PValues, produces PValues.
+
+    Subclasses implement :meth:`expand`.  ``"Label" >> transform`` attaches
+    a custom label, as in the Beam SDK.
+    """
+
+    def __init__(self, label: str | None = None) -> None:
+        self.label = label or type(self).__name__
+
+    def expand(self, input_value: PValue) -> PValue:
+        """Apply this transform to ``input_value``."""
+        raise NotImplementedError
+
+    def __rrshift__(self, label: str) -> "PTransform":
+        """Support ``"Label" >> transform``."""
+        self.label = label
+        return self
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.label!r})"
+
+
+class DoFn:
+    """Per-element processing logic for ParDo.
+
+    Subclasses implement :meth:`process`, returning an iterable of outputs
+    (or ``None`` for no output).  ``cost_weight`` and
+    ``rng_draws_per_record`` describe the function's computational profile
+    to engine cost models; ``stateful`` marks DoFns that keep per-key state
+    — which the Spark runner rejects, as in the paper.
+
+    When the ParDo was given side inputs, their materialised views are
+    available as ``self.side_inputs[name]`` from :meth:`setup` onwards.
+    """
+
+    cost_weight: float = 1.0
+    rng_draws_per_record: float = 0.0
+    stateful: bool = False
+    #: Materialised side-input views, assigned per instance by the runner
+    #: before :meth:`setup`; this class-level default stays empty.
+    side_inputs: dict[str, Any] = {}
+
+    def setup(self) -> None:
+        """Called once before processing (per instance)."""
+
+    def process(self, element: Any) -> Iterable[Any] | None:
+        """Produce zero or more outputs for ``element``."""
+        raise NotImplementedError
+
+    def teardown(self) -> None:
+        """Called once after processing."""
+
+    def default_label(self) -> str:
+        """Label used when the ParDo has none."""
+        return type(self).__name__
+
+
+class _CallableWrapperDoFn(DoFn):
+    """Wraps a plain callable as a DoFn (used by Map/FlatMap/Filter)."""
+
+    def __init__(
+        self,
+        fn: Callable[[Any], Any],
+        mode: str,
+        cost_weight: float = 1.0,
+        rng_draws_per_record: float = 0.0,
+    ) -> None:
+        if mode not in ("map", "flat_map", "filter"):
+            raise ValueError(f"unknown wrapper mode: {mode}")
+        self._fn = fn
+        self._mode = mode
+        self.cost_weight = cost_weight
+        self.rng_draws_per_record = rng_draws_per_record
+
+    def process(self, element: Any) -> Iterable[Any]:
+        if self._mode == "map":
+            return (self._fn(element),)
+        if self._mode == "filter":
+            return (element,) if self._fn(element) else ()
+        return self._fn(element)
+
+    def default_label(self) -> str:
+        name = getattr(self._fn, "__name__", "<callable>")
+        return f"{self._mode}({name})"
+
+
+class ParDo(PTransform):
+    """The element-by-element processing primitive (paper II-A).
+
+    ``side_inputs`` maps names to side-input views
+    (:class:`repro.beam.pvalue.AsList` / ``AsDict`` / ``AsSingleton``); the
+    runner materialises each view and exposes it as
+    ``dofn.side_inputs[name]``.
+    """
+
+    def __init__(
+        self,
+        dofn: DoFn,
+        label: str | None = None,
+        side_inputs: dict[str, "AsSideInput"] | None = None,
+    ) -> None:
+        if not isinstance(dofn, DoFn):
+            raise TypeError(f"ParDo requires a DoFn, got {type(dofn).__name__}")
+        super().__init__(label or f"ParDo({dofn.default_label()})")
+        self.dofn = dofn
+        self.side_inputs = dict(side_inputs or {})
+        for name, view in self.side_inputs.items():
+            if not isinstance(view, AsSideInput):
+                raise TypeError(
+                    f"side input {name!r} must be an AsSideInput view, "
+                    f"got {type(view).__name__}"
+                )
+
+    def expand(self, input_value: PValue) -> PCollection:
+        if not isinstance(input_value, PCollection):
+            raise BeamError(f"{self.label} must be applied to a PCollection")
+        return PCollection(
+            input_value.pipeline,
+            is_bounded=input_value.is_bounded,
+            windowing=input_value.windowing,
+        )
+
+
+def Map(
+    fn: Callable[[Any], Any],
+    label: str | None = None,
+    cost_weight: float = 1.0,
+    rng_draws_per_record: float = 0.0,
+) -> ParDo:
+    """1:1 element transform (a ParDo composite, as in the SDK)."""
+    dofn = _CallableWrapperDoFn(fn, "map", cost_weight, rng_draws_per_record)
+    return ParDo(dofn, label or f"Map({getattr(fn, '__name__', '<callable>')})")
+
+
+def FlatMap(
+    fn: Callable[[Any], Iterable[Any]],
+    label: str | None = None,
+    cost_weight: float = 1.0,
+    rng_draws_per_record: float = 0.0,
+) -> ParDo:
+    """1:N element transform."""
+    dofn = _CallableWrapperDoFn(fn, "flat_map", cost_weight, rng_draws_per_record)
+    return ParDo(dofn, label or f"FlatMap({getattr(fn, '__name__', '<callable>')})")
+
+
+def Filter(
+    fn: Callable[[Any], bool],
+    label: str | None = None,
+    cost_weight: float = 1.0,
+    rng_draws_per_record: float = 0.0,
+) -> ParDo:
+    """Keep elements for which ``fn`` is true."""
+    dofn = _CallableWrapperDoFn(fn, "filter", cost_weight, rng_draws_per_record)
+    return ParDo(dofn, label or f"Filter({getattr(fn, '__name__', '<callable>')})")
+
+
+def Values(label: str = "Values") -> ParDo:
+    """Extract the value of each KV pair (``Values.create()`` in the SDK)."""
+    return Map(lambda kv: kv[1], label=label, cost_weight=0.2)
+
+
+def Keys(label: str = "Keys") -> ParDo:
+    """Extract the key of each KV pair."""
+    return Map(lambda kv: kv[0], label=label, cost_weight=0.2)
+
+
+def KvSwap(label: str = "KvSwap") -> ParDo:
+    """Swap key and value of each pair."""
+    return Map(lambda kv: (kv[1], kv[0]), label=label, cost_weight=0.2)
+
+
+def WithKeys(key_fn: Callable[[Any], Any], label: str = "WithKeys") -> ParDo:
+    """Pair each element with ``key_fn(element)`` as its key."""
+    return Map(lambda v: (key_fn(v), v), label=label, cost_weight=0.3)
+
+
+class Impulse(PTransform):
+    """A single-element root PCollection (the SDK's bootstrap primitive)."""
+
+    def expand(self, input_value: PValue) -> PCollection:
+        if not isinstance(input_value, PBegin):
+            raise BeamError("Impulse must be applied to the pipeline root")
+        return PCollection(input_value.pipeline, is_bounded=True)
+
+
+class Create(PTransform):
+    """A root PCollection from an in-memory collection."""
+
+    def __init__(
+        self,
+        values: Sequence[Any],
+        label: str | None = None,
+        timestamps: Sequence[float] | None = None,
+    ) -> None:
+        super().__init__(label or "Create")
+        self.values = list(values)
+        if timestamps is not None and len(timestamps) != len(self.values):
+            raise ValueError("timestamps must match values in length")
+        self.timestamps = list(timestamps) if timestamps is not None else None
+
+    def expand(self, input_value: PValue) -> PCollection:
+        if not isinstance(input_value, PBegin):
+            raise BeamError("Create must be applied to the pipeline root")
+        return PCollection(input_value.pipeline, is_bounded=True)
+
+
+class WindowInto(PTransform):
+    """Re-window a PCollection (and/or set its trigger)."""
+
+    def __init__(
+        self,
+        window_fn: WindowFn,
+        trigger: Trigger | None = None,
+        label: str | None = None,
+    ) -> None:
+        super().__init__(label or f"WindowInto({type(window_fn).__name__})")
+        self.window_fn = window_fn
+        self.trigger = trigger
+
+    def expand(self, input_value: PValue) -> PCollection:
+        if not isinstance(input_value, PCollection):
+            raise BeamError(f"{self.label} must be applied to a PCollection")
+        return PCollection(
+            input_value.pipeline,
+            is_bounded=input_value.is_bounded,
+            windowing=WindowingStrategy(self.window_fn, self.trigger),
+        )
+
+
+class GroupByKey(PTransform):
+    """Collect all values per key (and window).
+
+    Output elements are ``(key, [values...])``.  Applying GroupByKey to an
+    *unbounded* PCollection in the global window without a trigger raises
+    :class:`WindowingError` — the Beam model rule quoted in the paper.
+    """
+
+    def __init__(self, label: str | None = None) -> None:
+        super().__init__(label or "GroupByKey")
+
+    def expand(self, input_value: PValue) -> PCollection:
+        if not isinstance(input_value, PCollection):
+            raise BeamError("GroupByKey must be applied to a PCollection")
+        if not input_value.is_bounded and not input_value.windowing.allows_unbounded_grouping:
+            raise WindowingError(
+                "GroupByKey on an unbounded PCollection requires non-global "
+                "windowing or an aggregation trigger (Beam model)"
+            )
+        return PCollection(
+            input_value.pipeline,
+            is_bounded=input_value.is_bounded,
+            windowing=input_value.windowing,
+        )
+
+
+class Flatten(PTransform):
+    """Merge same-typed PCollections into one (paper II-A)."""
+
+    def __init__(self, label: str | None = None) -> None:
+        super().__init__(label or "Flatten")
+
+    def expand(self, input_value: PValue) -> PCollection:
+        if not isinstance(input_value, PCollectionList):
+            raise BeamError("Flatten must be applied to a PCollectionList")
+        bounded = all(pc.is_bounded for pc in input_value)
+        return PCollection(input_value.pipeline, is_bounded=bounded)
+
+
+def label_of(fn: Callable[..., Any]) -> str:
+    """Best-effort label for a callable (lambdas become ``<lambda>``)."""
+    if inspect.isfunction(fn) or inspect.ismethod(fn):
+        return fn.__name__
+    return type(fn).__name__

@@ -1,0 +1,146 @@
+"""Windowing and triggers (Beam model, paper Section II-A).
+
+For use with data streams, GroupByKey requires either non-global windowing
+or an aggregation trigger so the grouping applies to a finite slice of the
+stream — the rule the paper quotes.  This module provides the window
+functions and triggers that satisfy it, used by the DirectRunner's grouping
+implementation and validated at pipeline construction time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+#: Timestamp assigned to elements with no natural event time.
+MIN_TIMESTAMP = float("-inf")
+#: End-of-time bound of the global window.
+MAX_TIMESTAMP = float("inf")
+
+
+@dataclass(frozen=True, order=True)
+class IntervalWindow:
+    """A half-open event-time interval ``[start, end)``."""
+
+    start: float
+    end: float
+
+    def __post_init__(self) -> None:
+        if not self.end > self.start:
+            raise ValueError(f"window end must exceed start: [{self.start}, {self.end})")
+
+
+class GlobalWindow(IntervalWindow):
+    """The single window covering all of time."""
+
+    def __init__(self) -> None:
+        super().__init__(MIN_TIMESTAMP, MAX_TIMESTAMP)
+
+
+GLOBAL_WINDOW = GlobalWindow()
+
+
+class WindowFn:
+    """Assigns each element (by timestamp) to one window."""
+
+    #: Whether this is the degenerate single-window strategy.
+    is_global = False
+
+    def assign(self, timestamp: float) -> IntervalWindow:
+        """The window containing ``timestamp``."""
+        raise NotImplementedError
+
+
+class GlobalWindows(WindowFn):
+    """Everything lands in the one global window (the default)."""
+
+    is_global = True
+
+    def assign(self, timestamp: float) -> IntervalWindow:
+        return GLOBAL_WINDOW
+
+
+class FixedWindows(WindowFn):
+    """Tumbling windows of fixed ``size`` seconds (optionally offset)."""
+
+    def __init__(self, size: float, offset: float = 0.0) -> None:
+        if size <= 0:
+            raise ValueError(f"window size must be > 0, got {size}")
+        self.size = size
+        self.offset = offset % size
+
+    def assign(self, timestamp: float) -> IntervalWindow:
+        start = ((timestamp - self.offset) // self.size) * self.size + self.offset
+        return IntervalWindow(start, start + self.size)
+
+
+class SlidingWindows(WindowFn):
+    """Sliding windows; assignment returns the *newest* containing window.
+
+    (Full multi-window assignment is not needed by the benchmark; tests
+    cover the single-assignment semantics documented here.)
+    """
+
+    def __init__(self, size: float, period: float) -> None:
+        if size <= 0 or period <= 0:
+            raise ValueError("size and period must be > 0")
+        if period > size:
+            raise ValueError("period must not exceed size")
+        self.size = size
+        self.period = period
+
+    def assign(self, timestamp: float) -> IntervalWindow:
+        start = (timestamp // self.period) * self.period
+        return IntervalWindow(start, start + self.size)
+
+
+class Trigger:
+    """Base class for aggregation triggers."""
+
+
+@dataclass(frozen=True)
+class AfterCount(Trigger):
+    """Fire after every ``count`` elements per key (processing driven)."""
+
+    count: int
+
+    def __post_init__(self) -> None:
+        if self.count < 1:
+            raise ValueError(f"count must be >= 1, got {self.count}")
+
+
+@dataclass(frozen=True)
+class AfterWatermark(Trigger):
+    """Fire when the watermark passes the end of the window (the default)."""
+
+
+@dataclass(frozen=True)
+class WindowingStrategy:
+    """A PCollection's windowing: window function plus optional trigger."""
+
+    window_fn: WindowFn
+    trigger: Trigger | None = None
+
+    @property
+    def allows_unbounded_grouping(self) -> bool:
+        """Whether GroupByKey is legal on an *unbounded* input.
+
+        Requires non-global windowing or an explicit trigger (paper II-A).
+        """
+        return not self.window_fn.is_global or self.trigger is not None
+
+
+DEFAULT_WINDOWING = WindowingStrategy(GlobalWindows())
+
+
+@dataclass(frozen=True)
+class WindowedValue:
+    """An element with its event timestamp and assigned window."""
+
+    value: Any
+    timestamp: float = MIN_TIMESTAMP
+    window: IntervalWindow = GLOBAL_WINDOW
+
+    def with_value(self, value: Any) -> "WindowedValue":
+        """Same position, new payload."""
+        return WindowedValue(value, self.timestamp, self.window)

@@ -1,0 +1,40 @@
+"""The paper's benchmark architecture (Section III, Figure 5).
+
+Three consecutive phases:
+
+1. **Data ingestion** — a :class:`DataSender` pushes the workload into a
+   single-partition broker topic (ordering guarantee);
+2. **Program execution** — every (system × query × SDK × parallelism)
+   combination runs ten times on a freshly restarted engine;
+3. **Result calculation** — a :class:`ResultCalculator` derives execution
+   times from broker LogAppendTime timestamps, keeping the measurement
+   application- and system-independent.
+
+:class:`StreamBenchHarness` drives the whole matrix and
+:mod:`repro.benchmark.reporting` renders every table and figure of the
+paper's evaluation from the results.
+"""
+
+from repro.benchmark.config import BenchmarkConfig
+from repro.benchmark.harness import BenchmarkReport, RunRecord, StreamBenchHarness
+from repro.benchmark.predictor import Prediction, QueryProfile, SlowdownPredictor
+from repro.benchmark.queries import QUERIES, QuerySpec, get_query, stateless_queries
+from repro.benchmark.result_calculator import ExecutionMeasurement, ResultCalculator
+from repro.benchmark.sender import DataSender
+
+__all__ = [
+    "BenchmarkConfig",
+    "StreamBenchHarness",
+    "BenchmarkReport",
+    "RunRecord",
+    "QUERIES",
+    "QuerySpec",
+    "get_query",
+    "stateless_queries",
+    "DataSender",
+    "ResultCalculator",
+    "ExecutionMeasurement",
+    "SlowdownPredictor",
+    "QueryProfile",
+    "Prediction",
+]

@@ -1,0 +1,307 @@
+"""Analytic prediction of execution times and slowdown factors.
+
+The paper's future work: *"In the best case, it is possible to identify
+factors that influence the performance penalty applications suffer from and
+make them predictable."*  This module does exactly that.  Given a query
+profile — input size, selectivity, compute weight, RNG usage — it predicts
+the noise-free execution time of every (system, SDK) combination **without
+running any records**, by compiling the very same programs the harness
+executes (through the engines' stage builders and the runners' translate
+methods) and evaluating the stage cost models over record *counts*.
+
+Because prediction and execution share one compilation path, a correct
+prediction is a strong consistency statement: the measured slowdown factors
+are fully explained by the declared cost factors.  Tests assert analytic
+and executed base durations agree to floating-point precision.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import repro.beam as beam
+from repro.beam.runners import ApexRunner, FlinkRunner, SparkRunner
+from repro.benchmark.queries import QuerySpec
+from repro.dataflow.functions import StreamFunction
+from repro.engines.apex.config import ApexCostModel
+from repro.engines.apex.dag import DAG
+from repro.engines.apex.launcher import build_stages as apex_build_stages
+from repro.engines.apex.operators import (
+    CollectionInputOperator,
+    CollectOutputOperator,
+    FunctionOperator,
+)
+from repro.engines.common.stages import PhysicalStage, StageKind
+from repro.engines.common.translate import linearize
+from repro.engines.flink.cluster import FlinkCluster
+from repro.engines.flink.config import FlinkCostModel
+from repro.engines.flink.datastream import StreamExecutionEnvironment
+from repro.engines.flink.executor import build_stages as flink_build_stages
+from repro.engines.flink.functions import CollectSink, FromCollectionSource
+from repro.engines.spark.cluster import SparkCluster
+from repro.engines.spark.config import SparkConf, SparkCostModel
+from repro.engines.spark.context import SparkContext
+from repro.engines.spark.streaming import StreamingContext
+from repro.simtime import Simulator
+from repro.yarn import YarnCluster
+
+
+@dataclass(frozen=True)
+class QueryProfile:
+    """What the predictor needs to know about a query.
+
+    ``selectivity`` is outputs per input (identity/projection 1.0, sample
+    0.4, grep ≈ 0.003); ``cost_weight``/``rng_draws`` mirror the
+    StreamFunction attributes; ``has_operator`` is False only for identity.
+    """
+
+    name: str
+    selectivity: float
+    cost_weight: float = 0.0
+    rng_draws: float = 0.0
+    has_operator: bool = True
+
+    @classmethod
+    def of(cls, spec: QuerySpec) -> "QueryProfile":
+        """Derive a profile from a benchmark QuerySpec."""
+        import random
+
+        function = spec.make_function(random.Random(0))
+        if function is None:
+            return cls(spec.name, selectivity=1.0, has_operator=False)
+        return cls(
+            spec.name,
+            selectivity=spec.output_ratio,
+            cost_weight=function.cost_weight,
+            rng_draws=function.rng_draws_per_record,
+        )
+
+
+@dataclass
+class Prediction:
+    """A predicted noise-free execution time with its breakdown."""
+
+    seconds: float
+    per_stage: dict[str, float] = field(default_factory=dict)
+
+
+class _ProfileFunction(StreamFunction):
+    """A stand-in operator carrying the profile's cost attributes.
+
+    Never processes a record — the predictor only compiles, never runs.
+    """
+
+    def __init__(self, profile: QueryProfile) -> None:
+        self.name = profile.name
+        self.cost_weight = profile.cost_weight
+        self.rng_draws_per_record = profile.rng_draws
+        self._selectivity = profile.selectivity
+
+    def process(self, value):  # pragma: no cover - predictor never runs this
+        raise AssertionError("profile functions are compile-only")
+
+
+class SlowdownPredictor:
+    """Predicts execution times and slowdown factors analytically."""
+
+    def __init__(
+        self,
+        flink_model: FlinkCostModel | None = None,
+        spark_model: SparkCostModel | None = None,
+        apex_model: ApexCostModel | None = None,
+        records_per_batch: int | None = None,
+    ) -> None:
+        self.flink_model = flink_model or FlinkCostModel()
+        self.spark_model = spark_model or SparkCostModel()
+        self.apex_model = apex_model or ApexCostModel()
+        self.records_per_batch = records_per_batch
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def predict(
+        self,
+        system: str,
+        kind: str,
+        profile: QueryProfile,
+        records: int,
+        parallelism: int = 1,
+    ) -> Prediction:
+        """Predicted noise-free execution time of one setup."""
+        stages = self._compile(system, kind, profile, parallelism)
+        prediction = self._evaluate(stages, profile, records)
+        if system == "spark":
+            batch_records = self.records_per_batch or self.spark_model.records_per_batch
+            batches = -(-records // batch_records) if records else 0
+            overhead = self.spark_model.batch_overhead(parallelism)
+            if kind == "beam":
+                from repro.beam.runners.spark import SparkRunnerOverheads
+
+                overhead += SparkRunnerOverheads().extra_batch_overhead
+            prediction.per_stage["micro-batch scheduling"] = batches * overhead
+            prediction.seconds += batches * overhead
+        return prediction
+
+    def predict_slowdown(
+        self, system: str, profile: QueryProfile, records: int, parallelisms=(1, 2)
+    ) -> float:
+        """Predicted sf(dsps, query) — the paper's Figure 11, analytically."""
+        ratios = []
+        for parallelism in parallelisms:
+            with_beam = self.predict(system, "beam", profile, records, parallelism)
+            native = self.predict(system, "native", profile, records, parallelism)
+            ratios.append(with_beam.seconds / native.seconds)
+        return sum(ratios) / len(ratios)
+
+    # ------------------------------------------------------------------
+    # compilation: the same code paths the harness executes
+    # ------------------------------------------------------------------
+    def _compile(
+        self, system: str, kind: str, profile: QueryProfile, parallelism: int
+    ) -> list[PhysicalStage]:
+        if kind == "native":
+            return self._compile_native(system, profile, parallelism)
+        if kind == "beam":
+            return self._compile_beam(system, profile, parallelism)
+        raise ValueError(f"unknown kind: {kind!r}")
+
+    def _compile_native(
+        self, system: str, profile: QueryProfile, parallelism: int
+    ) -> list[PhysicalStage]:
+        simulator = Simulator(seed=0)
+        function = _ProfileFunction(profile) if profile.has_operator else None
+        if system == "flink":
+            cluster = FlinkCluster(simulator, cost_model=self.flink_model)
+            env = StreamExecutionEnvironment(cluster)
+            env.set_parallelism(parallelism)
+            stream = env.add_source(FromCollectionSource([]))
+            if function is not None:
+                stream = stream.transform_with(function)
+            stream.add_sink(CollectSink())
+            stages, _ = flink_build_stages(
+                cluster, linearize(env._graph), parallelism, profile.name
+            )
+            return stages
+        if system == "spark":
+            cluster = SparkCluster(simulator, cost_model=self.spark_model)
+            conf = SparkConf().set("spark.default.parallelism", str(parallelism))
+            sc = SparkContext(conf, cluster)
+            ssc = StreamingContext(sc, records_per_batch=self.records_per_batch)
+            stream = ssc.queue_stream([])
+            if function is not None:
+                stream = stream.transform_with(function)
+            stream.collect_into([])
+            stages, _ = ssc._build_stages(profile.name)
+            return stages
+        if system == "apex":
+            dag = DAG(profile.name)
+            dag.set_attribute("VCORES_PER_OPERATOR", parallelism)
+            source = dag.add_operator("in", CollectionInputOperator([]))
+            port = source.output
+            if function is not None:
+                operator = dag.add_operator("q", FunctionOperator(function))
+                dag.add_stream("s", port, operator.input)
+                port = operator.output
+            sink = dag.add_operator("out", CollectOutputOperator())
+            dag.add_stream("o", port, sink.input)
+            stages, _ = apex_build_stages(dag, self.apex_model, parallelism)
+            return stages
+        raise ValueError(f"unknown system: {system!r}")
+
+    def _compile_beam(
+        self, system: str, profile: QueryProfile, parallelism: int
+    ) -> list[PhysicalStage]:
+        from repro.beam.io import kafka as beam_kafka
+        from repro.broker import AdminClient, BrokerCluster
+
+        # A throwaway world with empty topics: the pipeline below is
+        # structurally identical to the harness's benchmark pipeline, so
+        # the runners translate it into exactly the stages they execute.
+        simulator = Simulator(seed=0)
+        broker = BrokerCluster(simulator)
+        admin = AdminClient(broker)
+        admin.create_topic("compile-in")
+        admin.create_topic("compile-out")
+        pipeline = beam.Pipeline()
+        pcoll = (
+            pipeline
+            | beam_kafka.read(broker, "compile-in").without_metadata()
+            | beam.Values()
+        )
+        if profile.has_operator:
+            pcoll = pcoll | beam.ParDo(_ProfileDoFn(profile), label=profile.name)
+        pcoll | beam_kafka.write(broker, "compile-out")
+
+        if system == "flink":
+            cluster = FlinkCluster(simulator, cost_model=self.flink_model)
+            runner = FlinkRunner(cluster, parallelism=parallelism)
+            env = runner.translate(pipeline)
+            return flink_build_stages(
+                cluster, linearize(env._graph), parallelism, profile.name
+            )[0]
+        if system == "spark":
+            cluster = SparkCluster(simulator, cost_model=self.spark_model)
+            runner = SparkRunner(
+                cluster,
+                parallelism=parallelism,
+                records_per_batch=self.records_per_batch,
+            )
+            sc, ssc = runner.translate(pipeline)
+            stages = ssc._build_stages(profile.name)[0]
+            sc.stop()
+            return stages
+        if system == "apex":
+            runner = ApexRunner(
+                YarnCluster(simulator),
+                parallelism=parallelism,
+                cost_model=self.apex_model,
+            )
+            dag = runner.translate(pipeline)
+            return apex_build_stages(dag, self.apex_model, parallelism)[0]
+        raise ValueError(f"unknown system: {system!r}")
+
+    # ------------------------------------------------------------------
+    # evaluation over counts
+    # ------------------------------------------------------------------
+    def _evaluate(
+        self, stages: list[PhysicalStage], profile: QueryProfile, records: int
+    ) -> Prediction:
+        outputs = round(records * profile.selectivity)
+        per_stage: dict[str, float] = {}
+        current = records
+        total = 0.0
+        for stage in stages:
+            n_in = current
+            if (
+                stage.kind is StageKind.OPERATOR
+                and stage.function is not None
+                and profile.name in stage.function.name
+            ):
+                n_out = outputs
+            else:
+                n_out = n_in
+            cost = stage.costs.charge(
+                records_in=n_in,
+                records_out=n_out,
+                cost_weight=stage.cost_weight,
+                rng_draws=stage.rng_draws,
+            )
+            per_stage[stage.name] = cost
+            total += cost
+            current = n_out
+        return Prediction(seconds=total, per_stage=per_stage)
+
+
+class _ProfileDoFn(beam.DoFn):
+    """Compile-only DoFn carrying the profile's cost attributes."""
+
+    def __init__(self, profile: QueryProfile) -> None:
+        self.cost_weight = profile.cost_weight
+        self.rng_draws_per_record = profile.rng_draws
+        self._name = profile.name
+
+    def process(self, element):  # pragma: no cover - compile-only
+        raise AssertionError("profile DoFns are compile-only")
+
+    def default_label(self) -> str:
+        return self._name

@@ -1,0 +1,71 @@
+"""The result calculator (benchmark phase 3, paper Figure 5).
+
+Execution time is derived purely from broker-side **LogAppendTime**
+timestamps: the difference between the first and the last record appended
+to the result topic.  The paper stresses why: definitions of performance
+metrics vary between systems, so system-reported numbers are not
+comparable, while the overhead between computing a result and having it
+appended to the broker log is identical for every system under test.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.broker import BrokerCluster
+from repro.broker.records import TimestampType
+
+
+@dataclass(frozen=True)
+class ExecutionMeasurement:
+    """Broker-derived measurement of one query execution."""
+
+    topic: str
+    records: int
+    first_timestamp: float | None
+    last_timestamp: float | None
+
+    @property
+    def execution_time(self) -> float:
+        """Seconds between the first and last result append.
+
+        Zero for empty or single-record outputs.
+        """
+        if self.first_timestamp is None or self.last_timestamp is None:
+            return 0.0
+        return self.last_timestamp - self.first_timestamp
+
+
+class ResultCalculator:
+    """Reads a result topic and computes the execution time."""
+
+    def __init__(self, cluster: BrokerCluster) -> None:
+        self.cluster = cluster
+
+    def measure(self, topic: str) -> ExecutionMeasurement:
+        """Measure the execution recorded in ``topic``.
+
+        Requires the topic to use LogAppendTime — with producer-assigned
+        timestamps the measurement would no longer be system-independent,
+        so this raises ``ValueError`` instead of silently measuring wrong.
+        """
+        topic_obj = self.cluster.topic(topic)
+        if topic_obj.config.timestamp_type is not TimestampType.LOG_APPEND_TIME:
+            raise ValueError(
+                f"topic {topic!r} does not use LogAppendTime; execution "
+                "times would not be comparable across systems"
+            )
+        first: float | None = None
+        last: float | None = None
+        total = 0
+        for partition in topic_obj.partitions:
+            total += len(partition)
+            p_first = partition.first_timestamp()
+            p_last = partition.last_timestamp()
+            if p_first is not None and (first is None or p_first < first):
+                first = p_first
+            if p_last is not None and (last is None or p_last > last):
+                last = p_last
+        return ExecutionMeasurement(
+            topic=topic, records=total, first_timestamp=first, last_timestamp=last
+        )

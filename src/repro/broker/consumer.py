@@ -1,0 +1,224 @@
+"""The consumer: offset-tracked fetching, seeks, and consumer groups."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.broker.broker import BrokerCluster
+from repro.broker.errors import ConsumerClosedError, UnknownTopicError
+from repro.broker.records import ConsumerRecord
+
+
+@dataclass(frozen=True, order=True)
+class TopicPartition:
+    """A (topic, partition) pair, the unit of consumer assignment."""
+
+    topic: str
+    partition: int
+
+
+class ConsumerGroupCoordinator:
+    """Assigns the partitions of subscribed topics across group members.
+
+    Implements range assignment (Kafka's default): partitions of each topic
+    are split into contiguous ranges, one per member, with earlier members
+    receiving the remainder.  Rebalancing happens eagerly whenever a member
+    joins or leaves.
+    """
+
+    def __init__(self, group_id: str) -> None:
+        self.group_id = group_id
+        self._members: dict[int, "Consumer"] = {}
+        self._next_member_id = 0
+        self.committed: dict[TopicPartition, int] = {}
+
+    def join(self, consumer: "Consumer") -> int:
+        """Add a member and rebalance; returns the member id."""
+        member_id = self._next_member_id
+        self._next_member_id += 1
+        self._members[member_id] = consumer
+        self._rebalance()
+        return member_id
+
+    def leave(self, member_id: int) -> None:
+        """Remove a member and rebalance (idempotent)."""
+        if member_id in self._members:
+            del self._members[member_id]
+            self._rebalance()
+
+    def commit(self, assignments: dict[TopicPartition, int]) -> None:
+        """Store committed offsets for the group."""
+        self.committed.update(assignments)
+
+    def _rebalance(self) -> None:
+        if not self._members:
+            return
+        members = [self._members[mid] for mid in sorted(self._members)]
+        topics = sorted({t for m in members for t in m.subscription})
+        assignment: dict[int, list[TopicPartition]] = {
+            i: [] for i in range(len(members))
+        }
+        for topic_name in topics:
+            interested = [
+                i for i, m in enumerate(members) if topic_name in m.subscription
+            ]
+            if not interested:
+                continue
+            count = members[interested[0]].cluster.topic(topic_name).num_partitions
+            per_member, remainder = divmod(count, len(interested))
+            start = 0
+            for rank, member_index in enumerate(interested):
+                take = per_member + (1 if rank < remainder else 0)
+                for partition in range(start, start + take):
+                    assignment[member_index].append(
+                        TopicPartition(topic_name, partition)
+                    )
+                start += take
+        for index, member in enumerate(members):
+            member._set_assignment(assignment[index])
+
+
+class Consumer:
+    """Fetches records from broker partitions, tracking its position.
+
+    Supports both Kafka usage styles: ``subscribe`` (group-managed
+    assignment via :class:`ConsumerGroupCoordinator`) and ``assign``
+    (explicit partitions).  ``poll`` returns up to ``max_records`` records
+    across the assignment, round-robin over partitions, charging simulated
+    fetch costs.
+    """
+
+    def __init__(
+        self,
+        cluster: BrokerCluster,
+        group: ConsumerGroupCoordinator | None = None,
+    ) -> None:
+        self.cluster = cluster
+        self.subscription: set[str] = set()
+        self._group = group
+        self._member_id: int | None = None
+        self._assignment: list[TopicPartition] = []
+        self._positions: dict[TopicPartition, int] = {}
+        self._closed = False
+        self.records_fetched = 0
+
+    # ------------------------------------------------------------------
+    # assignment
+    # ------------------------------------------------------------------
+    def subscribe(self, topics: list[str] | set[str]) -> None:
+        """Subscribe to topics; requires a consumer group."""
+        self._ensure_open()
+        if self._group is None:
+            raise ValueError("subscribe() requires a consumer group; use assign()")
+        for name in topics:
+            if not self.cluster.has_topic(name):
+                raise UnknownTopicError(name)
+        self.subscription = set(topics)
+        if self._member_id is None:
+            self._member_id = self._group.join(self)
+        else:
+            self._group._rebalance()
+
+    def assign(self, partitions: list[TopicPartition]) -> None:
+        """Explicitly take ownership of ``partitions`` (no group)."""
+        self._ensure_open()
+        for tp in partitions:
+            self.cluster.topic(tp.topic).partition(tp.partition)  # existence check
+        self._set_assignment(list(partitions))
+
+    def assignment(self) -> list[TopicPartition]:
+        """The partitions currently assigned to this consumer."""
+        return list(self._assignment)
+
+    def _set_assignment(self, partitions: list[TopicPartition]) -> None:
+        self._assignment = sorted(partitions)
+        for tp in self._assignment:
+            if tp not in self._positions:
+                committed = (
+                    self._group.committed.get(tp) if self._group is not None else None
+                )
+                self._positions[tp] = committed if committed is not None else 0
+
+    # ------------------------------------------------------------------
+    # positions
+    # ------------------------------------------------------------------
+    def position(self, tp: TopicPartition) -> int:
+        """Next offset this consumer will fetch from ``tp``."""
+        self._check_assigned(tp)
+        return self._positions[tp]
+
+    def seek(self, tp: TopicPartition, offset: int) -> None:
+        """Move the fetch position of ``tp`` to ``offset``."""
+        self._check_assigned(tp)
+        if offset < 0:
+            raise ValueError(f"offset must be >= 0, got {offset}")
+        self._positions[tp] = offset
+
+    def seek_to_beginning(self) -> None:
+        """Rewind every assigned partition to offset 0."""
+        for tp in self._assignment:
+            self._positions[tp] = 0
+
+    def seek_to_end(self) -> None:
+        """Fast-forward every assigned partition to its log end."""
+        for tp in self._assignment:
+            log = self.cluster.topic(tp.topic).partition(tp.partition)
+            self._positions[tp] = log.end_offset
+
+    def commit(self) -> None:
+        """Commit current positions to the group coordinator."""
+        if self._group is not None:
+            self._group.commit({tp: self._positions[tp] for tp in self._assignment})
+
+    # ------------------------------------------------------------------
+    # fetching
+    # ------------------------------------------------------------------
+    def poll(self, max_records: int = 500) -> list[ConsumerRecord]:
+        """Fetch up to ``max_records`` available records, round-robin.
+
+        Returns an empty list when every assigned partition is fully
+        consumed (there is no blocking in simulated time).
+        """
+        self._ensure_open()
+        if max_records < 1:
+            raise ValueError(f"max_records must be >= 1, got {max_records}")
+        fetched: list[ConsumerRecord] = []
+        budget = max_records
+        for tp in self._assignment:
+            if budget <= 0:
+                break
+            log = self.cluster.topic(tp.topic).partition(tp.partition)
+            records = log.read(self._positions[tp], budget)
+            if records:
+                self._positions[tp] = records[-1].offset + 1
+                fetched.extend(records)
+                budget -= len(records)
+        costs = self.cluster.costs
+        self.cluster.simulator.charge(
+            costs.request_overhead + costs.fetch_per_record * len(fetched)
+        )
+        self.records_fetched += len(fetched)
+        return fetched
+
+    def close(self) -> None:
+        """Leave the group (if any) and mark the consumer closed."""
+        if self._closed:
+            return
+        if self._group is not None and self._member_id is not None:
+            self._group.leave(self._member_id)
+        self._closed = True
+
+    def __enter__(self) -> "Consumer":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def _check_assigned(self, tp: TopicPartition) -> None:
+        if tp not in self._positions:
+            raise ValueError(f"{tp} is not assigned to this consumer")
+
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise ConsumerClosedError("consumer is closed")

@@ -1,0 +1,60 @@
+"""Broker error hierarchy."""
+
+from __future__ import annotations
+
+
+class BrokerError(Exception):
+    """Base class for all broker-side errors."""
+
+
+class UnknownTopicError(BrokerError):
+    """A topic was referenced that does not exist."""
+
+    def __init__(self, topic: str) -> None:
+        super().__init__(f"unknown topic: {topic!r}")
+        self.topic = topic
+
+
+class TopicAlreadyExistsError(BrokerError):
+    """A topic was created twice."""
+
+    def __init__(self, topic: str) -> None:
+        super().__init__(f"topic already exists: {topic!r}")
+        self.topic = topic
+
+
+class PartitionOutOfRangeError(BrokerError):
+    """A partition index outside the topic's partition count was used."""
+
+    def __init__(self, topic: str, partition: int, count: int) -> None:
+        super().__init__(
+            f"partition {partition} out of range for topic {topic!r} "
+            f"with {count} partition(s)"
+        )
+        self.topic = topic
+        self.partition = partition
+        self.count = count
+
+
+class OffsetOutOfRangeError(BrokerError):
+    """A fetch requested an offset beyond the log end or before the start."""
+
+    def __init__(self, topic: str, partition: int, offset: int) -> None:
+        super().__init__(
+            f"offset {offset} out of range for {topic!r}-{partition}"
+        )
+        self.topic = topic
+        self.partition = partition
+        self.offset = offset
+
+
+class ReplicationError(BrokerError):
+    """The requested replication factor cannot be satisfied."""
+
+
+class ProducerClosedError(BrokerError):
+    """A send was attempted on a closed producer."""
+
+
+class ConsumerClosedError(BrokerError):
+    """A poll was attempted on a closed consumer."""

@@ -1,0 +1,148 @@
+"""The partition log: an append-only sequence of timestamped records."""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+from repro.broker.errors import OffsetOutOfRangeError
+from repro.broker.records import ConsumerRecord, TimestampType
+from repro.simtime import SimClock
+
+
+class PartitionLog:
+    """An append-only log for a single topic partition.
+
+    Records receive consecutive offsets starting at zero.  When the owning
+    topic is configured with ``LogAppendTime`` (the paper's setting), the
+    broker stamps each record with the simulated clock at append time,
+    ignoring any producer-provided timestamp; with ``CreateTime`` the
+    producer's timestamp is preserved.
+
+    Storage is column-oriented (parallel lists for values, keys and
+    timestamps) — the benchmark appends tens of millions of records, and
+    per-record objects would dominate memory and time.
+    """
+
+    def __init__(
+        self,
+        topic: str,
+        partition: int,
+        clock: SimClock,
+        timestamp_type: TimestampType = TimestampType.LOG_APPEND_TIME,
+    ) -> None:
+        self.topic = topic
+        self.partition = partition
+        self.timestamp_type = timestamp_type
+        self._clock = clock
+        self._values: list[Any] = []
+        self._keys: list[Any] = []
+        self._timestamps: list[float] = []
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    @property
+    def start_offset(self) -> int:
+        """Offset of the first retained record (always 0: no compaction)."""
+        return 0
+
+    @property
+    def end_offset(self) -> int:
+        """Offset that the *next* appended record will receive."""
+        return len(self._values)
+
+    def append(self, value: Any, key: Any = None, create_time: float | None = None) -> int:
+        """Append one record and return its offset.
+
+        The stored timestamp depends on the topic's timestamp type, exactly
+        as in Kafka: ``LogAppendTime`` stamps with the broker clock,
+        ``CreateTime`` keeps the producer timestamp (falling back to the
+        broker clock when the producer did not set one).
+        """
+        if self.timestamp_type is TimestampType.LOG_APPEND_TIME:
+            timestamp = self._clock.now()
+        else:
+            timestamp = create_time if create_time is not None else self._clock.now()
+        offset = len(self._values)
+        self._values.append(value)
+        self._keys.append(key)
+        self._timestamps.append(timestamp)
+        return offset
+
+    def append_batch(self, values: list[Any], keys: list[Any] | None = None) -> int:
+        """Append many records with the current LogAppendTime; returns the
+        first assigned offset.
+
+        Only valid for ``LogAppendTime`` topics (batch appends share one
+        broker arrival instant, as a Kafka produce request does).
+        """
+        if self.timestamp_type is not TimestampType.LOG_APPEND_TIME:
+            raise ValueError("append_batch requires LogAppendTime")
+        first = len(self._values)
+        now = self._clock.now()
+        self._values.extend(values)
+        if keys is None:
+            self._keys.extend([None] * len(values))
+        else:
+            if len(keys) != len(values):
+                raise ValueError("keys and values must have equal length")
+            self._keys.extend(keys)
+        self._timestamps.extend([now] * len(values))
+        return first
+
+    def read(self, offset: int, max_records: int | None = None) -> list[ConsumerRecord]:
+        """Return up to ``max_records`` records starting at ``offset``.
+
+        Reading at the log end returns an empty list (a consumer catching
+        up); reading beyond it raises :class:`OffsetOutOfRangeError`.
+        """
+        if offset < 0 or offset > self.end_offset:
+            raise OffsetOutOfRangeError(self.topic, self.partition, offset)
+        end = self.end_offset if max_records is None else min(
+            self.end_offset, offset + max_records
+        )
+        return [self._record(i) for i in range(offset, end)]
+
+    def read_values(self, offset: int, max_records: int | None = None) -> list[Any]:
+        """Like :meth:`read` but returns bare values (fast path)."""
+        if offset < 0 or offset > self.end_offset:
+            raise OffsetOutOfRangeError(self.topic, self.partition, offset)
+        if max_records is None:
+            return self._values[offset:]
+        return self._values[offset : offset + max_records]
+
+    def record_at(self, offset: int) -> ConsumerRecord:
+        """Return the single record at ``offset``."""
+        if offset < 0 or offset >= self.end_offset:
+            raise OffsetOutOfRangeError(self.topic, self.partition, offset)
+        return self._record(offset)
+
+    def first_timestamp(self) -> float | None:
+        """Timestamp of the first record, or ``None`` for an empty log."""
+        return self._timestamps[0] if self._timestamps else None
+
+    def last_timestamp(self) -> float | None:
+        """Timestamp of the last record, or ``None`` for an empty log."""
+        return self._timestamps[-1] if self._timestamps else None
+
+    def iter_all(self) -> Iterator[ConsumerRecord]:
+        """Iterate over every record in offset order."""
+        for index in range(len(self._values)):
+            yield self._record(index)
+
+    def truncate(self) -> None:
+        """Drop all records (used when a topic is deleted and recreated)."""
+        self._values.clear()
+        self._keys.clear()
+        self._timestamps.clear()
+
+    def _record(self, offset: int) -> ConsumerRecord:
+        return ConsumerRecord(
+            topic=self.topic,
+            partition=self.partition,
+            offset=offset,
+            timestamp=self._timestamps[offset],
+            timestamp_type=self.timestamp_type,
+            key=self._keys[offset],
+            value=self._values[offset],
+        )

@@ -1,0 +1,55 @@
+"""Record types exchanged with the broker."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any
+
+
+class TimestampType(enum.Enum):
+    """How the timestamp stored with a record was assigned.
+
+    The paper configures Kafka to use ``LogAppendTime`` so that execution
+    times can be derived purely from broker-side timestamps (Section
+    III-A-3).  ``CreateTime`` (producer-assigned) is also supported so tests
+    can demonstrate the difference.
+    """
+
+    CREATE_TIME = "CreateTime"
+    LOG_APPEND_TIME = "LogAppendTime"
+
+
+@dataclass(frozen=True)
+class ProducerRecord:
+    """A record as handed to a producer: destination plus key/value.
+
+    ``partition`` may be set to pin the record to a partition; otherwise the
+    producer's partitioner chooses one.  ``timestamp`` is the producer-side
+    create time; it is preserved only when the topic uses ``CreateTime``.
+    """
+
+    topic: str
+    value: Any
+    key: Any = None
+    partition: int | None = None
+    timestamp: float | None = None
+
+
+@dataclass(frozen=True)
+class ConsumerRecord:
+    """A record as returned from a fetch: position plus key/value/timestamp."""
+
+    topic: str
+    partition: int
+    offset: int
+    timestamp: float
+    timestamp_type: TimestampType
+    key: Any
+    value: Any
+
+    def __repr__(self) -> str:  # compact, logs are full of these
+        return (
+            f"ConsumerRecord({self.topic}-{self.partition}@{self.offset}, "
+            f"t={self.timestamp:.6f}, key={self.key!r}, value={self.value!r})"
+        )

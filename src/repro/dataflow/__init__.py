@@ -1,0 +1,44 @@
+"""Shared dataflow model used by all three engines and the Beam runners.
+
+Every engine in this reproduction — Flink-like, Spark-Streaming-like and
+Apex-like — ultimately executes a directed acyclic graph of operators over
+record streams.  This package holds the engine-neutral pieces:
+
+* :mod:`repro.dataflow.functions` — the per-record execution primitives
+  (map / flat-map / filter / keyed aggregation) that engine operators wrap;
+* :mod:`repro.dataflow.graph` — the logical operator graph (validated DAG);
+* :mod:`repro.dataflow.plan` — the execution plan representation and the
+  renderer used to reproduce the paper's Figures 12 and 13;
+* :mod:`repro.dataflow.metrics` — per-operator record counters.
+"""
+
+from repro.dataflow.functions import (
+    FilterFunction,
+    FlatMapFunction,
+    IdentityFunction,
+    MapFunction,
+    StreamFunction,
+    compose,
+)
+from repro.dataflow.graph import GraphError, LogicalGraph, LogicalOperator, OperatorKind
+from repro.dataflow.metrics import JobMetrics, OperatorMetrics
+from repro.dataflow.plan import ExecutionPlan, PlanEdge, PlanNode, ShipStrategy
+
+__all__ = [
+    "StreamFunction",
+    "MapFunction",
+    "FlatMapFunction",
+    "FilterFunction",
+    "IdentityFunction",
+    "compose",
+    "OperatorKind",
+    "LogicalOperator",
+    "LogicalGraph",
+    "GraphError",
+    "ExecutionPlan",
+    "PlanNode",
+    "PlanEdge",
+    "ShipStrategy",
+    "OperatorMetrics",
+    "JobMetrics",
+]

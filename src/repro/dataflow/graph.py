@@ -1,0 +1,150 @@
+"""The logical operator graph: a validated DAG of sources, operators, sinks."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any
+
+import networkx as nx
+
+from repro.dataflow.functions import StreamFunction
+
+
+class GraphError(Exception):
+    """Raised for structurally invalid logical graphs."""
+
+
+class OperatorKind(enum.Enum):
+    """Role of a node in the dataflow graph."""
+
+    SOURCE = "Data Source"
+    OPERATOR = "Operator"
+    SINK = "Data Sink"
+
+
+@dataclass
+class LogicalOperator:
+    """One node of the logical graph.
+
+    ``function`` carries the per-record behaviour for ``OPERATOR`` nodes;
+    sources and sinks carry engine-specific payloads in ``extra`` (for
+    example the Kafka topic they read or write).
+    """
+
+    name: str
+    kind: OperatorKind
+    function: StreamFunction | None = None
+    parallelism: int = 1
+    chainable: bool = True
+    extra: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.parallelism < 1:
+            raise GraphError(
+                f"operator {self.name!r}: parallelism must be >= 1, "
+                f"got {self.parallelism}"
+            )
+        if self.kind is OperatorKind.OPERATOR and self.function is None:
+            raise GraphError(f"operator {self.name!r} needs a function")
+
+
+class LogicalGraph:
+    """A DAG of :class:`LogicalOperator` nodes.
+
+    The graph is built by :meth:`add` and :meth:`connect` and checked by
+    :meth:`validate`: it must be acyclic, every operator reachable from a
+    source, and every non-sink must have a downstream consumer.  Engines
+    translate a validated logical graph into their own execution plan.
+    """
+
+    def __init__(self, name: str = "job") -> None:
+        self.name = name
+        self._graph = nx.DiGraph()
+        self._order: list[str] = []
+
+    def add(self, operator: LogicalOperator) -> LogicalOperator:
+        """Add a node; names must be unique within the graph."""
+        if operator.name in self._graph:
+            raise GraphError(f"duplicate operator name: {operator.name!r}")
+        self._graph.add_node(operator.name, op=operator)
+        self._order.append(operator.name)
+        return operator
+
+    def connect(self, upstream: str, downstream: str) -> None:
+        """Add an edge from ``upstream`` to ``downstream``."""
+        for name in (upstream, downstream):
+            if name not in self._graph:
+                raise GraphError(f"unknown operator: {name!r}")
+        if upstream == downstream:
+            raise GraphError(f"self-loop on {upstream!r}")
+        self._graph.add_edge(upstream, downstream)
+
+    def operator(self, name: str) -> LogicalOperator:
+        """Look up a node by name."""
+        try:
+            return self._graph.nodes[name]["op"]
+        except KeyError:
+            raise GraphError(f"unknown operator: {name!r}") from None
+
+    def operators(self) -> list[LogicalOperator]:
+        """All nodes in insertion order."""
+        return [self._graph.nodes[name]["op"] for name in self._order]
+
+    def sources(self) -> list[LogicalOperator]:
+        """All ``SOURCE`` nodes in insertion order."""
+        return [op for op in self.operators() if op.kind is OperatorKind.SOURCE]
+
+    def sinks(self) -> list[LogicalOperator]:
+        """All ``SINK`` nodes in insertion order."""
+        return [op for op in self.operators() if op.kind is OperatorKind.SINK]
+
+    def downstream(self, name: str) -> list[LogicalOperator]:
+        """Direct consumers of ``name``."""
+        return [self.operator(succ) for succ in self._graph.successors(name)]
+
+    def upstream(self, name: str) -> list[LogicalOperator]:
+        """Direct producers into ``name``."""
+        return [self.operator(pred) for pred in self._graph.predecessors(name)]
+
+    def topological(self) -> list[LogicalOperator]:
+        """Nodes in a deterministic topological order."""
+        self.validate()
+        order = nx.lexicographical_topological_sort(
+            self._graph, key=lambda n: self._order.index(n)
+        )
+        return [self.operator(name) for name in order]
+
+    def validate(self) -> None:
+        """Raise :class:`GraphError` if the graph is not a well-formed job."""
+        if not self._order:
+            raise GraphError("empty graph")
+        if not nx.is_directed_acyclic_graph(self._graph):
+            cycle = nx.find_cycle(self._graph)
+            raise GraphError(f"graph contains a cycle: {cycle}")
+        if not self.sources():
+            raise GraphError("graph has no source")
+        source_names = {op.name for op in self.sources()}
+        for op in self.operators():
+            if op.kind is OperatorKind.SOURCE:
+                if self._graph.in_degree(op.name) != 0:
+                    raise GraphError(f"source {op.name!r} has inputs")
+            else:
+                reachable = any(
+                    nx.has_path(self._graph, src, op.name) for src in source_names
+                )
+                if not reachable:
+                    raise GraphError(
+                        f"operator {op.name!r} is unreachable from any source"
+                    )
+            if op.kind is OperatorKind.SINK and self._graph.out_degree(op.name) != 0:
+                raise GraphError(f"sink {op.name!r} has outputs")
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._graph
+
+    def __repr__(self) -> str:
+        return f"LogicalGraph({self.name!r}, nodes={len(self)})"

@@ -1,0 +1,68 @@
+"""Per-operator and per-job metrics.
+
+The paper's future work calls for profiling "how much time is spent in which
+part of the execution plans"; these counters are the hooks that make the
+profiling example and the ablation benchmarks possible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class OperatorMetrics:
+    """Counters for one plan node."""
+
+    name: str
+    records_in: int = 0
+    records_out: int = 0
+    busy_seconds: float = 0.0
+
+    def record(self, records_in: int, records_out: int, busy_seconds: float) -> None:
+        """Accumulate one processing step."""
+        self.records_in += records_in
+        self.records_out += records_out
+        self.busy_seconds += busy_seconds
+
+    @property
+    def selectivity(self) -> float:
+        """records_out / records_in (0 when nothing was consumed)."""
+        if self.records_in == 0:
+            return 0.0
+        return self.records_out / self.records_in
+
+
+@dataclass
+class JobMetrics:
+    """Metrics for one job execution, keyed by plan-node label."""
+
+    job_name: str
+    operators: dict[str, OperatorMetrics] = field(default_factory=dict)
+    started_at: float = 0.0
+    finished_at: float = 0.0
+
+    def operator(self, name: str) -> OperatorMetrics:
+        """Fetch or create the metrics bucket for ``name``."""
+        if name not in self.operators:
+            self.operators[name] = OperatorMetrics(name)
+        return self.operators[name]
+
+    @property
+    def duration(self) -> float:
+        """Wall (simulated) duration of the job."""
+        return max(0.0, self.finished_at - self.started_at)
+
+    def total_busy_seconds(self) -> float:
+        """Sum of busy time across operators."""
+        return sum(m.busy_seconds for m in self.operators.values())
+
+    def time_share(self) -> dict[str, float]:
+        """Fraction of total busy time per operator (the profiling view)."""
+        total = self.total_busy_seconds()
+        if total <= 0:
+            return {name: 0.0 for name in self.operators}
+        return {
+            name: metrics.busy_seconds / total
+            for name, metrics in self.operators.items()
+        }

@@ -1,0 +1,18 @@
+"""The three data stream processing engines.
+
+Each subpackage provides a *native API* in the style of the real system —
+the API surface an application developer would program against — plus an
+execution layer that runs jobs on the shared discrete-event simulation:
+
+* :mod:`repro.engines.flink` — tuple-at-a-time dataflow with operator
+  chaining, JobManager/TaskManager topology and task slots;
+* :mod:`repro.engines.spark` — micro-batched discretized streams (D-Streams
+  of RDDs) on a driver/executor topology;
+* :mod:`repro.engines.apex` — operator DAGs deployed one-operator-per-
+  container on the :mod:`repro.yarn` substrate, connected by buffer servers.
+
+:mod:`repro.engines.common` holds the cost-model and record-pumping
+machinery they share.
+"""
+
+__all__ = ["apex", "common", "flink", "spark"]

@@ -1,0 +1,56 @@
+"""An Apex-like stream processing engine on YARN (paper Section II-D).
+
+Apache Apex deploys an operator DAG onto Hadoop YARN: a **STRAM**
+(Streaming Application Manager) runs as the YARN ApplicationMaster and
+requests one container per deployed operator; operators in different
+containers exchange tuples through **buffer servers** (publish/subscribe
+queues with per-tuple serialisation).  Processing is tuple-by-tuple, like
+Flink.  Parallelism has no direct knob — the paper configures it via the
+YARN VCORE settings and DAG attributes, mirrored here.
+
+Native API example::
+
+    dag = DAG("grep")
+    input_op = dag.add_operator("kafkaIn", KafkaSinglePortInputOperator(broker, "in"))
+    grep_op = dag.add_operator("grep", FilterOperator(lambda line: "test" in line))
+    output_op = dag.add_operator("kafkaOut", KafkaSinglePortOutputOperator(broker, "out"))
+    dag.add_stream("lines", input_op.output, grep_op.input)
+    dag.add_stream("matches", grep_op.output, output_op.input)
+    result = ApexLauncher(yarn_cluster, cost_model).launch(dag)
+"""
+
+from repro.engines.apex.config import APEX_TRAITS, ApexCostModel
+from repro.engines.apex.dag import DAG, DagValidationError
+from repro.engines.apex.launcher import ApexLauncher
+from repro.engines.apex.operators import (
+    CollectOutputOperator,
+    FilterOperator,
+    FlatMapOperator,
+    FunctionOperator,
+    InputPort,
+    KafkaSinglePortInputOperator,
+    KafkaSinglePortOutputOperator,
+    MapOperator,
+    Operator,
+    OutputPort,
+)
+from repro.engines.apex.stram import Stram
+
+__all__ = [
+    "APEX_TRAITS",
+    "ApexCostModel",
+    "DAG",
+    "DagValidationError",
+    "ApexLauncher",
+    "Stram",
+    "Operator",
+    "InputPort",
+    "OutputPort",
+    "FunctionOperator",
+    "MapOperator",
+    "FilterOperator",
+    "FlatMapOperator",
+    "KafkaSinglePortInputOperator",
+    "KafkaSinglePortOutputOperator",
+    "CollectOutputOperator",
+]

@@ -1,0 +1,74 @@
+"""Apex cost model and traits.
+
+Constants calibrated against the paper's native Apex rows of Figures 6-9;
+see ``repro.benchmark.calibration``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.engines.common.costs import RunVariance, StageCosts
+from repro.engines.common.traits import EngineTraits
+from repro.simtime.variance import LognormalNoise, StragglerModel
+from repro.yarn.resources import Resource
+
+APEX_TRAITS = EngineTraits(
+    name="Apache Apex",
+    mainly_written_in=("Java",),
+    app_languages=("Java",),
+    data_processing="Tuple-by-tuple",
+    processing_guarantee="Exactly-once",
+)
+
+
+@dataclass(frozen=True)
+class ApexCostModel:
+    """Per-record costs (seconds) of the Apex-like engine.
+
+    Tuple-by-tuple like Flink, but operators live in separate YARN
+    containers, so every stream between operators crosses a **buffer
+    server** (``hop_per_record``: per-tuple serialisation plus a local
+    publish/subscribe queue).  The Kafka input operator
+    (``source_per_record``) carries Malhar connector overhead, making
+    native Apex the slowest of the three on short queries.
+    """
+
+    source_per_record: float = 2.6e-6
+    hop_per_record: float = 0.6e-6
+    op_per_weight: float = 0.05e-6
+    rng_per_draw: float = 0.05e-6
+    sink_per_record: float = 1.0e-6
+    parallelism_per_record: float = 0.5e-6
+    #: Resources requested per operator container (1 VCORE, as the paper's
+    #: YARN configuration implies).
+    container_resource: Resource = Resource(vcores=1, memory_mb=2048)
+    variance: RunVariance = field(
+        default_factory=lambda: RunVariance(
+            noise=LognormalNoise(sigma=0.035),
+            jitter_abs_sigma=0.30,
+            stragglers=StragglerModel(probability=0.08, scale=1.0, shape=1.8, cap=6.0),
+        )
+    )
+
+    def source_costs(self, parallelism: int) -> StageCosts:
+        """Costs of the Kafka input operator."""
+        return StageCosts(
+            per_record_in=self.source_per_record
+            + self.parallelism_per_record * (parallelism - 1)
+        )
+
+    def operator_costs(self) -> StageCosts:
+        """Costs of one compute operator (entered via a buffer server)."""
+        return StageCosts(
+            per_record_in=self.hop_per_record,
+            per_weight=self.op_per_weight,
+            per_rng_draw=self.rng_per_draw,
+        )
+
+    def sink_costs(self) -> StageCosts:
+        """Costs of the Kafka output operator."""
+        return StageCosts(
+            per_record_in=self.hop_per_record,
+            per_record_out=self.sink_per_record,
+        )

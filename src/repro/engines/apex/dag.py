@@ -1,0 +1,125 @@
+"""The Apex application DAG."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.engines.apex.operators import (
+    CollectionInputOperator,
+    CollectOutputOperator,
+    FunctionOperator,
+    InputPort,
+    KafkaSinglePortInputOperator,
+    KafkaSinglePortOutputOperator,
+    Operator,
+    OutputPort,
+)
+
+
+class DagValidationError(Exception):
+    """The DAG is not a deployable Apex application."""
+
+
+@dataclass(frozen=True)
+class Stream:
+    """A named connection from an output port to an input port."""
+
+    name: str
+    source: OutputPort
+    sink: InputPort
+    #: Stream locality; ``CONTAINER_LOCAL`` avoids the buffer-server hop.
+    locality: str = "NODE_LOCAL"
+
+
+class DAG:
+    """An Apex application: operators plus streams plus attributes.
+
+    ``attributes`` mirrors Apex's DAG attributes; the paper sets operator
+    VCORE counts there to control parallelism (Apex has no direct
+    parallelism option).
+    """
+
+    def __init__(self, name: str = "apex-app") -> None:
+        self.name = name
+        self.operators: dict[str, Operator] = {}
+        self.streams: list[Stream] = []
+        self.attributes: dict[str, Any] = {"VCORES_PER_OPERATOR": 1}
+
+    def add_operator(self, name: str, operator: Operator) -> Operator:
+        """Register ``operator`` under ``name`` (unique) and return it."""
+        if name in self.operators:
+            raise DagValidationError(f"duplicate operator name: {name!r}")
+        operator.name = name
+        self.operators[name] = operator
+        return operator
+
+    def add_stream(
+        self,
+        name: str,
+        source: OutputPort,
+        sink: InputPort,
+        locality: str = "NODE_LOCAL",
+    ) -> Stream:
+        """Connect an output port to an input port."""
+        for port_op in (source.operator, sink.operator):
+            if port_op.name is None or port_op.name not in self.operators:
+                raise DagValidationError(
+                    f"operator {port_op.describe()!r} is not part of this DAG"
+                )
+        if any(s.sink is sink for s in self.streams):
+            raise DagValidationError(f"input port {sink!r} already connected")
+        stream = Stream(name=name, source=source, sink=sink, locality=locality)
+        self.streams.append(stream)
+        return stream
+
+    def set_attribute(self, key: str, value: Any) -> None:
+        """Set a DAG attribute (e.g. ``VCORES_PER_OPERATOR``)."""
+        self.attributes[key] = value
+
+    # ------------------------------------------------------------------
+    def validate(self) -> list[Operator]:
+        """Check the DAG is a linear input→...→output pipeline.
+
+        Returns the operators in stream order.  (General DAG shapes are not
+        executable by this reproduction's engines; see DESIGN.md.)
+        """
+        if not self.operators:
+            raise DagValidationError("empty DAG")
+        inputs = [
+            op
+            for op in self.operators.values()
+            if isinstance(op, (KafkaSinglePortInputOperator, CollectionInputOperator))
+        ]
+        outputs = [
+            op
+            for op in self.operators.values()
+            if isinstance(op, (KafkaSinglePortOutputOperator, CollectOutputOperator))
+        ]
+        if len(inputs) != 1:
+            raise DagValidationError(f"expected exactly one input operator, got {len(inputs)}")
+        if len(outputs) != 1:
+            raise DagValidationError(
+                f"expected exactly one output operator, got {len(outputs)}"
+            )
+        by_source = {s.source.operator.name: s for s in self.streams}
+        path = [inputs[0]]
+        seen = {inputs[0].name}
+        current = inputs[0]
+        while current.name in by_source:
+            nxt = by_source[current.name].sink.operator
+            if nxt.name in seen:
+                raise DagValidationError("DAG contains a cycle")
+            seen.add(nxt.name)
+            path.append(nxt)
+            current = nxt
+        if len(path) != len(self.operators):
+            raise DagValidationError("DAG is not a connected linear pipeline")
+        if path[-1] is not outputs[0]:
+            raise DagValidationError("pipeline does not end in the output operator")
+        for op in path[1:-1]:
+            if not isinstance(op, FunctionOperator):
+                raise DagValidationError(
+                    f"interior operator {op.describe()!r} is not a compute operator"
+                )
+        return path

@@ -1,0 +1,28 @@
+"""Engine-shared execution machinery: stages, costs, and the record pump."""
+
+from repro.engines.common.costs import RunVariance, StageCosts
+from repro.engines.common.pump import PumpResult, StreamPump
+from repro.engines.common.recovery import (
+    CheckpointCoordinator,
+    CheckpointingConfig,
+    FailureInjector,
+    RecoveringPump,
+    RecoveryReport,
+)
+from repro.engines.common.results import JobResult
+from repro.engines.common.stages import PhysicalStage, StageKind
+
+__all__ = [
+    "StageCosts",
+    "RunVariance",
+    "PhysicalStage",
+    "StageKind",
+    "StreamPump",
+    "PumpResult",
+    "JobResult",
+    "CheckpointingConfig",
+    "CheckpointCoordinator",
+    "FailureInjector",
+    "RecoveringPump",
+    "RecoveryReport",
+]

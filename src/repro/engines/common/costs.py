@@ -1,0 +1,104 @@
+"""Cost vocabulary for engine execution.
+
+Every physical stage of a job declares how much simulated time it charges
+per record; the :class:`repro.engines.common.pump.StreamPump` accumulates
+these while actually transforming the records.  All figures are **seconds**.
+
+The split into ``per_record_in`` / ``per_record_out`` / ``per_weight`` /
+``per_rng_draw`` is what lets one linear model reproduce the paper's whole
+evaluation: execution time differences between the four StreamBench queries
+are fully explained by (a) how many records each stage consumes, (b) how
+many it emits, (c) how computationally heavy its user function is, and
+(d) whether the function draws per-record randomness (the sample query).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.simtime.variance import LognormalNoise, StragglerModel
+
+
+@dataclass(frozen=True)
+class StageCosts:
+    """Per-record costs of one physical stage, in seconds.
+
+    * ``per_record_in`` — charged for every record entering the stage
+      (deserialisation, network hop, framework dispatch);
+    * ``per_record_out`` — charged for every record the stage emits
+      (serialisation, broker append acknowledgement);
+    * ``per_weight`` — charged per entering record, multiplied by the user
+      function's ``cost_weight`` (actual compute);
+    * ``per_rng_draw`` — charged per entering record, multiplied by the
+      function's ``rng_draws_per_record``.
+    """
+
+    per_record_in: float = 0.0
+    per_record_out: float = 0.0
+    per_weight: float = 0.0
+    per_rng_draw: float = 0.0
+
+    def charge(
+        self,
+        records_in: int,
+        records_out: int,
+        cost_weight: float = 0.0,
+        rng_draws: float = 0.0,
+    ) -> float:
+        """Total simulated seconds for one processing step of this stage."""
+        return (
+            records_in * (self.per_record_in + cost_weight * self.per_weight)
+            + records_in * rng_draws * self.per_rng_draw
+            + records_out * self.per_record_out
+        )
+
+    def without_entry_hop(self) -> "StageCosts":
+        """A copy with the per-record entry cost removed (local streams)."""
+        return StageCosts(
+            per_record_in=0.0,
+            per_record_out=self.per_record_out,
+            per_weight=self.per_weight,
+            per_rng_draw=self.per_rng_draw,
+        )
+
+    def plus(
+        self,
+        extra_per_record_in: float = 0.0,
+        extra_per_record_out: float = 0.0,
+        extra_per_weight: float = 0.0,
+        extra_per_rng_draw: float = 0.0,
+    ) -> "StageCosts":
+        """A copy with additional per-record charges (runner wrapping)."""
+        return StageCosts(
+            per_record_in=self.per_record_in + extra_per_record_in,
+            per_record_out=self.per_record_out + extra_per_record_out,
+            per_weight=self.per_weight + extra_per_weight,
+            per_rng_draw=self.per_rng_draw + extra_per_rng_draw,
+        )
+
+
+@dataclass(frozen=True)
+class RunVariance:
+    """Run-to-run variability of one engine.
+
+    ``noise`` is multiplicative (scales with run length: load, JIT state);
+  ``jitter_abs_sigma`` is additive Gaussian in absolute seconds (fixed
+    effects such as deployment timing), which is what makes *relative*
+    standard deviation larger for shorter runs, as in the paper's Figure 10;
+    ``stragglers`` injects occasional large additive delays, reproducing the
+    outlier runs of Table III.
+    """
+
+    noise: LognormalNoise = LognormalNoise(sigma=0.0)
+    jitter_abs_sigma: float = 0.0
+    stragglers: StragglerModel = StragglerModel(probability=0.0, scale=0.0)
+
+    def duration_factor(self, rng: random.Random) -> float:
+        """Draw the multiplicative factor for one run."""
+        return self.noise.factor(rng)
+
+    def additive_delay(self, rng: random.Random) -> float:
+        """Draw the additive delay (jitter + possible straggler) for one run."""
+        jitter = abs(rng.gauss(0.0, self.jitter_abs_sigma)) if self.jitter_abs_sigma else 0.0
+        return jitter + self.stragglers.delay(rng)

@@ -1,0 +1,41 @@
+"""Job results returned by engine executions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dataflow.metrics import JobMetrics
+from repro.dataflow.plan import ExecutionPlan
+
+
+@dataclass
+class JobResult:
+    """What an engine hands back after running a job.
+
+    ``duration`` is the engine-side simulated processing duration.  The
+    benchmark harness deliberately does *not* use it for its headline
+    numbers — following the paper, execution time is measured from broker
+    LogAppendTime timestamps by the result calculator — but tests assert the
+    two agree.
+    """
+
+    job_name: str
+    engine: str
+    records_in: int
+    records_out: int
+    duration: float
+    plan: ExecutionPlan
+    metrics: JobMetrics
+    base_duration: float = 0.0
+    first_emit_time: float | None = None
+    last_emit_time: float | None = None
+    #: Populated when the job ran with checkpointing/failure injection
+    #: (a :class:`repro.engines.common.recovery.RecoveryReport`).
+    recovery: object | None = None
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"{self.engine}:{self.job_name} in={self.records_in} "
+            f"out={self.records_out} duration={self.duration:.3f}s"
+        )

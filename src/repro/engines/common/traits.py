@@ -1,0 +1,26 @@
+"""Engine trait descriptions backing the paper's Table I."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class EngineTraits:
+    """Comparison attributes of one DSPS (paper Table I)."""
+
+    name: str
+    mainly_written_in: tuple[str, ...]
+    app_languages: tuple[str, ...]
+    data_processing: str
+    processing_guarantee: str
+
+    def row(self) -> tuple[str, str, str, str, str]:
+        """The engine's Table I row as display strings."""
+        return (
+            self.name,
+            ", ".join(self.mainly_written_in),
+            ", ".join(self.app_languages),
+            self.data_processing,
+            self.processing_guarantee,
+        )

@@ -1,0 +1,50 @@
+"""Graph shape validation shared by engine translators."""
+
+from __future__ import annotations
+
+from repro.dataflow.graph import GraphError, LogicalGraph, LogicalOperator, OperatorKind
+
+
+class PipelineShapeError(GraphError):
+    """The logical graph is not a shape this engine can execute."""
+
+
+def linearize(graph: LogicalGraph) -> list[LogicalOperator]:
+    """Validate that ``graph`` is a single source→...→sink path.
+
+    The engines in this reproduction execute linear pipelines — the shape
+    of every StreamBench query.  Branching or merging graphs raise
+    :class:`PipelineShapeError` (the Beam DirectRunner handles general
+    shapes).
+    """
+    graph.validate()
+    if len(graph.sources()) != 1:
+        raise PipelineShapeError(
+            f"expected exactly one source, got {len(graph.sources())}"
+        )
+    if len(graph.sinks()) != 1:
+        raise PipelineShapeError(
+            f"expected exactly one sink, got {len(graph.sinks())}"
+        )
+    path: list[LogicalOperator] = []
+    current = graph.sources()[0]
+    seen: set[str] = set()
+    while True:
+        if current.name in seen:
+            raise PipelineShapeError("graph is not a simple path")
+        seen.add(current.name)
+        path.append(current)
+        downstream = graph.downstream(current.name)
+        if not downstream:
+            break
+        if len(downstream) > 1:
+            raise PipelineShapeError(
+                f"operator {current.name!r} has {len(downstream)} consumers; "
+                "only linear pipelines are executable"
+            )
+        current = downstream[0]
+    if len(path) != len(graph):
+        raise PipelineShapeError("graph contains operators outside the main path")
+    if path[-1].kind is not OperatorKind.SINK:
+        raise PipelineShapeError("pipeline does not end in a sink")
+    return path

@@ -1,0 +1,57 @@
+"""A Flink-like stream processing engine (paper Section II-B).
+
+Architecture mirrored from the paper's Figure 1: a **FlinkClient** turns the
+program into a dataflow graph and submits it to the **JobManager**, which
+schedules tasks into the **task slots** of **TaskManager** processes.
+Processing is tuple-at-a-time (pipelined), and consecutive compatible
+operators are **chained** into a single task to avoid inter-thread hand-off
+— the optimisation the paper calls out, and the one the Beam runner's
+translated plans defeat.
+
+Native API example::
+
+    cluster = FlinkCluster(simulator)
+    env = StreamExecutionEnvironment(cluster)
+    env.set_parallelism(2)
+    (env.add_source(KafkaSource(broker, "in"), name="Custom Source")
+        .filter(lambda line: "test" in line)
+        .add_sink(KafkaSink(broker, "out")))
+    result = env.execute("grep")
+"""
+
+from repro.engines.flink.cluster import FlinkCluster, JobManager, TaskManager, TaskSlot
+from repro.engines.flink.config import FLINK_TRAITS, FlinkCostModel
+from repro.engines.flink.datastream import (
+    DataStream,
+    KeyedStream,
+    StreamExecutionEnvironment,
+)
+from repro.engines.flink.errors import FlinkError, NoResourceAvailableError
+from repro.engines.flink.functions import (
+    CollectSink,
+    FromCollectionSource,
+    KafkaSink,
+    KafkaSource,
+    SinkFunction,
+    SourceFunction,
+)
+
+__all__ = [
+    "FlinkCluster",
+    "JobManager",
+    "TaskManager",
+    "TaskSlot",
+    "FlinkCostModel",
+    "FLINK_TRAITS",
+    "StreamExecutionEnvironment",
+    "DataStream",
+    "KeyedStream",
+    "FlinkError",
+    "NoResourceAvailableError",
+    "SourceFunction",
+    "SinkFunction",
+    "KafkaSource",
+    "KafkaSink",
+    "FromCollectionSource",
+    "CollectSink",
+]

@@ -1,0 +1,133 @@
+"""Flink runtime topology: client → JobManager → TaskManagers (Figure 1)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.engines.flink.config import FlinkCostModel
+from repro.engines.flink.errors import NoResourceAvailableError
+from repro.simtime import Simulator
+
+
+@dataclass
+class TaskSlot:
+    """One slot of a TaskManager; holds the subtasks of one job at a time.
+
+    Slot sharing (paper II-B): subtasks of *different* tasks of the *same*
+    job may share a slot, so a job needs only max-parallelism slots.
+    """
+
+    slot_id: str
+    job_id: str | None = None
+    subtasks: list[str] = field(default_factory=list)
+
+    @property
+    def is_free(self) -> bool:
+        """Whether no job currently occupies this slot."""
+        return self.job_id is None
+
+    def occupy(self, job_id: str, subtask: str) -> None:
+        """Place a subtask; only subtasks of the same job may share."""
+        if self.job_id is not None and self.job_id != job_id:
+            raise NoResourceAvailableError(needed=1, available=0)
+        self.job_id = job_id
+        self.subtasks.append(subtask)
+
+    def release(self) -> None:
+        """Free the slot after job completion."""
+        self.job_id = None
+        self.subtasks.clear()
+
+
+class TaskManager:
+    """A JVM worker process offering task slots (paper II-B)."""
+
+    def __init__(self, tm_id: str, num_slots: int) -> None:
+        if num_slots < 1:
+            raise ValueError(f"num_slots must be >= 1, got {num_slots}")
+        self.tm_id = tm_id
+        self.slots = [TaskSlot(f"{tm_id}/slot-{i}") for i in range(num_slots)]
+
+    def free_slots(self) -> list[TaskSlot]:
+        """Slots not currently occupied."""
+        return [slot for slot in self.slots if slot.is_free]
+
+
+class JobManager:
+    """The master: schedules job vertices into TaskManager slots.
+
+    With slot sharing, a job of maximum parallelism *p* occupies *p* slots;
+    each slot receives one subtask of every vertex (a full pipeline), which
+    is Flink's default slot-sharing-group behaviour.
+    """
+
+    def __init__(self, simulator: Simulator) -> None:
+        self.simulator = simulator
+        self.task_managers: list[TaskManager] = []
+        self._job_counter = 0
+        #: Simulated cost of graph submission + task deployment, per job.
+        self.submission_cost = 0.6
+        self.active_jobs: dict[str, list[TaskSlot]] = {}
+
+    def register(self, task_manager: TaskManager) -> None:
+        """Attach a TaskManager to this master."""
+        self.task_managers.append(task_manager)
+
+    def total_free_slots(self) -> int:
+        """Free slots across all TaskManagers."""
+        return sum(len(tm.free_slots()) for tm in self.task_managers)
+
+    def allocate_job(self, vertex_names: list[str], parallelism: int) -> str:
+        """Reserve slots for a job; returns the job id.
+
+        Raises :class:`NoResourceAvailableError` when fewer than
+        ``parallelism`` slots are free.
+        """
+        self._job_counter += 1
+        job_id = f"job-{self._job_counter:04d}"
+        free: list[TaskSlot] = []
+        for tm in self.task_managers:
+            free.extend(tm.free_slots())
+        if len(free) < parallelism:
+            raise NoResourceAvailableError(parallelism, len(free))
+        chosen = free[:parallelism]
+        for subtask_index, slot in enumerate(chosen):
+            for vertex in vertex_names:
+                slot.occupy(job_id, f"{vertex}[{subtask_index}]")
+        self.active_jobs[job_id] = chosen
+        self.simulator.charge(self.submission_cost)
+        return job_id
+
+    def release_job(self, job_id: str) -> None:
+        """Free a finished job's slots (idempotent)."""
+        for slot in self.active_jobs.pop(job_id, []):
+            slot.release()
+
+
+class FlinkCluster:
+    """A standalone Flink cluster: one JobManager plus TaskManagers.
+
+    Defaults mirror the paper's testbed: two worker nodes (TaskManagers)
+    with eight cores — hence eight slots — each.
+    """
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        num_task_managers: int = 2,
+        slots_per_task_manager: int = 8,
+        cost_model: FlinkCostModel | None = None,
+    ) -> None:
+        self.simulator = simulator
+        self.cost_model = cost_model or FlinkCostModel()
+        self.job_manager = JobManager(simulator)
+        self.task_managers = []
+        for index in range(num_task_managers):
+            tm = TaskManager(f"tm-{index}", slots_per_task_manager)
+            self.job_manager.register(tm)
+            self.task_managers.append(tm)
+
+    def restart(self) -> None:
+        """Clear all job state (the paper restarts systems between phases)."""
+        for job_id in list(self.job_manager.active_jobs):
+            self.job_manager.release_job(job_id)

@@ -1,0 +1,85 @@
+"""Flink cost model and traits.
+
+The constants below were calibrated so that a full-scale benchmark run
+(1,000,001 AOL records, the paper's setup) reproduces the native-API rows of
+the paper's Figures 6-9; see ``repro.benchmark.calibration`` for the
+complete derivation and EXPERIMENTS.md for measured-vs-paper numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.engines.common.costs import RunVariance, StageCosts
+from repro.engines.common.traits import EngineTraits
+from repro.simtime.variance import LognormalNoise, StragglerModel
+
+FLINK_TRAITS = EngineTraits(
+    name="Apache Flink",
+    mainly_written_in=("Java", "Scala"),
+    app_languages=("Java", "Scala", "Python"),
+    data_processing="Tuple-by-tuple",
+    processing_guarantee="Exactly-once",
+)
+
+
+@dataclass(frozen=True)
+class FlinkCostModel:
+    """Per-record costs (seconds) of the Flink-like engine.
+
+    Tuple-at-a-time processing means every record individually traverses
+    the source, each unchained task boundary (``hop_per_record``: thread
+    hand-off plus serialisation), each user function
+    (``op_per_weight × cost_weight``), and the sink.  Chained operators pay
+    compute but no hop — removing that hop cost is exactly what Flink's
+    operator chaining buys.
+    """
+
+    source_per_record: float = 0.9e-6
+    hop_per_record: float = 0.2e-6
+    #: Hash redistribution (key_by) is costlier than a forward hop.
+    shuffle_per_record: float = 0.6e-6
+    op_per_weight: float = 0.5e-6
+    rng_per_draw: float = 0.17e-6
+    sink_per_record: float = 2.2e-6
+    #: Coordination overhead per record and extra degree of parallelism.
+    parallelism_per_record: float = 0.3e-6
+    variance: RunVariance = field(
+        default_factory=lambda: RunVariance(
+            noise=LognormalNoise(sigma=0.04),
+            jitter_abs_sigma=0.15,
+            stragglers=StragglerModel(probability=0.10, scale=2.2, shape=1.6, cap=22.0),
+        )
+    )
+
+    def source_costs(self, parallelism: int) -> StageCosts:
+        """Costs of the source stage at the given job parallelism."""
+        return StageCosts(
+            per_record_in=self.source_per_record
+            + self.parallelism_per_record * (parallelism - 1)
+        )
+
+    def operator_costs(self, chained_after_previous: bool, hash_input: bool = False) -> StageCosts:
+        """Costs of one operator stage.
+
+        ``chained_after_previous`` removes the hop cost;``hash_input``
+        replaces it with the heavier shuffle cost.
+        """
+        if hash_input:
+            hop = self.shuffle_per_record
+        elif chained_after_previous:
+            hop = 0.0
+        else:
+            hop = self.hop_per_record
+        return StageCosts(
+            per_record_in=hop,
+            per_weight=self.op_per_weight,
+            per_rng_draw=self.rng_per_draw,
+        )
+
+    def sink_costs(self) -> StageCosts:
+        """Costs of the sink stage (hop into the sink plus the write)."""
+        return StageCosts(
+            per_record_in=self.hop_per_record,
+            per_record_out=self.sink_per_record,
+        )

@@ -1,0 +1,22 @@
+"""Flink engine errors."""
+
+from __future__ import annotations
+
+
+class FlinkError(Exception):
+    """Base class for Flink engine errors."""
+
+
+class NoResourceAvailableError(FlinkError):
+    """Not enough free task slots to schedule the job."""
+
+    def __init__(self, needed: int, available: int) -> None:
+        super().__init__(
+            f"job needs {needed} slot(s) but only {available} free"
+        )
+        self.needed = needed
+        self.available = available
+
+
+class JobGraphError(FlinkError):
+    """The program's logical graph cannot be translated into a job."""

@@ -1,0 +1,214 @@
+"""Flink job translation (chaining) and execution."""
+
+from __future__ import annotations
+
+import random
+from typing import Any
+
+from repro.dataflow.functions import compose
+from repro.dataflow.graph import LogicalGraph, LogicalOperator, OperatorKind
+from repro.dataflow.plan import ExecutionPlan, ShipStrategy
+from repro.engines.common.pump import StreamPump
+from repro.engines.common.recovery import (
+    CheckpointingConfig,
+    FailureInjector,
+    RecoveringPump,
+    RecoveryReport,
+)
+from repro.engines.common.results import JobResult
+from repro.engines.common.stages import PhysicalStage, StageKind
+from repro.engines.common.translate import linearize
+from repro.engines.flink.cluster import FlinkCluster
+from repro.engines.flink.functions import SinkFunction, SourceFunction
+
+
+def build_stages(
+    cluster: FlinkCluster,
+    path: list[LogicalOperator],
+    parallelism: int,
+    job_name: str,
+) -> tuple[list[PhysicalStage], ExecutionPlan]:
+    """Translate a linear logical path into physical stages plus a plan.
+
+    Consecutive chainable operators with identical parallelism and forward
+    (non-hashed) input are fused into one stage — Flink's operator chaining.
+    Sources and sinks always form their own stage (Kafka connectors run
+    their own fetcher/committer threads).
+    """
+    model = cluster.cost_model
+    stages: list[PhysicalStage] = []
+    plan = ExecutionPlan(job_name)
+    plan_nodes = []
+
+    source_op = path[0]
+    source_stage = PhysicalStage(
+        name=source_op.name,
+        kind=StageKind.SOURCE,
+        costs=model.source_costs(parallelism).plus(
+            extra_per_record_in=source_op.extra.get("extra_cost_in", 0.0)
+        ),
+        parallelism=source_op.parallelism,
+    )
+    stages.append(source_stage)
+    plan_nodes.append(
+        plan.add_node(
+            kind_label="Data Source",
+            label=source_op.extra.get("plan_label", source_op.name),
+            parallelism=source_op.parallelism,
+        )
+    )
+
+    middle = path[1:-1]
+    index = 0
+    while index < len(middle):
+        group = [middle[index]]
+        index += 1
+        while (
+            index < len(middle)
+            and middle[index].chainable
+            and group[-1].chainable
+            and not middle[index].extra.get("hash_input", False)
+            and middle[index].parallelism == group[-1].parallelism
+        ):
+            group.append(middle[index])
+            index += 1
+        hash_input = group[0].extra.get("hash_input", False)
+        fused = compose([op.function for op in group if op.function is not None])
+        extra_in = sum(op.extra.get("extra_cost_in", 0.0) for op in group)
+        extra_out = sum(op.extra.get("extra_cost_out", 0.0) for op in group)
+        extra_weight = sum(op.extra.get("extra_weight_cost", 0.0) for op in group)
+        extra_rng = sum(op.extra.get("extra_rng_cost", 0.0) for op in group)
+        # Every stage boundary is a real hand-off: operators fused into this
+        # stage pay no hop (that is the chaining win), but the stage itself
+        # pays one on entry — a hash shuffle if key_by precedes it.
+        costs = model.operator_costs(
+            chained_after_previous=False, hash_input=hash_input
+        ).plus(
+            extra_per_record_in=extra_in,
+            extra_per_record_out=extra_out,
+            extra_per_weight=extra_weight,
+            extra_per_rng_draw=extra_rng,
+        )
+        stage = PhysicalStage(
+            name=" -> ".join(op.name for op in group),
+            kind=StageKind.OPERATOR,
+            costs=costs,
+            function=fused,
+            parallelism=group[0].parallelism,
+        )
+        stages.append(stage)
+        for op in group:
+            strategy = (
+                ShipStrategy.HASH
+                if op.extra.get("hash_input", False)
+                else ShipStrategy.FORWARD
+            )
+            node = plan.add_node(
+                kind_label="Operator",
+                label=op.extra.get("plan_label")
+                or (op.function.plan_label or op.function.name if op.function else op.name),
+                parallelism=op.parallelism,
+                chained=tuple(o.name for o in group) if len(group) > 1 else (),
+            )
+            plan.add_edge(plan_nodes[-1], node, strategy)
+            plan_nodes.append(node)
+
+    sink_op = path[-1]
+    sink_stage = PhysicalStage(
+        name=sink_op.name,
+        kind=StageKind.SINK,
+        costs=model.sink_costs().plus(
+            extra_per_record_out=sink_op.extra.get("extra_cost_out", 0.0)
+        ),
+        parallelism=sink_op.parallelism,
+    )
+    stages.append(sink_stage)
+    sink_label = sink_op.extra.get("plan_label", sink_op.name)
+    sink_kind = sink_op.extra.get("plan_kind", "Data Sink")
+    node = plan.add_node(
+        kind_label=sink_kind, label=sink_label, parallelism=sink_op.parallelism
+    )
+    plan.add_edge(plan_nodes[-1], node)
+    return stages, plan
+
+
+def execute_job(
+    cluster: FlinkCluster,
+    graph: LogicalGraph,
+    sources: dict[str, SourceFunction],
+    sinks: dict[str, SinkFunction],
+    parallelism: int,
+    job_name: str,
+    rng: random.Random | None = None,
+    checkpointing: CheckpointingConfig | None = None,
+    failure: FailureInjector | None = None,
+) -> JobResult:
+    """Schedule and run one job on the cluster; returns its result.
+
+    With ``checkpointing`` enabled the job runs through the
+    :class:`RecoveringPump` (periodic state snapshots, transactional sink
+    for exactly-once); ``failure`` injects one mid-run crash that the job
+    recovers from.
+    """
+    path = linearize(graph)
+    stages, plan = build_stages(cluster, path, parallelism, job_name)
+
+    source = sources[path[0].name]
+    sink = sinks[path[-1].name]
+    job_manager = cluster.job_manager
+    job_id = job_manager.allocate_job([op.name for op in path], parallelism)
+    if rng is None:
+        rng = cluster.simulator.random.stream(f"flink/{job_id}")
+
+    for stage in stages:
+        if stage.function is not None:
+            stage.function.open()
+    recovery_report: RecoveryReport | None = None
+    try:
+        records = source.run()
+        if checkpointing is not None or failure is not None:
+            config = checkpointing or CheckpointingConfig()
+            recovering = RecoveringPump(
+                simulator=cluster.simulator,
+                stages=stages,
+                rng=rng,
+                emit=sink.write,
+                checkpoint_interval_records=config.interval_records,
+                exactly_once=config.exactly_once,
+                failure=failure,
+                variance=cluster.cost_model.variance,
+                job_name=job_name,
+            )
+            recovery_report = recovering.run(records)
+            result = recovery_report.result
+        else:
+            pump = StreamPump(
+                simulator=cluster.simulator,
+                stages=stages,
+                variance=cluster.cost_model.variance,
+                rng=rng,
+                emit=sink.write,
+                job_name=job_name,
+            )
+            result = pump.run(records)
+    finally:
+        for stage in stages:
+            if stage.function is not None:
+                stage.function.close()
+        sink.close()
+        job_manager.release_job(job_id)
+
+    job_result = JobResult(
+        job_name=job_name,
+        engine="flink",
+        records_in=result.records_in,
+        records_out=result.records_out,
+        duration=result.duration,
+        plan=plan,
+        metrics=result.metrics,
+        base_duration=result.base_duration,
+        first_emit_time=result.first_emit_time,
+        last_emit_time=result.last_emit_time,
+    )
+    job_result.recovery = recovery_report
+    return job_result

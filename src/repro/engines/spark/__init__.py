@@ -1,0 +1,42 @@
+"""A Spark-Streaming-like engine (paper Section II-C).
+
+Architecture mirrored from the paper's Figure 2: a **driver program** hosts
+the **SparkContext**, which connects to a **cluster manager** and acquires
+**executors** on worker nodes.  Stream processing is **micro-batched**: the
+input stream is discretized into batches of records (D-Streams), each batch
+executed as a job over **RDDs** — which is why native Spark pays a per-batch
+scheduling overhead but very little per individual record, making it the
+fastest native system in the paper's measurements.
+
+Native API example::
+
+    conf = SparkConf().set("spark.default.parallelism", "2")
+    sc = SparkContext(conf, cluster)
+    ssc = StreamingContext(sc)
+    stream = KafkaUtils.create_direct_stream(ssc, broker, "in")
+    stream.filter(lambda line: "test" in line).write_to_kafka(broker, "out")
+    result = ssc.run("grep")
+"""
+
+from repro.engines.spark.cluster import Executor, SparkCluster, WorkerNode
+from repro.engines.spark.config import SPARK_TRAITS, SparkConf, SparkCostModel
+from repro.engines.spark.context import SparkContext
+from repro.engines.spark.dstream import DStream, KafkaUtils
+from repro.engines.spark.errors import SparkError
+from repro.engines.spark.rdd import RDD
+from repro.engines.spark.streaming import StreamingContext
+
+__all__ = [
+    "SparkCluster",
+    "WorkerNode",
+    "Executor",
+    "SparkConf",
+    "SparkCostModel",
+    "SPARK_TRAITS",
+    "SparkContext",
+    "DStream",
+    "KafkaUtils",
+    "SparkError",
+    "RDD",
+    "StreamingContext",
+]

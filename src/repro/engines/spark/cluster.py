@@ -1,0 +1,109 @@
+"""Spark cluster topology: cluster manager, workers, executors (Figure 2)."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.engines.spark.config import SparkCostModel
+from repro.engines.spark.errors import NoExecutorsError
+from repro.simtime import Simulator
+
+
+@dataclass
+class Executor:
+    """One executor process, owned by exactly one application.
+
+    The paper (II-C) stresses that executors are per-application JVMs:
+    different Spark applications never share executors, so data exchange
+    between applications requires external storage.
+    """
+
+    executor_id: str
+    worker_id: str
+    app_id: str
+    cores: int
+    running_tasks: list[str] = field(default_factory=list)
+
+
+@dataclass
+class WorkerNode:
+    """A worker machine that hosts executors."""
+
+    worker_id: str
+    cores: int
+    executors: list[Executor] = field(default_factory=list)
+
+    @property
+    def cores_used(self) -> int:
+        """Cores taken by live executors."""
+        return sum(e.cores for e in self.executors)
+
+    @property
+    def cores_free(self) -> int:
+        """Cores still available."""
+        return self.cores - self.cores_used
+
+
+class SparkCluster:
+    """A standalone-mode Spark cluster manager plus worker nodes.
+
+    Defaults mirror the paper's testbed (two 8-core worker nodes).  The
+    cluster manager allocates one executor per worker for each application
+    (Spark standalone's default spread-out behaviour).
+    """
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        num_workers: int = 2,
+        cores_per_worker: int = 8,
+        cost_model: SparkCostModel | None = None,
+    ) -> None:
+        self.simulator = simulator
+        self.cost_model = cost_model or SparkCostModel()
+        self.workers = [
+            WorkerNode(worker_id=f"worker-{i}", cores=cores_per_worker)
+            for i in range(num_workers)
+        ]
+        self._app_counter = itertools.count(1)
+        self._executor_counter = itertools.count(1)
+
+    def register_application(self, name: str) -> str:
+        """Register a driver's application; returns its id."""
+        return f"app-{next(self._app_counter):04d}-{name}"
+
+    def acquire_executors(self, app_id: str, cores_per_executor: int) -> list[Executor]:
+        """Allocate one executor per worker for ``app_id``.
+
+        Raises :class:`NoExecutorsError` when any worker lacks free cores.
+        """
+        acquired: list[Executor] = []
+        for worker in self.workers:
+            if worker.cores_free < cores_per_executor:
+                self.release_executors(acquired)
+                raise NoExecutorsError(
+                    f"worker {worker.worker_id} has {worker.cores_free} free "
+                    f"cores, executor needs {cores_per_executor}"
+                )
+            executor = Executor(
+                executor_id=f"exec-{next(self._executor_counter):04d}",
+                worker_id=worker.worker_id,
+                app_id=app_id,
+                cores=cores_per_executor,
+            )
+            worker.executors.append(executor)
+            acquired.append(executor)
+        return acquired
+
+    def release_executors(self, executors: list[Executor]) -> None:
+        """Return executors' cores to their workers."""
+        for executor in executors:
+            for worker in self.workers:
+                if executor in worker.executors:
+                    worker.executors.remove(executor)
+
+    def restart(self) -> None:
+        """Drop all executors (paper: systems restarted between phases)."""
+        for worker in self.workers:
+            worker.executors.clear()

@@ -1,0 +1,57 @@
+"""SparkContext: the driver-side coordinator (paper Figure 2)."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.engines.spark.cluster import Executor, SparkCluster
+from repro.engines.spark.config import SparkConf
+from repro.engines.spark.rdd import RDD
+
+
+class SparkContext:
+    """Coordinates an application: acquires executors, creates RDDs.
+
+    Reads ``spark.default.parallelism`` from the configuration — the knob
+    the paper uses to set parallelism on Spark.
+    """
+
+    def __init__(self, conf: SparkConf, cluster: SparkCluster, app_name: str = "app") -> None:
+        self.conf = conf
+        self.cluster = cluster
+        self.app_name = app_name
+        self.app_id = cluster.register_application(app_name)
+        self.default_parallelism = conf.get_int("spark.default.parallelism", 1)
+        if self.default_parallelism < 1:
+            raise ValueError(
+                f"spark.default.parallelism must be >= 1, "
+                f"got {self.default_parallelism}"
+            )
+        cores = max(1, self.default_parallelism // len(cluster.workers) or 1)
+        self.executors: list[Executor] = cluster.acquire_executors(self.app_id, cores)
+        #: Driver-side cost of establishing the application (simulated).
+        cluster.simulator.charge(0.25)
+        self._stopped = False
+
+    def parallelize(self, data: list[Any], num_slices: int | None = None) -> RDD:
+        """Distribute a collection into an RDD."""
+        slices = num_slices or self.default_parallelism
+        if slices < 1:
+            raise ValueError(f"num_slices must be >= 1, got {slices}")
+        partitions: list[list[Any]] = [[] for _ in range(slices)]
+        for index, value in enumerate(data):
+            partitions[index % slices].append(value)
+        return RDD(self, partitions, name="ParallelCollectionRDD")
+
+    def stop(self) -> None:
+        """Release the application's executors (idempotent)."""
+        if not self._stopped:
+            self.cluster.release_executors(self.executors)
+            self.executors = []
+            self._stopped = True
+
+    def __enter__(self) -> "SparkContext":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()

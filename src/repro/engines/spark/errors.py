@@ -1,0 +1,15 @@
+"""Spark engine errors."""
+
+from __future__ import annotations
+
+
+class SparkError(Exception):
+    """Base class for Spark engine errors."""
+
+
+class NoExecutorsError(SparkError):
+    """The cluster manager could not provide the requested executors."""
+
+
+class StreamingContextStateError(SparkError):
+    """A StreamingContext operation was attempted in the wrong state."""

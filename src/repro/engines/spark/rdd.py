@@ -1,0 +1,119 @@
+"""Resilient Distributed Datasets: partitioned, read-only, lazy.
+
+A faithful (if miniature) RDD: a partitioned collection plus a lineage of
+narrow transformations, evaluated lazily on action.  The streaming executor
+uses RDDs to present each micro-batch to ``foreach_rdd`` callbacks, and the
+batch API is usable on its own (see ``examples``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engines.spark.context import SparkContext
+
+
+class RDD:
+    """A partitioned, immutable collection with lazy transformations."""
+
+    def __init__(
+        self,
+        sc: "SparkContext",
+        partitions: list[list[Any]],
+        lineage: tuple["_Transform", ...] = (),
+        name: str = "RDD",
+    ) -> None:
+        self.sc = sc
+        self._partitions = partitions
+        self._lineage = lineage
+        self.name = name
+
+    # -- transformations (lazy) -----------------------------------------
+    def map(self, fn: Callable[[Any], Any]) -> "RDD":
+        """Element-wise 1:1 transformation."""
+        return self._derive(_Transform("map", fn))
+
+    def filter(self, predicate: Callable[[Any], bool]) -> "RDD":
+        """Keep elements matching ``predicate``."""
+        return self._derive(_Transform("filter", predicate))
+
+    def flat_map(self, fn: Callable[[Any], Iterable[Any]]) -> "RDD":
+        """Element-wise 1:N transformation."""
+        return self._derive(_Transform("flat_map", fn))
+
+    # -- actions (eager) --------------------------------------------------
+    def collect(self) -> list[Any]:
+        """Materialise all elements, in partition order."""
+        out: list[Any] = []
+        for partition in self._partitions:
+            out.extend(self._evaluate(partition))
+        return out
+
+    def count(self) -> int:
+        """Number of elements after applying the lineage."""
+        return sum(len(self._evaluate(p)) for p in self._partitions)
+
+    def take(self, n: int) -> list[Any]:
+        """The first ``n`` elements."""
+        out: list[Any] = []
+        for partition in self._partitions:
+            for value in self._evaluate(partition):
+                out.append(value)
+                if len(out) == n:
+                    return out
+        return out
+
+    def reduce(self, fn: Callable[[Any, Any], Any]) -> Any:
+        """Fold all elements with ``fn``; raises on an empty RDD."""
+        values = self.collect()
+        if not values:
+            raise ValueError("reduce() of empty RDD")
+        acc = values[0]
+        for value in values[1:]:
+            acc = fn(acc, value)
+        return acc
+
+    @property
+    def num_partitions(self) -> int:
+        """Partition count (fixed by the parent data)."""
+        return len(self._partitions)
+
+    def glom(self) -> list[list[Any]]:
+        """Materialise each partition separately."""
+        return [self._evaluate(p) for p in self._partitions]
+
+    # -- internals --------------------------------------------------------
+    def _derive(self, transform: "_Transform") -> "RDD":
+        return RDD(
+            self.sc,
+            self._partitions,
+            self._lineage + (transform,),
+            name=f"{self.name}.{transform.kind}",
+        )
+
+    def _evaluate(self, partition: list[Any]) -> list[Any]:
+        values = partition
+        for transform in self._lineage:
+            values = transform.apply(values)
+        return values
+
+
+class _Transform:
+    """One lineage step."""
+
+    def __init__(self, kind: str, fn: Callable[..., Any]) -> None:
+        if kind not in ("map", "filter", "flat_map"):
+            raise ValueError(f"unknown transform kind: {kind}")
+        self.kind = kind
+        self.fn = fn
+
+    def apply(self, values: list[Any]) -> list[Any]:
+        if self.kind == "map":
+            return [self.fn(v) for v in values]
+        if self.kind == "filter":
+            return [v for v in values if self.fn(v)]
+        out: list[Any] = []
+        for v in values:
+            out.extend(self.fn(v))
+        return out

@@ -1,0 +1,34 @@
+"""Discrete-event simulation kernel.
+
+Everything in this reproduction that "takes time" — broker appends, engine
+startup, per-record processing, YARN container allocation — charges simulated
+seconds against a shared :class:`SimClock`, usually through a
+:class:`Simulator`.  Wall-clock time never enters any measurement, which makes
+runs deterministic under a seed and independent of the host machine.
+
+Public surface:
+
+* :class:`SimClock` — monotonically advancing virtual clock.
+* :class:`Event` / :class:`EventQueue` — ordered future actions.
+* :class:`Simulator` — clock + queue + scheduling helpers.
+* :class:`RandomSource` — seeded RNG with named, independent substreams.
+* :class:`GaussianNoise`, :class:`LognormalNoise`, :class:`StragglerModel` —
+  variance models used by engine cost models.
+"""
+
+from repro.simtime.clock import SimClock
+from repro.simtime.events import Event, EventQueue
+from repro.simtime.randomness import RandomSource
+from repro.simtime.simulator import Simulator
+from repro.simtime.variance import GaussianNoise, LognormalNoise, StragglerModel
+
+__all__ = [
+    "SimClock",
+    "Event",
+    "EventQueue",
+    "Simulator",
+    "RandomSource",
+    "GaussianNoise",
+    "LognormalNoise",
+    "StragglerModel",
+]

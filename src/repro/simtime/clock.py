@@ -1,0 +1,59 @@
+"""Virtual clock for discrete-event simulation."""
+
+from __future__ import annotations
+
+
+class ClockError(Exception):
+    """Raised on an attempt to move a :class:`SimClock` backwards."""
+
+
+class SimClock:
+    """A monotonically advancing virtual clock measured in seconds.
+
+    The clock only moves when a component explicitly advances it; there is no
+    connection to wall-clock time.  All broker timestamps (the paper's
+    LogAppendTime measurement) are read from this clock.
+
+    >>> clock = SimClock()
+    >>> clock.advance(1.5)
+    1.5
+    >>> clock.now()
+    1.5
+    """
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start: float = 0.0) -> None:
+        if start < 0:
+            raise ValueError(f"clock start must be >= 0, got {start}")
+        self._now = float(start)
+
+    def now(self) -> float:
+        """Return the current simulated time in seconds."""
+        return self._now
+
+    def advance(self, delta: float) -> float:
+        """Move the clock forward by ``delta`` seconds and return the new time.
+
+        ``delta`` must be non-negative; simulated time never runs backwards.
+        """
+        if delta < 0:
+            raise ClockError(f"cannot advance clock by negative delta {delta}")
+        self._now += delta
+        return self._now
+
+    def advance_to(self, timestamp: float) -> float:
+        """Move the clock forward to an absolute ``timestamp``.
+
+        Advancing to the current time is a no-op; advancing to the past is an
+        error.
+        """
+        if timestamp < self._now:
+            raise ClockError(
+                f"cannot move clock backwards from {self._now} to {timestamp}"
+            )
+        self._now = float(timestamp)
+        return self._now
+
+    def __repr__(self) -> str:
+        return f"SimClock(now={self._now:.6f})"

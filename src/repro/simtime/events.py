@@ -1,0 +1,86 @@
+"""Event and event-queue primitives for the discrete-event simulator."""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+
+@dataclass(frozen=True, order=False)
+class Event:
+    """A scheduled future action.
+
+    Events are ordered by ``time`` with ``seq`` as a deterministic tie-breaker
+    (insertion order), so two events scheduled for the same instant fire in
+    the order they were scheduled.
+    """
+
+    time: float
+    seq: int
+    action: Callable[[], Any] = field(compare=False)
+    name: str = field(default="", compare=False)
+
+    def fire(self) -> Any:
+        """Run the event's action and return its result."""
+        return self.action()
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+
+class EventQueue:
+    """A priority queue of :class:`Event` objects ordered by time.
+
+    Cancellation is supported by marking entries dead rather than removing
+    them (the standard heapq idiom), so ``push``/``pop``/``cancel`` are all
+    O(log n).
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._dead: set[int] = set()
+        self._counter = itertools.count()
+
+    def __len__(self) -> int:
+        return len(self._heap) - len(self._dead)
+
+    def __bool__(self) -> bool:
+        return len(self) > 0
+
+    def push(self, time: float, action: Callable[[], Any], name: str = "") -> Event:
+        """Schedule ``action`` at absolute ``time`` and return the event."""
+        event = Event(time=time, seq=next(self._counter), action=action, name=name)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def cancel(self, event: Event) -> None:
+        """Cancel a previously pushed event (idempotent)."""
+        self._dead.add(event.seq)
+
+    def peek(self) -> Event | None:
+        """Return the next live event without removing it, or ``None``."""
+        self._drop_dead()
+        return self._heap[0] if self._heap else None
+
+    def pop(self) -> Event:
+        """Remove and return the next live event.
+
+        Raises ``IndexError`` when the queue is empty.
+        """
+        self._drop_dead()
+        if not self._heap:
+            raise IndexError("pop from empty EventQueue")
+        event = heapq.heappop(self._heap)
+        return event
+
+    def clear(self) -> None:
+        """Drop every pending event."""
+        self._heap.clear()
+        self._dead.clear()
+
+    def _drop_dead(self) -> None:
+        while self._heap and self._heap[0].seq in self._dead:
+            dead = heapq.heappop(self._heap)
+            self._dead.discard(dead.seq)

@@ -1,0 +1,96 @@
+"""The discrete-event simulator tying clock and event queue together."""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.simtime.clock import SimClock
+from repro.simtime.events import Event, EventQueue
+from repro.simtime.randomness import RandomSource
+
+
+class Simulator:
+    """Shared simulation context: a clock, an event queue, and a RNG tree.
+
+    Components either *charge* time directly (``sim.charge(seconds)``) while
+    doing work inline — the common case for engine executors that process a
+    chunk of records and account for its cost — or *schedule* callbacks at
+    future instants (heartbeats, batch ticks) and let :meth:`run` drive them.
+    """
+
+    def __init__(self, seed: int = 0, start: float = 0.0) -> None:
+        self.clock = SimClock(start)
+        self.events = EventQueue()
+        self.random = RandomSource(seed)
+
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self.clock.now()
+
+    def charge(self, seconds: float) -> float:
+        """Advance the clock by ``seconds`` of inline work; return new time."""
+        return self.clock.advance(seconds)
+
+    def schedule(
+        self, delay: float, action: Callable[[], Any], name: str = ""
+    ) -> Event:
+        """Schedule ``action`` to fire ``delay`` seconds from now."""
+        if delay < 0:
+            raise ValueError(f"delay must be >= 0, got {delay}")
+        return self.events.push(self.now() + delay, action, name=name)
+
+    def schedule_at(
+        self, time: float, action: Callable[[], Any], name: str = ""
+    ) -> Event:
+        """Schedule ``action`` at absolute simulated ``time``."""
+        if time < self.now():
+            raise ValueError(
+                f"cannot schedule in the past: {time} < now {self.now()}"
+            )
+        return self.events.push(time, action, name=name)
+
+    def cancel(self, event: Event) -> None:
+        """Cancel a scheduled event (idempotent)."""
+        self.events.cancel(event)
+
+    def step(self) -> Event | None:
+        """Fire the next pending event, advancing the clock to it.
+
+        Returns the fired event, or ``None`` if the queue was empty.
+        """
+        if not self.events:
+            return None
+        event = self.events.pop()
+        self.clock.advance_to(event.time)
+        event.fire()
+        return event
+
+    def run(self, until: float | None = None, max_events: int = 10_000_000) -> int:
+        """Drain the event queue, optionally stopping at time ``until``.
+
+        Returns the number of events fired.  ``max_events`` is a runaway
+        guard; exceeding it raises ``RuntimeError``.
+        """
+        fired = 0
+        while self.events:
+            upcoming = self.events.peek()
+            if upcoming is None:
+                break
+            if until is not None and upcoming.time > until:
+                self.clock.advance_to(until)
+                break
+            self.step()
+            fired += 1
+            if fired > max_events:
+                raise RuntimeError(
+                    f"simulation exceeded {max_events} events; likely a loop"
+                )
+        if until is not None and self.now() < until and not self.events:
+            self.clock.advance_to(until)
+        return fired
+
+    def __repr__(self) -> str:
+        return (
+            f"Simulator(now={self.now():.6f}, pending={len(self.events)}, "
+            f"seed={self.random.seed})"
+        )

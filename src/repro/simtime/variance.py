@@ -1,0 +1,94 @@
+"""Variance models used by engine cost models.
+
+The paper reports relative standard deviations per system-query-SDK
+combination (Figure 10) and shows raw per-run times with pronounced outliers
+for the identity query on Apache Flink (Table III).  Two mechanisms reproduce
+this behaviour:
+
+* multiplicative run-to-run noise (:class:`GaussianNoise` /
+  :class:`LognormalNoise`) modelling JIT warmup, OS jitter and network
+  variation, and
+* an additive :class:`StragglerModel` modelling rare slow runs (GC pauses,
+  lagging task managers) that dominate the coefficient of variation of
+  otherwise short runs.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class GaussianNoise:
+    """Multiplicative Gaussian noise: ``duration * max(floor, N(1, sigma))``.
+
+    ``floor`` guards against non-positive factors for large sigmas.
+    """
+
+    sigma: float
+    floor: float = 0.5
+
+    def factor(self, rng: random.Random) -> float:
+        """Draw one multiplicative noise factor."""
+        if self.sigma <= 0:
+            return 1.0
+        return max(self.floor, rng.gauss(1.0, self.sigma))
+
+    def apply(self, duration: float, rng: random.Random) -> float:
+        """Return ``duration`` scaled by a fresh noise factor."""
+        return duration * self.factor(rng)
+
+
+@dataclass(frozen=True)
+class LognormalNoise:
+    """Multiplicative lognormal noise with median 1.
+
+    Lognormal noise is strictly positive and right-skewed, matching the
+    empirical distribution of repeated JVM benchmark runs better than
+    symmetric noise.
+    """
+
+    sigma: float
+
+    def factor(self, rng: random.Random) -> float:
+        """Draw one multiplicative noise factor (median 1)."""
+        if self.sigma <= 0:
+            return 1.0
+        return rng.lognormvariate(0.0, self.sigma)
+
+    def apply(self, duration: float, rng: random.Random) -> float:
+        """Return ``duration`` scaled by a fresh noise factor."""
+        return duration * self.factor(rng)
+
+
+@dataclass(frozen=True)
+class StragglerModel:
+    """Occasional additive slow-downs (GC pauses, slow task deployment).
+
+    With probability ``probability`` per run, an extra delay is added, drawn
+    from a Pareto distribution with minimum ``scale`` seconds and tail index
+    ``shape`` (smaller shape = heavier tail).  The paper's Table III shows
+    exactly this pattern: seven of ten runs in a 3-4 s band and three runs at
+    roughly 6 s, 12.5 s and 21.5 s.
+    """
+
+    probability: float
+    scale: float
+    shape: float = 1.6
+    cap: float = 60.0
+
+    def delay(self, rng: random.Random) -> float:
+        """Draw the additive straggler delay for one run (often zero)."""
+        if self.probability <= 0 or rng.random() >= self.probability:
+            return 0.0
+        pareto = self.scale * (1.0 + rng.paretovariate(self.shape) - 1.0)
+        return min(pareto, self.cap)
+
+    def apply(self, duration: float, rng: random.Random) -> float:
+        """Return ``duration`` plus a fresh straggler delay."""
+        return duration + self.delay(rng)
+
+
+NO_NOISE = LognormalNoise(sigma=0.0)
+NO_STRAGGLERS = StragglerModel(probability=0.0, scale=0.0)

@@ -1,0 +1,24 @@
+"""Benchmark workloads: the AOL search log and the NEXMark auction stream."""
+
+from repro.workloads import nexmark, nexmark_queries
+from repro.workloads.aol import (
+    AolRecord,
+    AolWorkload,
+    FULL_SCALE_RECORDS,
+    GREP_NEEDLE,
+    expected_grep_matches,
+    generate_records,
+    parse_record,
+)
+
+__all__ = [
+    "nexmark",
+    "nexmark_queries",
+    "AolRecord",
+    "AolWorkload",
+    "FULL_SCALE_RECORDS",
+    "GREP_NEEDLE",
+    "expected_grep_matches",
+    "generate_records",
+    "parse_record",
+]

@@ -1,0 +1,225 @@
+"""A NEXMark-style online-auction workload.
+
+The paper's related work covers NEXMark and the NEXMark-based Beam
+benchmark suite ("this suite extends the eight NEXMark queries...") and
+lists "changed workload characteristics" as an open question.  This module
+provides the workload: a deterministic generator for the classic NEXMark
+event stream — **persons** registering, **auctions** opening, **bids**
+arriving — interleaved in the Beam suite's 1 : 3 : 46 proportion, with
+monotonically increasing event time.
+
+Events carry proper dataclasses; :func:`encode_event`/:func:`decode_event`
+provide the tab-separated wire format used when streaming through the
+broker (queries parse exactly like the AOL workload's lines).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Union
+
+from repro.simtime.randomness import RandomSource
+
+#: Interleaving proportions of the Beam NEXMark suite: out of every 50
+#: events, 1 person, 3 auctions, 46 bids.
+PERSON_PROPORTION = 1
+AUCTION_PROPORTION = 3
+BID_PROPORTION = 46
+_CYCLE = PERSON_PROPORTION + AUCTION_PROPORTION + BID_PROPORTION
+
+#: Q1's fixed DOLLAR→EUR rate (from the original NEXMark specification).
+USD_TO_EUR = 0.908
+
+_STATES = ("OR", "ID", "CA", "WA", "NY", "TX")
+_CITIES = ("Portland", "Boise", "Palo Alto", "Seattle", "Buffalo", "Austin")
+_FIRST_NAMES = ("Walter", "Ada", "Edgar", "Grace", "Alan", "Barbara", "Ken", "Radia")
+_LAST_NAMES = ("Shaw", "Lovelace", "Codd", "Hopper", "Turing", "Liskov", "Thompson")
+_ITEMS = ("sofa", "tv", "guitar", "bike", "laptop", "camera", "watch", "desk")
+#: Auction categories (NEXMark uses a small fixed set).
+NUM_CATEGORIES = 5
+
+
+@dataclass(frozen=True)
+class Person:
+    """A person registering with the auction site."""
+
+    person_id: int
+    name: str
+    email: str
+    city: str
+    state: str
+    date_time: float
+
+
+@dataclass(frozen=True)
+class Auction:
+    """An auction being opened."""
+
+    auction_id: int
+    item_name: str
+    initial_bid: int
+    reserve: int
+    seller: int
+    category: int
+    date_time: float
+    expires: float
+
+
+@dataclass(frozen=True)
+class Bid:
+    """A bid on an auction."""
+
+    auction: int
+    bidder: int
+    price: int
+    date_time: float
+
+
+Event = Union[Person, Auction, Bid]
+
+
+class NexmarkGenerator:
+    """Deterministic NEXMark event stream.
+
+    Event times advance by ``inter_event_seconds`` per event; ids are dense
+    so queries can rely on referential integrity: every bid references an
+    auction that was generated earlier, every auction a person.
+    """
+
+    def __init__(
+        self,
+        num_events: int,
+        seed: int = 42,
+        inter_event_seconds: float = 0.01,
+    ) -> None:
+        if num_events < 0:
+            raise ValueError(f"num_events must be >= 0, got {num_events}")
+        self.num_events = num_events
+        self.seed = seed
+        self.inter_event_seconds = inter_event_seconds
+
+    def events(self) -> Iterator[Event]:
+        """Yield the event stream in order."""
+        rng = RandomSource(self.seed).stream("nexmark")
+        next_person = 0
+        next_auction = 0
+        timestamp = 0.0
+        for index in range(self.num_events):
+            offset = index % _CYCLE
+            timestamp += self.inter_event_seconds
+            if offset < PERSON_PROPORTION or next_person == 0:
+                first = _FIRST_NAMES[rng.randrange(len(_FIRST_NAMES))]
+                last = _LAST_NAMES[rng.randrange(len(_LAST_NAMES))]
+                place = rng.randrange(len(_CITIES))
+                yield Person(
+                    person_id=next_person,
+                    name=f"{first} {last}",
+                    email=f"{first.lower()}.{last.lower()}@example.com",
+                    city=_CITIES[place],
+                    state=_STATES[place],
+                    date_time=timestamp,
+                )
+                next_person += 1
+            elif offset < PERSON_PROPORTION + AUCTION_PROPORTION or next_auction == 0:
+                initial = 1 + rng.randrange(100)
+                yield Auction(
+                    auction_id=next_auction,
+                    item_name=_ITEMS[rng.randrange(len(_ITEMS))],
+                    initial_bid=initial,
+                    reserve=initial + rng.randrange(200),
+                    seller=rng.randrange(next_person),
+                    category=rng.randrange(NUM_CATEGORIES),
+                    date_time=timestamp,
+                    expires=timestamp + 10.0 + rng.randrange(100),
+                )
+                next_auction += 1
+            else:
+                yield Bid(
+                    auction=rng.randrange(next_auction),
+                    bidder=rng.randrange(next_person),
+                    price=1 + rng.randrange(10_000),
+                    date_time=timestamp,
+                )
+
+    def event_list(self) -> list[Event]:
+        """The full stream as a list."""
+        return list(self.events())
+
+    def encoded(self) -> list[str]:
+        """The full stream in wire format."""
+        return [encode_event(event) for event in self.events()]
+
+
+def encode_event(event: Event) -> str:
+    """Serialise an event to the tab-separated wire format."""
+    if isinstance(event, Person):
+        return "\t".join(
+            (
+                "P",
+                str(event.person_id),
+                event.name,
+                event.email,
+                event.city,
+                event.state,
+                repr(event.date_time),
+            )
+        )
+    if isinstance(event, Auction):
+        return "\t".join(
+            (
+                "A",
+                str(event.auction_id),
+                event.item_name,
+                str(event.initial_bid),
+                str(event.reserve),
+                str(event.seller),
+                str(event.category),
+                repr(event.date_time),
+                repr(event.expires),
+            )
+        )
+    if isinstance(event, Bid):
+        return "\t".join(
+            (
+                "B",
+                str(event.auction),
+                str(event.bidder),
+                str(event.price),
+                repr(event.date_time),
+            )
+        )
+    raise TypeError(f"not a NEXMark event: {event!r}")
+
+
+def decode_event(line: str) -> Event:
+    """Parse an event from the wire format."""
+    parts = line.split("\t")
+    tag = parts[0]
+    if tag == "P":
+        return Person(
+            person_id=int(parts[1]),
+            name=parts[2],
+            email=parts[3],
+            city=parts[4],
+            state=parts[5],
+            date_time=float(parts[6]),
+        )
+    if tag == "A":
+        return Auction(
+            auction_id=int(parts[1]),
+            item_name=parts[2],
+            initial_bid=int(parts[3]),
+            reserve=int(parts[4]),
+            seller=int(parts[5]),
+            category=int(parts[6]),
+            date_time=float(parts[7]),
+            expires=float(parts[8]),
+        )
+    if tag == "B":
+        return Bid(
+            auction=int(parts[1]),
+            bidder=int(parts[2]),
+            price=int(parts[3]),
+            date_time=float(parts[4]),
+        )
+    raise ValueError(f"unknown event tag: {tag!r}")

@@ -1,0 +1,233 @@
+"""NEXMark queries over the auction workload.
+
+Implemented in the same dual form as the StreamBench queries: an
+engine-level :class:`StreamFunction` (runnable natively on all three
+engines) and a Beam transform (runnable through the runners; Q3 is
+stateful, so the Spark runner refuses it — the same capability gap that
+shaped the paper's benchmark).
+
+* **Q0 passthrough** — the NEXMark identity baseline;
+* **Q1 currency conversion** — bid prices from dollars to euros (map);
+* **Q2 selection** — bids on a fixed set of auctions (filter);
+* **Q3 local item suggestion** — who is selling in particular states: an
+  incremental join between person registrations and auction openings
+  (stateful);
+* **Q4-style category averages** — running average of winning-bid-less
+  prices per category, simplified to a running mean of bid prices per
+  auction category (stateful).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+import repro.beam as beam
+from repro.dataflow.functions import (
+    FilterFunction,
+    FlatMapFunction,
+    IdentityFunction,
+    StreamFunction,
+)
+from repro.workloads.nexmark import Auction, Bid, Event, Person, USD_TO_EUR
+
+#: Q2's auction filter (the original uses a modulus selection).
+Q2_AUCTION_MODULUS = 123
+#: Q3's target states (from the original query).
+Q3_STATES = frozenset({"OR", "ID", "CA"})
+
+
+# ---------------------------------------------------------------------------
+# engine-level functions
+# ---------------------------------------------------------------------------
+
+def q0_passthrough() -> StreamFunction:
+    """Q0: emit every event unchanged."""
+    return IdentityFunction()
+
+
+class _Q1Convert(StreamFunction):
+    name = "Q1 Currency Conversion"
+    cost_weight = 1.2
+
+    def process(self, event: Event) -> Iterable[Bid]:
+        if isinstance(event, Bid):
+            return (
+                Bid(
+                    auction=event.auction,
+                    bidder=event.bidder,
+                    price=round(event.price * USD_TO_EUR),
+                    date_time=event.date_time,
+                ),
+            )
+        return ()
+
+
+def q1_currency_conversion() -> StreamFunction:
+    """Q1: bids with prices converted to euros."""
+    return _Q1Convert()
+
+
+def q2_selection() -> StreamFunction:
+    """Q2: bids on auctions whose id is a multiple of the modulus."""
+    return FilterFunction(
+        lambda event: isinstance(event, Bid)
+        and event.auction % Q2_AUCTION_MODULUS == 0,
+        name="Q2 Selection",
+        cost_weight=0.5,
+    )
+
+
+class _Q3Join(StreamFunction):
+    """Q3: incremental person⋈auction join on seller, filtered by state.
+
+    Keeps the person table for the target states; emits
+    ``(person_name, city, state, auction_id)`` whenever a seller from a
+    target state opens an auction (auction-side arrival; NEXMark's persons
+    always register before they sell).
+    """
+
+    name = "Q3 Local Item Suggestion"
+    cost_weight = 2.5
+
+    def __init__(self) -> None:
+        self.persons: dict[int, Person] = {}
+
+    def open(self) -> None:
+        self.persons.clear()
+
+    def process(self, event: Event) -> Iterable[tuple[str, str, str, int]]:
+        if isinstance(event, Person):
+            if event.state in Q3_STATES:
+                self.persons[event.person_id] = event
+            return ()
+        if isinstance(event, Auction):
+            person = self.persons.get(event.seller)
+            if person is not None:
+                return ((person.name, person.city, person.state, event.auction_id),)
+        return ()
+
+    def snapshot(self) -> dict[int, Person]:
+        return dict(self.persons)
+
+    def restore(self, state: dict[int, Person]) -> None:
+        self.persons = dict(state)
+
+
+def q3_local_item_suggestion() -> StreamFunction:
+    """Q3: the stateful join (excluded from Beam-on-Spark, like the paper's
+    stateful queries)."""
+    return _Q3Join()
+
+
+class _Q4CategoryAverage(StreamFunction):
+    """Simplified Q4: running mean bid price per auction category."""
+
+    name = "Q4 Category Average"
+    cost_weight = 2.0
+
+    def __init__(self) -> None:
+        self.categories: dict[int, int] = {}
+        self.sums: dict[int, float] = {}
+        self.counts: dict[int, int] = {}
+
+    def open(self) -> None:
+        self.categories.clear()
+        self.sums.clear()
+        self.counts.clear()
+
+    def process(self, event: Event) -> Iterable[tuple[int, float]]:
+        if isinstance(event, Auction):
+            self.categories[event.auction_id] = event.category
+            return ()
+        if isinstance(event, Bid):
+            category = self.categories.get(event.auction)
+            if category is None:
+                return ()
+            self.sums[category] = self.sums.get(category, 0.0) + event.price
+            self.counts[category] = self.counts.get(category, 0) + 1
+            return ((category, self.sums[category] / self.counts[category]),)
+        return ()
+
+    def snapshot(self) -> tuple[dict, dict, dict]:
+        return (dict(self.categories), dict(self.sums), dict(self.counts))
+
+    def restore(self, state: tuple[dict, dict, dict]) -> None:
+        categories, sums, counts = state
+        self.categories = dict(categories)
+        self.sums = dict(sums)
+        self.counts = dict(counts)
+
+
+def q4_category_average() -> StreamFunction:
+    """Simplified Q4: running category price averages (stateful)."""
+    return _Q4CategoryAverage()
+
+
+# ---------------------------------------------------------------------------
+# Beam transforms
+# ---------------------------------------------------------------------------
+
+class _FunctionDoFn(beam.DoFn):
+    """Wraps an engine StreamFunction as a DoFn (stateful if it is)."""
+
+    def __init__(self, function: StreamFunction, stateful: bool) -> None:
+        self._function = function
+        self.stateful = stateful
+        self.cost_weight = function.cost_weight
+        self.rng_draws_per_record = function.rng_draws_per_record
+
+    def setup(self) -> None:
+        self._function.open()
+
+    def process(self, element: Any) -> Iterable[Any]:
+        return self._function.process(element)
+
+    def teardown(self) -> None:
+        self._function.close()
+
+    def default_label(self) -> str:
+        return self._function.name
+
+
+def beam_q0() -> beam.PTransform | None:
+    """Q0 as a Beam transform (no user operator at all)."""
+    return None
+
+
+def beam_q1() -> beam.PTransform:
+    """Q1 as a Beam ParDo."""
+    return beam.ParDo(_FunctionDoFn(q1_currency_conversion(), stateful=False), "Q1")
+
+
+def beam_q2() -> beam.PTransform:
+    """Q2 as a Beam ParDo."""
+    return beam.ParDo(_FunctionDoFn(q2_selection(), stateful=False), "Q2")
+
+
+def beam_q3() -> beam.PTransform:
+    """Q3 as a *stateful* Beam ParDo (refused by the Spark runner)."""
+    return beam.ParDo(_FunctionDoFn(q3_local_item_suggestion(), stateful=True), "Q3")
+
+
+def beam_q4() -> beam.PTransform:
+    """Q4 as a *stateful* Beam ParDo."""
+    return beam.ParDo(_FunctionDoFn(q4_category_average(), stateful=True), "Q4")
+
+
+def beam_q5_hot_items(window_seconds: float = 10.0) -> list[beam.PTransform]:
+    """Q5 (hot items) as a windowed transform chain for the DirectRunner.
+
+    Returns the transform sequence: window bids into fixed windows, key by
+    auction, count per key — yielding ``(auction, bids_in_window)`` pairs.
+    Engine runners translate only *global-window* GroupByKeys in this
+    reproduction, so the windowed Q5 is DirectRunner-only — mirroring how
+    the real NEXMark suite's windowed queries lag behind on some runners
+    ("a complete implementation of all queries for all runners is work in
+    progress", paper IV).
+    """
+    return [
+        beam.Filter(lambda e: isinstance(e, Bid), label="Q5/JustBids"),
+        beam.WindowInto(beam.FixedWindows(window_seconds), label="Q5/Window"),
+        beam.WithKeys(lambda bid: bid.auction, label="Q5/KeyByAuction"),
+        beam.Count.per_key("Q5/CountPerAuction"),
+    ]

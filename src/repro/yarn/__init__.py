@@ -1,0 +1,35 @@
+"""A Hadoop-YARN-like resource management substrate, simulated.
+
+Apache Apex runs on Hadoop YARN (paper Section II-D, Figures 3 and 4): a
+client submits an application to the **ResourceManager**, which allocates
+**containers** — logical bundles of VCOREs and memory tied to a node — on
+**NodeManagers**.  The first container hosts the **ApplicationMaster** (for
+Apex: STRAM), which then requests further containers for the application's
+operators.  Communication between ResourceManager and NodeManagers happens
+via heartbeats.
+
+This package models exactly that lifecycle, including VCORE accounting —
+the mechanism the paper uses to configure parallelism on Apex, which has no
+direct parallelism option.
+"""
+
+from repro.yarn.application import ApplicationMaster, ApplicationReport, YarnApplicationState
+from repro.yarn.containers import Container, ContainerState
+from repro.yarn.errors import InsufficientResourcesError, YarnError
+from repro.yarn.node_manager import NodeManager
+from repro.yarn.resource_manager import ResourceManager, YarnCluster
+from repro.yarn.resources import Resource
+
+__all__ = [
+    "ApplicationMaster",
+    "ApplicationReport",
+    "YarnApplicationState",
+    "Container",
+    "ContainerState",
+    "YarnError",
+    "InsufficientResourcesError",
+    "NodeManager",
+    "ResourceManager",
+    "YarnCluster",
+    "Resource",
+]

@@ -1,0 +1,120 @@
+"""Application lifecycle: reports, states, and the ApplicationMaster base."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.yarn.containers import Container
+from repro.yarn.errors import InvalidStateTransitionError
+from repro.yarn.resources import Resource
+
+
+class YarnApplicationState(enum.Enum):
+    """States an application moves through, as in YARN."""
+
+    SUBMITTED = "submitted"
+    ACCEPTED = "accepted"
+    RUNNING = "running"
+    FINISHED = "finished"
+    FAILED = "failed"
+    KILLED = "killed"
+
+
+_ALLOWED = {
+    YarnApplicationState.SUBMITTED: {
+        YarnApplicationState.ACCEPTED,
+        YarnApplicationState.FAILED,
+        YarnApplicationState.KILLED,
+    },
+    YarnApplicationState.ACCEPTED: {
+        YarnApplicationState.RUNNING,
+        YarnApplicationState.FAILED,
+        YarnApplicationState.KILLED,
+    },
+    YarnApplicationState.RUNNING: {
+        YarnApplicationState.FINISHED,
+        YarnApplicationState.FAILED,
+        YarnApplicationState.KILLED,
+    },
+    YarnApplicationState.FINISHED: set(),
+    YarnApplicationState.FAILED: set(),
+    YarnApplicationState.KILLED: set(),
+}
+
+
+@dataclass
+class ApplicationReport:
+    """The ResourceManager's view of one application."""
+
+    app_id: str
+    name: str
+    state: YarnApplicationState = YarnApplicationState.SUBMITTED
+    am_container_id: str | None = None
+    container_ids: list[str] = field(default_factory=list)
+    submitted_at: float = 0.0
+    finished_at: float | None = None
+
+    def transition(self, new_state: YarnApplicationState) -> None:
+        """Move to ``new_state``, enforcing the lifecycle graph."""
+        if new_state not in _ALLOWED[self.state]:
+            raise InvalidStateTransitionError(
+                f"application {self.app_id}: {self.state.value} -> "
+                f"{new_state.value} is not allowed"
+            )
+        self.state = new_state
+
+
+class ApplicationMaster:
+    """Base class for per-application masters (paper: one special container).
+
+    Subclasses (the Apex STRAM, a generic test master) override
+    :meth:`on_start` to request worker containers through the supplied
+    ResourceManager handle and :meth:`on_stop` for cleanup.  The container
+    hosting the master is provided by the RM at launch.
+    """
+
+    #: Resource footprint of the master container itself.
+    am_resource = Resource(vcores=1, memory_mb=1024)
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.app_id: str | None = None
+        self.container: Container | None = None
+
+    def bind(self, app_id: str, container: Container) -> None:
+        """Called by the RM once the AM container is allocated."""
+        self.app_id = app_id
+        self.container = container
+
+    def on_start(self, resource_manager: "ResourceManagerHandle") -> None:
+        """Hook: request containers and start the application's work."""
+
+    def on_stop(self) -> None:
+        """Hook: release any application state."""
+
+
+class ResourceManagerHandle:
+    """The narrow interface an ApplicationMaster gets to the RM.
+
+    Real YARN AMs talk to the RM over a constrained protocol; this mirrors
+    that by exposing only container allocation/release for the AM's own
+    application.
+    """
+
+    def __init__(self, resource_manager: "ResourceManager", app_id: str) -> None:  # noqa: F821
+        self._rm = resource_manager
+        self._app_id = app_id
+
+    def allocate(self, resource: Resource, role: str = "") -> Container:
+        """Allocate one container for this application."""
+        return self._rm.allocate_container(self._app_id, resource, role)
+
+    def release(self, container: Container) -> None:
+        """Release one of this application's containers."""
+        if container.app_id != self._app_id:
+            raise InvalidStateTransitionError(
+                f"container {container.container_id} belongs to "
+                f"{container.app_id}, not {self._app_id}"
+            )
+        self._rm.release_container(container)

@@ -1,0 +1,57 @@
+"""Containers: allocated resource bundles tied to a node."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.yarn.errors import InvalidStateTransitionError
+from repro.yarn.resources import Resource
+
+
+class ContainerState(enum.Enum):
+    """Lifecycle of a container."""
+
+    ALLOCATED = "allocated"
+    RUNNING = "running"
+    COMPLETED = "completed"
+    KILLED = "killed"
+
+
+_ALLOWED = {
+    ContainerState.ALLOCATED: {ContainerState.RUNNING, ContainerState.KILLED},
+    ContainerState.RUNNING: {ContainerState.COMPLETED, ContainerState.KILLED},
+    ContainerState.COMPLETED: set(),
+    ContainerState.KILLED: set(),
+}
+
+
+@dataclass
+class Container:
+    """One allocated container.
+
+    ``role`` is free-form metadata used by applications (the Apex engine
+    labels containers with the operator they host, or ``"STRAM"`` for the
+    application master).
+    """
+
+    container_id: str
+    node_id: str
+    resource: Resource
+    app_id: str
+    role: str = ""
+    state: ContainerState = field(default=ContainerState.ALLOCATED)
+
+    def transition(self, new_state: ContainerState) -> None:
+        """Move to ``new_state``, enforcing the lifecycle graph."""
+        if new_state not in _ALLOWED[self.state]:
+            raise InvalidStateTransitionError(
+                f"container {self.container_id}: {self.state.value} -> "
+                f"{new_state.value} is not allowed"
+            )
+        self.state = new_state
+
+    @property
+    def is_live(self) -> bool:
+        """Whether the container still holds node resources."""
+        return self.state in (ContainerState.ALLOCATED, ContainerState.RUNNING)

@@ -1,0 +1,27 @@
+"""YARN error hierarchy."""
+
+from __future__ import annotations
+
+
+class YarnError(Exception):
+    """Base class for YARN substrate errors."""
+
+
+class InsufficientResourcesError(YarnError):
+    """No node can satisfy a container request."""
+
+    def __init__(self, requested: object) -> None:
+        super().__init__(f"no node can satisfy container request {requested}")
+        self.requested = requested
+
+
+class UnknownApplicationError(YarnError):
+    """An application id was referenced that the ResourceManager never saw."""
+
+    def __init__(self, app_id: str) -> None:
+        super().__init__(f"unknown application: {app_id}")
+        self.app_id = app_id
+
+
+class InvalidStateTransitionError(YarnError):
+    """An application or container moved through an illegal state change."""

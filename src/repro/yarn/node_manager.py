@@ -1,0 +1,78 @@
+"""NodeManagers: per-node daemons tracking container allocations."""
+
+from __future__ import annotations
+
+from repro.yarn.containers import Container, ContainerState
+from repro.yarn.errors import InsufficientResourcesError, YarnError
+from repro.yarn.resources import Resource
+
+
+class NodeManager:
+    """One worker node's resource daemon.
+
+    Tracks capacity and live containers; the ResourceManager asks it whether
+    a request fits and instructs it to launch/release containers.  Heartbeat
+    timestamps are recorded so tests can assert the RM↔NM protocol ran.
+    """
+
+    def __init__(self, node_id: str, capacity: Resource) -> None:
+        self.node_id = node_id
+        self.capacity = capacity
+        self.containers: dict[str, Container] = {}
+        self.last_heartbeat: float = 0.0
+        self.heartbeat_count: int = 0
+
+    @property
+    def allocated(self) -> Resource:
+        """Resources currently held by live containers."""
+        total = Resource(0, 0)
+        for container in self.containers.values():
+            if container.is_live:
+                total = total + container.resource
+        return total
+
+    @property
+    def available(self) -> Resource:
+        """Headroom left on this node."""
+        return self.capacity - self.allocated
+
+    def can_fit(self, request: Resource) -> bool:
+        """Whether ``request`` fits in the current headroom."""
+        return request.fits_within(self.available)
+
+    def launch(self, container: Container) -> None:
+        """Accept an allocated container onto this node."""
+        if container.node_id != self.node_id:
+            raise YarnError(
+                f"container {container.container_id} is bound to "
+                f"{container.node_id}, not {self.node_id}"
+            )
+        if not self.can_fit(container.resource):
+            raise InsufficientResourcesError(container.resource)
+        self.containers[container.container_id] = container
+
+    def release(self, container_id: str, state: ContainerState = ContainerState.COMPLETED) -> None:
+        """Finish a container, freeing its resources."""
+        container = self.containers.get(container_id)
+        if container is None:
+            raise YarnError(f"unknown container on {self.node_id}: {container_id}")
+        if container.is_live:
+            if container.state is ContainerState.ALLOCATED and state is ContainerState.COMPLETED:
+                container.transition(ContainerState.KILLED)
+            else:
+                container.transition(state)
+
+    def live_containers(self) -> list[Container]:
+        """Containers currently holding resources."""
+        return [c for c in self.containers.values() if c.is_live]
+
+    def heartbeat(self, now: float) -> None:
+        """Record one RM heartbeat at simulated time ``now``."""
+        self.last_heartbeat = now
+        self.heartbeat_count += 1
+
+    def __repr__(self) -> str:
+        return (
+            f"NodeManager({self.node_id!r}, capacity={self.capacity}, "
+            f"available={self.available})"
+        )

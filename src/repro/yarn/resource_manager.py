@@ -1,0 +1,212 @@
+"""The ResourceManager and the YarnCluster facade."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+from repro.simtime import Simulator
+from repro.yarn.application import (
+    ApplicationMaster,
+    ApplicationReport,
+    ResourceManagerHandle,
+    YarnApplicationState,
+)
+from repro.yarn.containers import Container, ContainerState
+from repro.yarn.errors import InsufficientResourcesError, UnknownApplicationError
+from repro.yarn.node_manager import NodeManager
+from repro.yarn.resources import Resource
+
+
+@dataclass(frozen=True)
+class YarnCosts:
+    """Simulated-time costs of YARN operations, in seconds.
+
+    Container allocation in YARN involves RM scheduling plus an NM heartbeat
+    round trip before the container launches — tens to hundreds of
+    milliseconds in practice.  Application submission adds client/RM
+    round-trips and AM launch.
+    """
+
+    submit_application: float = 0.35
+    allocate_container: float = 0.12
+    launch_container: float = 0.25
+    heartbeat_interval: float = 1.0
+
+
+class ResourceManager:
+    """Distributes cluster resources among applications (paper Fig. 4).
+
+    Allocation uses deterministic best-fit-decreasing over registered
+    NodeManagers (most headroom first, node id as tie-breaker), which spreads
+    operator containers across nodes the way YARN's capacity scheduler
+    spreads load.
+    """
+
+    def __init__(self, simulator: Simulator, costs: YarnCosts | None = None) -> None:
+        self.simulator = simulator
+        self.costs = costs or YarnCosts()
+        self.node_managers: dict[str, NodeManager] = {}
+        self.applications: dict[str, ApplicationReport] = {}
+        self._masters: dict[str, ApplicationMaster] = {}
+        self._app_counter = itertools.count(1)
+        self._container_counter = itertools.count(1)
+
+    # ------------------------------------------------------------------
+    # cluster membership
+    # ------------------------------------------------------------------
+    def register_node(self, node: NodeManager) -> None:
+        """Add a NodeManager to the cluster."""
+        self.node_managers[node.node_id] = node
+
+    def heartbeat_all(self) -> None:
+        """Run one heartbeat round between the RM and every NM."""
+        now = self.simulator.now()
+        for node in self.node_managers.values():
+            node.heartbeat(now)
+
+    def total_capacity(self) -> Resource:
+        """Sum of node capacities."""
+        total = Resource(0, 0)
+        for node in self.node_managers.values():
+            total = total + node.capacity
+        return total
+
+    def available_resources(self) -> Resource:
+        """Sum of node headrooms."""
+        total = Resource(0, 0)
+        for node in self.node_managers.values():
+            total = total + node.available
+        return total
+
+    # ------------------------------------------------------------------
+    # application lifecycle
+    # ------------------------------------------------------------------
+    def submit_application(self, master: ApplicationMaster) -> ApplicationReport:
+        """Accept an application, launch its AM container, run ``on_start``.
+
+        Mirrors the paper's Figure 4 flow: client submits to the RM, the RM
+        allocates the special ApplicationMaster container, and the AM then
+        requests the application's worker containers.
+        """
+        app_id = f"application_{next(self._app_counter):04d}"
+        report = ApplicationReport(
+            app_id=app_id, name=master.name, submitted_at=self.simulator.now()
+        )
+        self.applications[app_id] = report
+        self._masters[app_id] = master
+        self.simulator.charge(self.costs.submit_application)
+        report.transition(YarnApplicationState.ACCEPTED)
+
+        am_container = self.allocate_container(app_id, master.am_resource, role="AM")
+        am_container.transition(ContainerState.RUNNING)
+        report.am_container_id = am_container.container_id
+        master.bind(app_id, am_container)
+
+        report.transition(YarnApplicationState.RUNNING)
+        master.on_start(ResourceManagerHandle(self, app_id))
+        return report
+
+    def finish_application(
+        self,
+        app_id: str,
+        state: YarnApplicationState = YarnApplicationState.FINISHED,
+    ) -> ApplicationReport:
+        """Stop an application, releasing all its containers."""
+        report = self._report(app_id)
+        master = self._masters[app_id]
+        master.on_stop()
+        for node in self.node_managers.values():
+            for container in list(node.live_containers()):
+                if container.app_id == app_id:
+                    node.release(container.container_id)
+        report.transition(state)
+        report.finished_at = self.simulator.now()
+        return report
+
+    def application_report(self, app_id: str) -> ApplicationReport:
+        """Return the current report for ``app_id``."""
+        return self._report(app_id)
+
+    # ------------------------------------------------------------------
+    # containers
+    # ------------------------------------------------------------------
+    def allocate_container(
+        self, app_id: str, resource: Resource, role: str = ""
+    ) -> Container:
+        """Allocate and launch one container for ``app_id``."""
+        report = self._report(app_id)
+        node = self._choose_node(resource)
+        if node is None:
+            raise InsufficientResourcesError(resource)
+        container = Container(
+            container_id=f"container_{next(self._container_counter):06d}",
+            node_id=node.node_id,
+            resource=resource,
+            app_id=app_id,
+            role=role,
+        )
+        self.simulator.charge(
+            self.costs.allocate_container + self.costs.launch_container
+        )
+        node.launch(container)
+        node.heartbeat(self.simulator.now())
+        report.container_ids.append(container.container_id)
+        return container
+
+    def release_container(self, container: Container) -> None:
+        """Release a live container back to its node."""
+        node = self.node_managers.get(container.node_id)
+        if node is None:
+            raise UnknownApplicationError(container.app_id)
+        node.release(container.container_id)
+
+    def _choose_node(self, resource: Resource) -> NodeManager | None:
+        candidates = [
+            node for node in self.node_managers.values() if node.can_fit(resource)
+        ]
+        if not candidates:
+            return None
+        candidates.sort(key=lambda n: (-n.available.vcores, -n.available.memory_mb, n.node_id))
+        return candidates[0]
+
+    def _report(self, app_id: str) -> ApplicationReport:
+        report = self.applications.get(app_id)
+        if report is None:
+            raise UnknownApplicationError(app_id)
+        return report
+
+
+class YarnCluster:
+    """Convenience facade: a ResourceManager plus homogeneous NodeManagers.
+
+    The paper's DSPS cluster has two worker nodes with 8 cores each; the
+    defaults match, and the per-node VCORE count is the knob the paper turns
+    to set Apex parallelism.
+    """
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        num_nodes: int = 2,
+        vcores_per_node: int = 8,
+        memory_mb_per_node: int = 65536,
+    ) -> None:
+        self.simulator = simulator
+        self.resource_manager = ResourceManager(simulator)
+        self.nodes = []
+        for index in range(num_nodes):
+            node = NodeManager(
+                node_id=f"node-{index}",
+                capacity=Resource(vcores=vcores_per_node, memory_mb=memory_mb_per_node),
+            )
+            self.resource_manager.register_node(node)
+            self.nodes.append(node)
+
+    def submit(self, master: ApplicationMaster) -> ApplicationReport:
+        """Submit an application to the ResourceManager."""
+        return self.resource_manager.submit_application(master)
+
+    def finish(self, app_id: str) -> ApplicationReport:
+        """Finish an application normally."""
+        return self.resource_manager.finish_application(app_id)

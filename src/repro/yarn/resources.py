@@ -1,0 +1,35 @@
+"""Resource vectors: VCOREs plus memory, as in YARN."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, order=True)
+class Resource:
+    """A logical bundle of resources (paper II-D: "e.g. 4GB RAM and 1 CPU").
+
+    Comparison and arithmetic are component-wise.  The paper controls Apex
+    parallelism by setting the number of VCOREs in the YARN configuration,
+    which is why VCOREs come first here.
+    """
+
+    vcores: int
+    memory_mb: int
+
+    def __post_init__(self) -> None:
+        if self.vcores < 0 or self.memory_mb < 0:
+            raise ValueError(f"resources must be non-negative, got {self}")
+
+    def fits_within(self, other: "Resource") -> bool:
+        """Whether this request fits inside ``other``."""
+        return self.vcores <= other.vcores and self.memory_mb <= other.memory_mb
+
+    def __add__(self, other: "Resource") -> "Resource":
+        return Resource(self.vcores + other.vcores, self.memory_mb + other.memory_mb)
+
+    def __sub__(self, other: "Resource") -> "Resource":
+        return Resource(self.vcores - other.vcores, self.memory_mb - other.memory_mb)
+
+    def __str__(self) -> str:
+        return f"<{self.vcores} vcores, {self.memory_mb} MB>"

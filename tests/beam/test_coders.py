@@ -1,0 +1,67 @@
+"""Tests for repro.beam.coders."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.beam.coders import (
+    BytesCoder,
+    KvCoder,
+    PickleCoder,
+    StrUtf8Coder,
+    VarIntCoder,
+    registry_default,
+)
+
+
+class TestCoders:
+    def test_bytes_roundtrip(self):
+        assert BytesCoder().decode(BytesCoder().encode(b"abc")) == b"abc"
+
+    def test_bytes_rejects_str(self):
+        with pytest.raises(TypeError):
+            BytesCoder().encode("abc")  # type: ignore[arg-type]
+
+    def test_str_roundtrip(self):
+        coder = StrUtf8Coder()
+        assert coder.decode(coder.encode("héllo")) == "héllo"
+
+    def test_str_rejects_bytes(self):
+        with pytest.raises(TypeError):
+            StrUtf8Coder().encode(b"x")  # type: ignore[arg-type]
+
+    def test_varint_roundtrip(self):
+        coder = VarIntCoder()
+        for value in (0, 1, -1, 2**40, -(2**40)):
+            assert coder.decode(coder.encode(value)) == value
+
+    def test_pickle_roundtrip(self):
+        coder = PickleCoder()
+        value = {"a": [1, 2, (3, 4)]}
+        assert coder.decode(coder.encode(value)) == value
+
+    def test_kv_roundtrip(self):
+        coder = KvCoder(StrUtf8Coder(), VarIntCoder())
+        assert coder.decode(coder.encode(("key", 42))) == ("key", 42)
+
+    def test_registry_picks_sensible_coders(self):
+        assert isinstance(registry_default(b"x"), BytesCoder)
+        assert isinstance(registry_default("x"), StrUtf8Coder)
+        assert isinstance(registry_default(3), VarIntCoder)
+        assert isinstance(registry_default(("k", 1)), KvCoder)
+        assert isinstance(registry_default([1, 2]), PickleCoder)
+        assert isinstance(registry_default(True), PickleCoder)
+
+    @given(st.text())
+    def test_str_roundtrip_property(self, value):
+        coder = StrUtf8Coder()
+        assert coder.decode(coder.encode(value)) == value
+
+    @given(st.integers(min_value=-(2**63), max_value=2**63 - 1))
+    def test_varint_roundtrip_property(self, value):
+        coder = VarIntCoder()
+        assert coder.decode(coder.encode(value)) == value
+
+    @given(st.tuples(st.text(), st.integers(-(2**31), 2**31)))
+    def test_kv_roundtrip_property(self, kv):
+        coder = KvCoder(StrUtf8Coder(), VarIntCoder())
+        assert coder.decode(coder.encode(kv)) == kv

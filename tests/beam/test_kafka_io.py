@@ -1,0 +1,117 @@
+"""Tests for the KafkaIO transforms (expansion structure and semantics)."""
+
+import pytest
+
+import repro.beam as beam
+from repro.beam.errors import BeamError
+from repro.beam.io.kafka import (
+    KafkaRead,
+    KafkaRecord,
+    KafkaWrite,
+    ReadFromKafka,
+    WriteToKafka,
+    read,
+    write,
+)
+from repro.broker import Producer
+
+
+@pytest.fixture
+def topic(broker, admin):
+    admin.create_topic("t")
+    with Producer(broker) as producer:
+        producer.send_values("t", ["v0", "v1", "v2"])
+    return "t"
+
+
+class TestReadExpansion:
+    def test_plain_read_produces_records_with_metadata(self, broker, topic):
+        p = beam.Pipeline()
+        pcoll = p | read(broker, topic)
+        result = p.run()
+        records = result.outputs[pcoll.producer.full_label]
+        assert all(isinstance(r, KafkaRecord) for r in records)
+        assert [r.value for r in records] == ["v0", "v1", "v2"]
+        assert [r.offset for r in records] == [0, 1, 2]
+
+    def test_without_metadata_yields_kv_pairs(self, broker, topic):
+        p = beam.Pipeline()
+        pcoll = p | read(broker, topic).without_metadata()
+        result = p.run()
+        assert result.outputs[pcoll.producer.full_label] == [
+            (None, "v0"),
+            (None, "v1"),
+            (None, "v2"),
+        ]
+
+    def test_without_metadata_adds_a_pardo_node(self, broker, topic):
+        plain = beam.Pipeline()
+        plain | read(broker, topic)
+        chained = beam.Pipeline()
+        chained | read(broker, topic).without_metadata()
+        # the paper: "The first ParDo represents calling withoutMetadata()"
+        assert len(chained.applied) == len(plain.applied) + 1
+
+    def test_read_must_be_root(self, broker, topic):
+        p = beam.Pipeline()
+        pcoll = p | beam.Create([1])
+        with pytest.raises(BeamError):
+            pcoll | KafkaRead(broker, topic)
+
+    def test_bounded_flag_propagates(self, broker, topic):
+        p = beam.Pipeline()
+        pcoll = p | read(broker, topic, bounded=False)
+        assert not pcoll.is_bounded
+
+    def test_record_kv_view(self):
+        record = KafkaRecord("t", 0, 5, 1.0, "k", "v")
+        assert record.kv() == ("k", "v")
+
+    def test_kafka_record_timestamps_carried(self, sim, broker, admin):
+        admin.create_topic("ts")
+        with Producer(broker, batch_size=1) as producer:
+            producer.send("ts", "a")
+            sim.charge(3.0)
+            producer.send("ts", "b")
+        p = beam.Pipeline()
+        pcoll = p | read(broker, "ts")
+        result = p.run()
+        records = result.outputs[pcoll.producer.full_label]
+        # ~3 s of clock advance plus the second produce request's overhead
+        assert records[1].timestamp - records[0].timestamp == pytest.approx(
+            3.0, abs=0.01
+        )
+
+
+class TestWriteExpansion:
+    def test_write_expands_to_ensure_kv_plus_primitive(self, broker, admin, topic):
+        admin.create_topic("out")
+        p = beam.Pipeline()
+        pcoll = p | beam.Create(["x"])
+        pcoll | write(broker, "out")
+        transforms = [type(node.transform).__name__ for node in p.applied]
+        assert transforms == ["Create", "ParDo", "KafkaWrite"]
+
+    def test_write_unwraps_values(self, broker, admin):
+        admin.create_topic("out")
+        p = beam.Pipeline()
+        p | beam.Create(["x", "y"]) | write(broker, "out")
+        p.run()
+        assert broker.topic("out").partition(0).read_values(0) == ["x", "y"]
+
+    def test_write_keeps_value_of_kv_pairs(self, broker, admin):
+        admin.create_topic("out")
+        p = beam.Pipeline()
+        p | beam.Create([("k1", "a"), ("k2", "b")]) | write(broker, "out")
+        p.run()
+        assert broker.topic("out").partition(0).read_values(0) == ["a", "b"]
+
+    def test_write_requires_pcollection(self, broker, admin):
+        admin.create_topic("out")
+        p = beam.Pipeline()
+        with pytest.raises(BeamError):
+            p | WriteToKafka(broker, "out")
+
+    def test_builders_return_composites(self, broker):
+        assert isinstance(read(broker, "x"), ReadFromKafka)
+        assert isinstance(write(broker, "x"), WriteToKafka)

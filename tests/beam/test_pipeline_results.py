@@ -1,0 +1,111 @@
+"""Tests for runner result objects and misc surfaces."""
+
+import pytest
+
+import repro.beam as beam
+from repro.beam.runners import DirectRunner, FlinkRunner, PipelineState
+from repro.beam.runners.base import PipelineResult
+from repro.engines.flink import (
+    CollectSink,
+    FlinkCluster,
+    FromCollectionSource,
+    KafkaSink,
+    KafkaSource,
+)
+from repro.engines.apex.operators import PassThroughOperator
+from repro.simtime import Simulator
+
+
+class TestPipelineResult:
+    def test_wait_until_finish_returns_state(self):
+        p = beam.Pipeline(runner=DirectRunner())
+        p | beam.Create([1]) | beam.Map(lambda v: v)
+        result = p.run()
+        assert result.wait_until_finish() is PipelineState.DONE
+
+    def test_direct_runner_has_no_job_result(self):
+        p = beam.Pipeline(runner=DirectRunner())
+        p | beam.Create([1]) | beam.Map(lambda v: v)
+        result = p.run()
+        assert result.job_result is None
+        assert result.runner_name == "DirectRunner"
+
+    def test_engine_runner_exposes_job_result(self, sim):
+        p = beam.Pipeline(runner=FlinkRunner(FlinkCluster(sim)))
+        p | beam.Create([1, 2]) | beam.Map(lambda v: v)
+        result = p.run()
+        assert result.job_result is not None
+        assert result.job_result.engine == "flink"
+        assert result.job_result.records_in == 2
+
+    def test_default_runner_is_direct(self):
+        p = beam.Pipeline()
+        p | beam.Create([1]) | beam.Map(lambda v: v * 2)
+        result = p.run()
+        assert isinstance(result, PipelineResult)
+        assert result.state is PipelineState.DONE
+
+
+class TestFlinkFunctions:
+    def test_kafka_source_plan_label(self, broker, admin):
+        admin.create_topic("t")
+        source = KafkaSource(broker, "t")
+        assert source.plan_label == "Custom Source"
+        assert source.topic == "t"
+
+    def test_from_collection_copies(self):
+        values = [1, 2]
+        source = FromCollectionSource(values)
+        values.append(3)
+        assert source.run() == [1, 2]
+        # each run returns a fresh list
+        first = source.run()
+        first.append(99)
+        assert source.run() == [1, 2]
+
+    def test_kafka_sink_close_idempotent(self, broker, admin):
+        admin.create_topic("t")
+        sink = KafkaSink(broker, "t")
+        sink.write(["a"])
+        sink.close()
+        sink.close()
+        assert broker.topic("t").total_records() == 1
+
+    def test_collect_sink_exposes_values(self):
+        sink = CollectSink()
+        sink.write([1])
+        sink.write([2, 3])
+        assert sink.values == [1, 2, 3]
+
+
+class TestApexOperators:
+    def test_pass_through(self):
+        op = PassThroughOperator()
+        assert list(op.function.process("x")) == ["x"]
+
+    def test_describe_before_and_after_naming(self):
+        op = PassThroughOperator()
+        assert op.describe() == "PassThroughOperator"
+        op.name = "hop"
+        assert op.describe() == "hop"
+
+
+class TestSimulatorSharedClock:
+    def test_broker_and_engine_share_one_timeline(self, sim, broker, admin):
+        """Core architectural invariant: one clock for the whole world."""
+        from repro.broker import Producer
+        from repro.engines.flink import StreamExecutionEnvironment
+
+        admin.create_topic("in")
+        admin.create_topic("out")
+        with Producer(broker) as producer:
+            producer.send_values("in", ["a"] * 100)
+        ingest_time = sim.now()
+
+        env = StreamExecutionEnvironment(FlinkCluster(sim))
+        env.add_source(KafkaSource(broker, "in")).add_sink(KafkaSink(broker, "out"))
+        env.execute("identity")
+
+        out_log = broker.topic("out").partition(0)
+        assert out_log.first_timestamp() > ingest_time
+        assert sim.now() >= out_log.last_timestamp()

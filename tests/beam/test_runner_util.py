@@ -1,0 +1,134 @@
+"""Unit tests for the runner translation utilities."""
+
+import pytest
+
+import repro.beam as beam
+from repro.beam.errors import BeamError, UnsupportedFeatureError
+from repro.beam.runners.util import (
+    DoFnAdapter,
+    GroupByKeyFunction,
+    extract_kv_value,
+    is_shuffle_node,
+    translate_chain_node,
+)
+
+
+class TestGroupByKeyFunction:
+    def test_groups_and_flushes_on_finish(self):
+        fn = GroupByKeyFunction()
+        fn.open()
+        for pair in [("a", 1), ("b", 2), ("a", 3)]:
+            assert list(fn.process(pair)) == []
+        assert list(fn.finish()) == [("a", [1, 3]), ("b", [2])]
+
+    def test_rejects_non_kv(self):
+        fn = GroupByKeyFunction()
+        with pytest.raises(BeamError):
+            fn.process(42)
+
+    def test_open_resets(self):
+        fn = GroupByKeyFunction()
+        fn.process(("a", 1))
+        fn.open()
+        assert list(fn.finish()) == []
+
+    def test_snapshot_restore_deep_copies(self):
+        fn = GroupByKeyFunction()
+        fn.process(("a", 1))
+        snapshot = fn.snapshot()
+        fn.process(("a", 2))
+        fn.restore(snapshot)
+        assert list(fn.finish()) == [("a", [1])]
+
+
+class TestTranslateChainNode:
+    def _node_for(self, transform, source_kwargs=None):
+        p = beam.Pipeline()
+        pcoll = p | beam.Create([("k", 1)])
+        pcoll | transform
+        return p.applied[-1]
+
+    def test_pardo_becomes_adapter(self):
+        node = self._node_for(beam.Map(lambda kv: kv))
+        function = translate_chain_node(node, "TestRunner")
+        assert isinstance(function, DoFnAdapter)
+
+    def test_gbk_becomes_group_function(self):
+        node = self._node_for(beam.GroupByKey())
+        function = translate_chain_node(node, "TestRunner")
+        assert isinstance(function, GroupByKeyFunction)
+
+    def test_windowed_gbk_rejected(self):
+        p = beam.Pipeline()
+        pcoll = (
+            p
+            | beam.Create([("k", 1)], timestamps=[0.0])
+            | beam.WindowInto(beam.FixedWindows(5.0))
+        )
+        pcoll | beam.GroupByKey()
+        node = p.applied[-1]
+        with pytest.raises(UnsupportedFeatureError, match="windowed"):
+            translate_chain_node(node, "TestRunner")
+
+    def test_untranslatable_transform_rejected(self):
+        p = beam.Pipeline()
+        pcoll = p | beam.Create([1], timestamps=[0.0])
+        pcoll | beam.WindowInto(beam.GlobalWindows())
+        node = p.applied[-1]
+        with pytest.raises(UnsupportedFeatureError):
+            translate_chain_node(node, "TestRunner")
+
+    def test_is_shuffle_node(self):
+        gbk_node = self._node_for(beam.GroupByKey())
+        pardo_node = self._node_for(beam.Map(lambda kv: kv))
+        assert is_shuffle_node(gbk_node)
+        assert not is_shuffle_node(pardo_node)
+
+
+class TestExtractKvValue:
+    def test_kv_pair(self):
+        assert extract_kv_value(("k", "v")) == "v"
+
+    def test_non_pair_passthrough(self):
+        assert extract_kv_value("plain") == "plain"
+        assert extract_kv_value((1, 2, 3)) == (1, 2, 3)
+
+
+class TestDoFnAdapter:
+    def test_none_result_is_empty(self):
+        class NoneDoFn(beam.DoFn):
+            def process(self, element):
+                return None
+
+        adapter = DoFnAdapter(NoneDoFn())
+        assert list(adapter.process("x")) == []
+
+    def test_forwards_cost_attributes(self):
+        class Weighted(beam.DoFn):
+            cost_weight = 3.5
+            rng_draws_per_record = 0.5
+
+            def process(self, element):
+                yield element
+
+        adapter = DoFnAdapter(Weighted())
+        assert adapter.cost_weight == 3.5
+        assert adapter.rng_draws_per_record == 0.5
+
+    def test_lifecycle(self):
+        events = []
+
+        class Probe(beam.DoFn):
+            def setup(self):
+                events.append("setup")
+
+            def process(self, element):
+                yield element
+
+            def teardown(self):
+                events.append("teardown")
+
+        adapter = DoFnAdapter(Probe())
+        adapter.open()
+        adapter.close()
+        assert events == ["setup", "teardown"]

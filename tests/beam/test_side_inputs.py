@@ -1,0 +1,118 @@
+"""Tests for ParDo side inputs (paper II-A)."""
+
+import pytest
+
+import repro.beam as beam
+from repro.beam.errors import UnsupportedFeatureError
+from repro.beam.runners import DirectRunner, FlinkRunner
+from repro.engines.flink import FlinkCluster
+
+
+class EnrichDoFn(beam.DoFn):
+    """Joins each element against a dict side input."""
+
+    def process(self, element):
+        lookup = self.side_inputs["lookup"]
+        yield (element, lookup.get(element, "?"))
+
+
+class ThresholdDoFn(beam.DoFn):
+    """Keeps elements above a singleton side-input threshold."""
+
+    def process(self, element):
+        if element > self.side_inputs["threshold"]:
+            yield element
+
+
+class TestSideInputViews:
+    def test_as_list(self):
+        p = beam.Pipeline()
+        side = p | "Side" >> beam.Create([10, 20])
+
+        class SumSide(beam.DoFn):
+            def process(self, element):
+                yield element + sum(self.side_inputs["extra"])
+
+        pcoll = p | "Main" >> beam.Create([1, 2]) | beam.ParDo(
+            SumSide(), side_inputs={"extra": beam.AsList(side)}
+        )
+        result = p.run()
+        assert result.outputs[pcoll.producer.full_label] == [31, 32]
+
+    def test_as_dict_enrichment(self):
+        p = beam.Pipeline()
+        lookup = p | "Lookup" >> beam.Create([("a", 1), ("b", 2)])
+        pcoll = p | "Main" >> beam.Create(["a", "b", "c"]) | beam.ParDo(
+            EnrichDoFn(), side_inputs={"lookup": beam.AsDict(lookup)}
+        )
+        result = p.run()
+        assert result.outputs[pcoll.producer.full_label] == [
+            ("a", 1),
+            ("b", 2),
+            ("c", "?"),
+        ]
+
+    def test_as_singleton(self):
+        p = beam.Pipeline()
+        threshold = p | "Threshold" >> beam.Create([5])
+        pcoll = p | "Main" >> beam.Create([3, 7, 9]) | beam.ParDo(
+            ThresholdDoFn(), side_inputs={"threshold": beam.AsSingleton(threshold)}
+        )
+        result = p.run()
+        assert result.outputs[pcoll.producer.full_label] == [7, 9]
+
+    def test_singleton_requires_one_element(self):
+        p = beam.Pipeline()
+        threshold = p | "Threshold" >> beam.Create([5, 6])
+        p | "Main" >> beam.Create([1]) | beam.ParDo(
+            ThresholdDoFn(), side_inputs={"threshold": beam.AsSingleton(threshold)}
+        )
+        with pytest.raises(ValueError):
+            p.run()
+
+    def test_side_input_computed_by_upstream_transforms(self):
+        p = beam.Pipeline()
+        side = (
+            p
+            | "Side" >> beam.Create([("k", 1), ("k", 2)])
+            | beam.CombinePerKey(sum)
+        )
+        pcoll = p | "Main" >> beam.Create(["k"]) | beam.ParDo(
+            EnrichDoFn(), side_inputs={"lookup": beam.AsDict(side)}
+        )
+        result = p.run()
+        assert result.outputs[pcoll.producer.full_label] == [("k", 3)]
+
+    def test_view_must_wrap_pcollection(self):
+        with pytest.raises(TypeError):
+            beam.AsList([1, 2, 3])  # type: ignore[arg-type]
+
+    def test_side_inputs_must_be_views(self):
+        p = beam.Pipeline()
+        side = p | beam.Create([1])
+        with pytest.raises(TypeError):
+            beam.ParDo(EnrichDoFn(), side_inputs={"lookup": side})  # type: ignore[dict-item]
+
+
+class TestEngineRunnerLimit:
+    def test_engine_runners_reject_side_inputs(self, sim):
+        """A linear pipeline whose ParDo carries a side input view is
+        refused with a side-input-specific error."""
+        runner = FlinkRunner(FlinkCluster(sim))
+        p = beam.Pipeline(runner=runner)
+        main = p | beam.Create([("a", 1)])
+        main | beam.ParDo(EnrichDoFn(), side_inputs={"lookup": beam.AsDict(main)})
+        with pytest.raises(UnsupportedFeatureError, match="side inputs"):
+            p.run()
+
+    def test_multi_root_side_pipelines_also_rejected(self, sim):
+        """Side inputs from a second root make the graph non-linear, which
+        the engine runners reject as well (DirectRunner handles it)."""
+        runner = FlinkRunner(FlinkCluster(sim))
+        p = beam.Pipeline(runner=runner)
+        side = p | "Side" >> beam.Create([("a", 1)])
+        p | "Main" >> beam.Create(["a"]) | beam.ParDo(
+            EnrichDoFn(), side_inputs={"lookup": beam.AsDict(side)}
+        )
+        with pytest.raises(UnsupportedFeatureError):
+            p.run()

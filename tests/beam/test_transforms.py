@@ -1,0 +1,242 @@
+"""Tests for the Beam model: transforms, pipeline graph, coders."""
+
+import pytest
+
+import repro.beam as beam
+from repro.beam.errors import BeamError, PipelineStateError
+from repro.beam.pvalue import PCollection, PCollectionList
+from repro.beam.runners import DirectRunner
+
+
+def run_and_get(pipeline, pcoll):
+    result = pipeline.run()
+    return result.outputs[pcoll.producer.full_label]
+
+
+class TestPipelineGraph:
+    def test_apply_records_primitives_only(self):
+        p = beam.Pipeline()
+        p | beam.Create([1]) | beam.Map(lambda v: v)
+        labels = [node.full_label for node in p.applied]
+        assert len(labels) == 2  # Create + the Map's ParDo; no composite node
+
+    def test_label_operator(self):
+        p = beam.Pipeline()
+        p | "MySource" >> beam.Create([1])
+        assert p.applied[0].full_label == "MySource"
+
+    def test_duplicate_labels_uniquified(self):
+        p = beam.Pipeline()
+        pc = p | beam.Create([1])
+        pc | "X" >> beam.Map(lambda v: v)
+        pc2 = p | "S2" >> beam.Create([2])
+        pc2 | "X" >> beam.Map(lambda v: v)
+        labels = [node.full_label for node in p.applied]
+        assert len(set(labels)) == len(labels)
+
+    def test_apply_non_transform_raises(self):
+        p = beam.Pipeline()
+        with pytest.raises(BeamError):
+            p | (lambda v: v)  # type: ignore[operator]
+
+    def test_run_twice_raises(self):
+        p = beam.Pipeline()
+        p | beam.Create([1]) | beam.Map(lambda v: v)
+        p.run()
+        with pytest.raises(PipelineStateError):
+            p.run()
+
+    def test_apply_after_run_raises(self):
+        p = beam.Pipeline()
+        pc = p | beam.Create([1])
+        p.run()
+        with pytest.raises(PipelineStateError):
+            pc | beam.Map(lambda v: v)
+
+    def test_context_manager_runs(self):
+        collected = {}
+        with beam.Pipeline() as p:
+            pc = p | beam.Create([1, 2]) | beam.Map(lambda v: v + 1)
+            collected["pc"] = pc
+        assert p.result is not None
+        assert p.result.outputs[collected["pc"].producer.full_label] == [2, 3]
+
+    def test_context_manager_does_not_run_on_error(self):
+        with pytest.raises(RuntimeError):
+            with beam.Pipeline() as p:
+                p | beam.Create([1])
+                raise RuntimeError("boom")
+        assert p.result is None
+
+    def test_consumers(self):
+        p = beam.Pipeline()
+        pc = p | beam.Create([1])
+        pc | "A" >> beam.Map(lambda v: v)
+        pc | "B" >> beam.Map(lambda v: v)
+        assert {n.full_label for n in p.consumers(pc)} == {"A", "B"}
+
+
+class TestElementWiseTransforms:
+    def test_map(self):
+        p = beam.Pipeline()
+        pc = p | beam.Create([1, 2, 3]) | beam.Map(lambda v: v * 2)
+        assert run_and_get(p, pc) == [2, 4, 6]
+
+    def test_filter(self):
+        p = beam.Pipeline()
+        pc = p | beam.Create(range(10)) | beam.Filter(lambda v: v % 3 == 0)
+        assert run_and_get(p, pc) == [0, 3, 6, 9]
+
+    def test_flat_map(self):
+        p = beam.Pipeline()
+        pc = p | beam.Create(["a b", "c"]) | beam.FlatMap(str.split)
+        assert run_and_get(p, pc) == ["a", "b", "c"]
+
+    def test_pardo_with_dofn_class(self):
+        class AddOne(beam.DoFn):
+            def process(self, element):
+                yield element + 1
+
+        p = beam.Pipeline()
+        pc = p | beam.Create([1, 2]) | beam.ParDo(AddOne())
+        assert run_and_get(p, pc) == [2, 3]
+
+    def test_pardo_none_output_means_drop(self):
+        class DropAll(beam.DoFn):
+            def process(self, element):
+                return None
+
+        p = beam.Pipeline()
+        pc = p | beam.Create([1, 2]) | beam.ParDo(DropAll())
+        assert run_and_get(p, pc) == []
+
+    def test_pardo_requires_dofn(self):
+        with pytest.raises(TypeError):
+            beam.ParDo(lambda v: v)  # type: ignore[arg-type]
+
+    def test_pardo_lifecycle(self):
+        events = []
+
+        class Probe(beam.DoFn):
+            def setup(self):
+                events.append("setup")
+
+            def process(self, element):
+                events.append("process")
+                yield element
+
+            def teardown(self):
+                events.append("teardown")
+
+        p = beam.Pipeline()
+        p | beam.Create([1, 2]) | beam.ParDo(Probe())
+        p.run()
+        assert events == ["setup", "process", "process", "teardown"]
+
+    def test_kv_helpers(self):
+        p = beam.Pipeline()
+        source = p | beam.Create([("k1", 1), ("k2", 2)])
+        values = source | beam.Values()
+        keys = source | beam.Keys()
+        swapped = source | beam.KvSwap()
+        result = p.run()
+        assert result.outputs[values.producer.full_label] == [1, 2]
+        assert result.outputs[keys.producer.full_label] == ["k1", "k2"]
+        assert result.outputs[swapped.producer.full_label] == [(1, "k1"), (2, "k2")]
+
+    def test_with_keys(self):
+        p = beam.Pipeline()
+        pc = p | beam.Create(["aa", "b"]) | beam.WithKeys(len)
+        assert run_and_get(p, pc) == [(2, "aa"), (1, "b")]
+
+
+class TestGroupingTransforms:
+    def test_group_by_key(self):
+        p = beam.Pipeline()
+        pc = (
+            p
+            | beam.Create([("a", 1), ("b", 2), ("a", 3)])
+            | beam.GroupByKey()
+        )
+        groups = dict(run_and_get(p, pc))
+        assert groups == {"a": [1, 3], "b": [2]}
+
+    def test_group_by_key_requires_kv(self):
+        p = beam.Pipeline()
+        p | beam.Create([1, 2]) | beam.GroupByKey()
+        with pytest.raises(BeamError):
+            p.run()
+
+    def test_combine_per_key(self):
+        p = beam.Pipeline()
+        pc = (
+            p
+            | beam.Create([("a", 1), ("a", 2), ("b", 5)])
+            | beam.CombinePerKey(sum)
+        )
+        assert dict(run_and_get(p, pc)) == {"a": 3, "b": 5}
+
+    def test_count_per_key(self):
+        p = beam.Pipeline()
+        pc = (
+            p
+            | beam.Create([("a", "x"), ("a", "y"), ("b", "z")])
+            | beam.Count.per_key()
+        )
+        assert dict(run_and_get(p, pc)) == {"a": 2, "b": 1}
+
+    def test_count_per_element(self):
+        p = beam.Pipeline()
+        pc = p | beam.Create(["w", "w", "v"]) | beam.Count.per_element()
+        assert dict(run_and_get(p, pc)) == {"w": 2, "v": 1}
+
+    def test_mean_per_key(self):
+        p = beam.Pipeline()
+        pc = (
+            p
+            | beam.Create([("a", 1.0), ("a", 3.0), ("b", 4.0)])
+            | beam.MeanPerKey()
+        )
+        assert dict(run_and_get(p, pc)) == {"a": 2.0, "b": 4.0}
+
+    def test_flatten(self):
+        p = beam.Pipeline()
+        a = p | "A" >> beam.Create([1, 2])
+        b = p | "B" >> beam.Create([3])
+        pc = PCollectionList([a, b]) | beam.Flatten()
+        assert sorted(run_and_get(p, pc)) == [1, 2, 3]
+
+    def test_flatten_requires_list(self):
+        p = beam.Pipeline()
+        pc = p | beam.Create([1])
+        with pytest.raises(BeamError):
+            pc | beam.Flatten()
+
+    def test_flatten_empty_list_rejected(self):
+        with pytest.raises(ValueError):
+            PCollectionList([])
+
+    def test_flatten_mixed_pipelines_rejected(self):
+        p1 = beam.Pipeline()
+        p2 = beam.Pipeline()
+        a = p1 | beam.Create([1])
+        b = p2 | beam.Create([2])
+        with pytest.raises(ValueError):
+            PCollectionList([a, b])
+
+
+class TestCreate:
+    def test_create_must_be_root(self):
+        p = beam.Pipeline()
+        pc = p | beam.Create([1])
+        with pytest.raises(BeamError):
+            pc | beam.Create([2])
+
+    def test_create_timestamps_length_check(self):
+        with pytest.raises(ValueError):
+            beam.Create([1, 2], timestamps=[0.0])
+
+    def test_impulse(self):
+        p = beam.Pipeline()
+        pc = p | beam.Impulse()
+        assert run_and_get(p, pc) == [b""]

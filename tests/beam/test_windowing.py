@@ -1,0 +1,142 @@
+"""Tests for windowing, triggers and the unbounded-GroupByKey rule."""
+
+import pytest
+
+import repro.beam as beam
+from repro.beam.errors import WindowingError
+from repro.beam.window import (
+    AfterCount,
+    FixedWindows,
+    GLOBAL_WINDOW,
+    GlobalWindows,
+    IntervalWindow,
+    SlidingWindows,
+    WindowedValue,
+    WindowingStrategy,
+)
+
+
+class TestWindowFns:
+    def test_global_assigns_global_window(self):
+        assert GlobalWindows().assign(123.0) == GLOBAL_WINDOW
+
+    def test_fixed_window_assignment(self):
+        fn = FixedWindows(size=10.0)
+        assert fn.assign(0.0) == IntervalWindow(0.0, 10.0)
+        assert fn.assign(9.999) == IntervalWindow(0.0, 10.0)
+        assert fn.assign(10.0) == IntervalWindow(10.0, 20.0)
+
+    def test_fixed_window_offset(self):
+        fn = FixedWindows(size=10.0, offset=3.0)
+        assert fn.assign(2.0) == IntervalWindow(-7.0, 3.0)
+        assert fn.assign(3.0) == IntervalWindow(3.0, 13.0)
+
+    def test_fixed_window_invalid_size(self):
+        with pytest.raises(ValueError):
+            FixedWindows(size=0)
+
+    def test_sliding_window(self):
+        fn = SlidingWindows(size=10.0, period=5.0)
+        window = fn.assign(7.0)
+        assert window.start == 5.0
+        assert window.end == 15.0
+
+    def test_sliding_window_period_bound(self):
+        with pytest.raises(ValueError):
+            SlidingWindows(size=5.0, period=10.0)
+
+    def test_interval_window_validation(self):
+        with pytest.raises(ValueError):
+            IntervalWindow(5.0, 5.0)
+
+    def test_after_count_validation(self):
+        with pytest.raises(ValueError):
+            AfterCount(0)
+
+
+class TestWindowingStrategy:
+    def test_global_without_trigger_disallows_unbounded_grouping(self):
+        strategy = WindowingStrategy(GlobalWindows())
+        assert not strategy.allows_unbounded_grouping
+
+    def test_non_global_allows(self):
+        assert WindowingStrategy(FixedWindows(10)).allows_unbounded_grouping
+
+    def test_trigger_allows(self):
+        strategy = WindowingStrategy(GlobalWindows(), AfterCount(100))
+        assert strategy.allows_unbounded_grouping
+
+
+class TestWindowedValue:
+    def test_with_value_keeps_position(self):
+        wv = WindowedValue("a", 5.0, IntervalWindow(0, 10))
+        updated = wv.with_value("b")
+        assert updated.value == "b"
+        assert updated.timestamp == 5.0
+        assert updated.window == IntervalWindow(0, 10)
+
+
+class TestPipelineWindowing:
+    def test_group_by_key_on_unbounded_global_raises(self, broker, admin):
+        """The Beam model rule the paper quotes in II-A."""
+        from repro.beam.io import kafka
+
+        admin.create_topic("t")
+        p = beam.Pipeline()
+        pc = (
+            p
+            | kafka.read(broker, "t", bounded=False).without_metadata()
+        )
+        with pytest.raises(WindowingError):
+            pc | beam.GroupByKey()
+
+    def test_windowing_or_trigger_legalises_unbounded_grouping(self, broker, admin):
+        from repro.beam.io import kafka
+
+        admin.create_topic("t")
+        p = beam.Pipeline()
+        pc = p | kafka.read(broker, "t", bounded=False).without_metadata()
+        windowed = pc | beam.WindowInto(beam.FixedWindows(60.0))
+        windowed | beam.GroupByKey()  # must not raise
+
+        p2 = beam.Pipeline()
+        pc2 = p2 | kafka.read(broker, "t", bounded=False).without_metadata()
+        triggered = pc2 | beam.WindowInto(
+            beam.GlobalWindows(), trigger=beam.AfterCount(10)
+        )
+        triggered | beam.GroupByKey()  # must not raise
+
+    def test_bounded_global_grouping_is_fine(self):
+        p = beam.Pipeline()
+        p | beam.Create([("k", 1)]) | beam.GroupByKey()
+
+    def test_fixed_windows_split_groups(self):
+        p = beam.Pipeline()
+        pc = (
+            p
+            | beam.Create(
+                [("k", 1), ("k", 2), ("k", 3)], timestamps=[0.0, 5.0, 15.0]
+            )
+            | beam.WindowInto(beam.FixedWindows(10.0))
+            | beam.GroupByKey()
+        )
+        result = p.run()
+        groups = sorted(result.outputs[pc.producer.full_label])
+        assert groups == [("k", [1, 2]), ("k", [3])]
+
+    def test_windowed_grouping_separates_keys_and_windows(self):
+        p = beam.Pipeline()
+        pc = (
+            p
+            | beam.Create(
+                [("a", 1), ("b", 2), ("a", 3)], timestamps=[0.0, 0.0, 100.0]
+            )
+            | beam.WindowInto(beam.FixedWindows(10.0))
+            | beam.GroupByKey()
+        )
+        result = p.run()
+        assert sorted(result.outputs[pc.producer.full_label]) == [
+            ("a", [1]),
+            ("a", [3]),
+            ("b", [2]),
+        ]

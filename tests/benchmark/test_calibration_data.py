@@ -1,0 +1,107 @@
+"""Integrity checks on the transcribed paper data (calibration targets)."""
+
+import pytest
+
+from repro.benchmark import stats
+from repro.benchmark.calibration import (
+    PAPER_EXECUTION_TIMES,
+    PAPER_NUM_RUNS,
+    PAPER_PARALLELISMS,
+    PAPER_RELATIVE_STD,
+    PAPER_SLOWDOWN_FACTORS,
+    PAPER_TABLE3,
+    paper_mean,
+)
+
+SYSTEMS = ("flink", "spark", "apex")
+QUERIES = ("identity", "sample", "projection", "grep")
+
+
+class TestCompleteness:
+    def test_execution_times_cover_all_48_cells(self):
+        assert len(PAPER_EXECUTION_TIMES) == 48
+        for system in SYSTEMS:
+            for query in QUERIES:
+                for sdk in ("native", "beam"):
+                    for p in PAPER_PARALLELISMS:
+                        assert (system, query, sdk, p) in PAPER_EXECUTION_TIMES
+
+    def test_relative_std_covers_24_combinations(self):
+        assert len(PAPER_RELATIVE_STD) == 24
+
+    def test_slowdowns_cover_12_combinations(self):
+        assert len(PAPER_SLOWDOWN_FACTORS) == 12
+
+    def test_table3_has_ten_runs_per_parallelism(self):
+        assert len(PAPER_TABLE3[1]) == PAPER_NUM_RUNS
+        assert len(PAPER_TABLE3[2]) == PAPER_NUM_RUNS
+
+
+class TestInternalConsistency:
+    """The transcribed figures must be mutually consistent — a typo in any
+    number would break these relations."""
+
+    def test_slowdowns_match_execution_time_ratios(self):
+        """Figure 11 equals the paper's own formula applied to Figures 6-9
+        (within rounding of the published two-decimal values)."""
+        for (system, query), published in PAPER_SLOWDOWN_FACTORS.items():
+            computed = stats.slowdown_factor(
+                {
+                    p: PAPER_EXECUTION_TIMES[(system, query, "beam", p)]
+                    for p in PAPER_PARALLELISMS
+                },
+                {
+                    p: PAPER_EXECUTION_TIMES[(system, query, "native", p)]
+                    for p in PAPER_PARALLELISMS
+                },
+            )
+            assert computed == pytest.approx(published, rel=0.02), (
+                f"{system}/{query}: figure says {published}, "
+                f"recomputed {computed:.2f}"
+            )
+
+    def test_table3_means_match_figure6(self):
+        """Table III's per-run series average to Figure 6's Flink rows."""
+        for parallelism in PAPER_PARALLELISMS:
+            mean = stats.mean(PAPER_TABLE3[parallelism])
+            figure = PAPER_EXECUTION_TIMES[("flink", "identity", "native", parallelism)]
+            assert mean == pytest.approx(figure, rel=0.01)
+
+    def test_table3_outlier_claims(self):
+        """The paper's prose about Table III holds for the numbers."""
+        p1 = PAPER_TABLE3[1]
+        # "seven out of ten execution times range from three to four seconds"
+        in_band = [t for t in p1 if 3.0 <= t <= 4.0]
+        assert len(in_band) == 7
+        # "the highest execution time is more than seven times the lowest"
+        assert max(p1) > 7 * min(p1)
+
+    def test_figure10_standout(self):
+        """'There is one value that is notably higher than others' — 0.54
+        for identity on native Flink."""
+        standout = PAPER_RELATIVE_STD[("flink", "native", "identity")]
+        assert standout == max(PAPER_RELATIVE_STD.values())
+        rest = [v for k, v in PAPER_RELATIVE_STD.items() if v != standout]
+        assert standout > 2 * max(rest)
+
+    def test_apex_grep_is_the_only_speedup(self):
+        speedups = {
+            cell: sf for cell, sf in PAPER_SLOWDOWN_FACTORS.items() if sf < 1.0
+        }
+        assert list(speedups) == [("apex", "grep")]
+
+    def test_paper_mean_helper(self):
+        assert paper_mean("flink", "grep", "native") == pytest.approx(
+            (1.58 + 1.43) / 2
+        )
+
+    def test_slowdown_range_claim(self):
+        """'Except for this exceptional case, slowdown factors range from
+        about three to almost 60.'"""
+        others = [
+            sf
+            for cell, sf in PAPER_SLOWDOWN_FACTORS.items()
+            if cell != ("apex", "grep")
+        ]
+        assert min(others) > 2.9
+        assert max(others) < 60

@@ -1,0 +1,72 @@
+"""Tests for the repro-streambench CLI."""
+
+import pytest
+
+from repro.benchmark.cli import build_parser, main
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args([])
+        assert args.records == 100_000
+        assert args.runs == 5
+        assert args.systems == ["flink", "spark", "apex"]
+        assert not args.full_scale
+
+    def test_rejects_unknown_system(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--systems", "storm"])
+
+    def test_custom_arguments(self):
+        args = build_parser().parse_args(
+            ["--records", "5000", "--runs", "2", "--queries", "grep", "--seed", "1"]
+        )
+        assert args.records == 5_000
+        assert args.queries == ["grep"]
+
+
+class TestMain:
+    def test_small_run_prints_report(self, capsys):
+        code = main(
+            [
+                "--records",
+                "2000",
+                "--runs",
+                "2",
+                "--systems",
+                "spark",
+                "--queries",
+                "grep",
+                "--parallelisms",
+                "1",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Figure 9" in out
+        assert "Table I" in out
+        assert "wall time" in out
+
+    def test_plans_mode(self, capsys):
+        code = main(["--plans"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Figure 12" in out
+        assert "Figure 13" in out
+        assert out.count("ParDoTranslation.RawParDo") == 5
+
+    def test_full_matrix_small(self, capsys):
+        code = main(["--records", "1000", "--runs", "2"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Figure 11" in out
+        assert "Table III" in out
+
+    def test_predict_mode(self, capsys):
+        code = main(["--predict", "--systems", "apex", "--queries", "grep", "identity"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "predicted slowdown factors" in out
+        assert "apex" in out
+        # stateless queries only; the paper column is shown
+        assert "paper" in out

@@ -1,0 +1,192 @@
+"""Tests for the benchmark harness (small scale)."""
+
+import pytest
+
+from repro.benchmark import BenchmarkConfig, StreamBenchHarness
+from repro.benchmark.harness import engine_variance
+from repro.workloads.aol import expected_grep_matches
+
+
+def small_config(**overrides):
+    defaults = dict(
+        records=3_000,
+        runs=3,
+        parallelisms=(1,),
+        systems=("flink",),
+        queries=("grep",),
+    )
+    defaults.update(overrides)
+    return BenchmarkConfig(**defaults)
+
+
+class TestConfig:
+    def test_defaults_match_paper(self):
+        config = BenchmarkConfig()
+        assert config.records == 1_000_001
+        assert config.runs == 10
+        assert config.parallelisms == (1, 2)
+        assert len(config.systems) == 3
+        assert len(config.queries) == 4
+
+    def test_invalid_system(self):
+        with pytest.raises(ValueError):
+            BenchmarkConfig(systems=("storm",))
+
+    def test_invalid_kind(self):
+        with pytest.raises(ValueError):
+            BenchmarkConfig(kinds=("sql",))
+
+    def test_invalid_records(self):
+        with pytest.raises(ValueError):
+            BenchmarkConfig(records=0)
+
+    def test_invalid_parallelism(self):
+        with pytest.raises(ValueError):
+            BenchmarkConfig(parallelisms=(0,))
+
+    def test_scaled_config_env(self, monkeypatch):
+        from repro.benchmark.config import scaled_config
+
+        monkeypatch.delenv("REPRO_FULL_SCALE", raising=False)
+        monkeypatch.delenv("REPRO_RECORDS", raising=False)
+        assert scaled_config().records == 100_000
+        monkeypatch.setenv("REPRO_RECORDS", "1234")
+        assert scaled_config().records == 1234
+        monkeypatch.setenv("REPRO_FULL_SCALE", "1")
+        monkeypatch.delenv("REPRO_RECORDS")
+        assert scaled_config().records == 1_000_001
+
+
+class TestIngestion:
+    def test_ingest_idempotent(self):
+        harness = StreamBenchHarness(small_config())
+        first = harness.ingest()
+        second = harness.ingest()
+        assert first is second
+        assert harness.broker.topic(harness.config.input_topic).total_records() == 3_000
+
+
+class TestRunSetup:
+    def test_produces_requested_runs(self):
+        harness = StreamBenchHarness(small_config(runs=4))
+        records = harness.run_setup("flink", "grep", "native", 1)
+        assert len(records) == 4
+        assert [r.run_index for r in records] == [1, 2, 3, 4]
+
+    def test_run1_measured_and_rest_synthesized(self):
+        harness = StreamBenchHarness(small_config(runs=3))
+        records = harness.run_setup("flink", "grep", "native", 1)
+        assert records[0].measured is not None
+        assert not records[0].synthesized
+        assert all(r.synthesized for r in records[1:])
+
+    def test_grep_output_count_correct(self):
+        harness = StreamBenchHarness(small_config())
+        records = harness.run_setup("flink", "grep", "native", 1)
+        assert records[0].records_out == expected_grep_matches(3_000)
+
+    def test_beam_and_native_give_same_outputs(self):
+        harness = StreamBenchHarness(small_config(kinds=("native", "beam")))
+        native = harness.run_setup("flink", "grep", "native", 1)
+        beam_runs = harness.run_setup("flink", "grep", "beam", 1)
+        assert native[0].records_out == beam_runs[0].records_out
+
+    def test_measured_close_to_duration(self):
+        """The broker-timestamp measurement tracks the engine duration.
+
+        The measured window opens at the first output append (slightly
+        after the run start) but also includes the broker-side append
+        overheads between emissions, so it sits close to — not exactly at —
+        the engine-side duration.
+        """
+        harness = StreamBenchHarness(small_config(queries=("identity",), records=50_000))
+        record = harness.run_setup("flink", "identity", "native", 1)[0]
+        assert record.measured == pytest.approx(record.duration, rel=0.25)
+
+    def test_all_systems_run(self):
+        for system in ("flink", "spark", "apex"):
+            harness = StreamBenchHarness(small_config(systems=(system,)))
+            records = harness.run_setup(system, "grep", "native", 1)
+            assert records[0].records_out == expected_grep_matches(3_000)
+            beam_records = harness.run_setup(system, "grep", "beam", 1)
+            assert beam_records[0].records_out == expected_grep_matches(3_000)
+
+
+class TestFastRepeatEquivalence:
+    """fast_repeats must be bit-identical to full re-execution."""
+
+    @pytest.mark.parametrize("system", ["flink", "spark", "apex"])
+    @pytest.mark.parametrize("kind", ["native", "beam"])
+    def test_durations_identical(self, system, kind):
+        fast = StreamBenchHarness(
+            small_config(systems=(system,), kinds=(kind,), runs=3, fast_repeats=True)
+        )
+        full = StreamBenchHarness(
+            small_config(systems=(system,), kinds=(kind,), runs=3, fast_repeats=False)
+        )
+        fast_runs = fast.run_setup(system, "grep", kind, 1)
+        full_runs = full.run_setup(system, "grep", kind, 1)
+        assert [r.duration for r in fast_runs] == pytest.approx(
+            [r.duration for r in full_runs]
+        )
+
+    def test_sample_query_durations_identical(self):
+        fast = StreamBenchHarness(small_config(queries=("sample",), fast_repeats=True))
+        full = StreamBenchHarness(small_config(queries=("sample",), fast_repeats=False))
+        fast_runs = fast.run_setup("flink", "sample", "native", 1)
+        full_runs = full.run_setup("flink", "sample", "native", 1)
+        # run 1 identical always; later runs of the *sample* query may
+        # differ in record counts under full re-execution (fresh RNG per
+        # run) but the variance draws and hence base-scaled durations match
+        # run-for-run within the output-count difference.
+        assert fast_runs[0].duration == pytest.approx(full_runs[0].duration)
+
+
+class TestMatrixAndReport:
+    def test_matrix_covers_all_setups(self):
+        config = small_config(
+            systems=("flink", "spark"),
+            queries=("grep", "identity"),
+            kinds=("native", "beam"),
+            parallelisms=(1, 2),
+            runs=2,
+        )
+        report = StreamBenchHarness(config).run_matrix()
+        assert len(report.runs) == 2 * 2 * 2 * 2 * 2
+
+    def test_report_statistics(self):
+        config = small_config(kinds=("native", "beam"), runs=3)
+        report = StreamBenchHarness(config).run_matrix()
+        times = report.times("flink", "grep", "native", 1)
+        assert len(times) == 3
+        assert report.mean_time("flink", "grep", "native", 1) == pytest.approx(
+            sum(times) / 3
+        )
+        assert report.relative_std("flink", "grep", "native") >= 0
+        assert report.slowdown("flink", "grep") > 1
+
+    def test_records_out_lookup(self):
+        report = StreamBenchHarness(small_config()).run_matrix()
+        assert report.records_out("flink", "grep", "native", 1) == expected_grep_matches(3_000)
+        with pytest.raises(KeyError):
+            report.records_out("spark", "grep", "native", 1)
+
+    def test_deterministic_under_seed(self):
+        a = StreamBenchHarness(small_config(seed=42)).run_matrix()
+        b = StreamBenchHarness(small_config(seed=42)).run_matrix()
+        assert [r.duration for r in a.runs] == [r.duration for r in b.runs]
+
+    def test_different_seeds_differ(self):
+        a = StreamBenchHarness(small_config(seed=42)).run_matrix()
+        b = StreamBenchHarness(small_config(seed=43)).run_matrix()
+        assert [r.duration for r in a.runs] != [r.duration for r in b.runs]
+
+
+class TestEngineVariance:
+    def test_known_engines(self):
+        for system in ("flink", "spark", "apex"):
+            assert engine_variance(system) is not None
+
+    def test_unknown_engine(self):
+        with pytest.raises(KeyError):
+            engine_variance("storm")

@@ -1,0 +1,216 @@
+"""Tests for the analytic slowdown predictor.
+
+The predictor compiles the same programs the engines execute and evaluates
+their cost models over record counts — so for deterministic queries its
+prediction must match the executed noise-free ``base_duration`` to
+floating-point precision.  That is the test: the measured slowdown factors
+are fully explained ("made predictable", as the paper's future work asks)
+by the declared cost structure.
+"""
+
+import random
+
+import pytest
+
+import repro.beam as beam
+from repro.beam.io import kafka
+from repro.beam.runners import ApexRunner, FlinkRunner, SparkRunner
+from repro.benchmark import DataSender
+from repro.benchmark.calibration import PAPER_SLOWDOWN_FACTORS
+from repro.benchmark.predictor import Prediction, QueryProfile, SlowdownPredictor
+from repro.benchmark.queries import QUERIES
+from repro.broker import AdminClient, BrokerCluster
+from repro.engines.apex import (
+    ApexLauncher,
+    DAG,
+    FunctionOperator,
+    KafkaSinglePortInputOperator,
+    KafkaSinglePortOutputOperator,
+)
+from repro.engines.flink import (
+    FlinkCluster,
+    KafkaSink,
+    KafkaSource,
+    StreamExecutionEnvironment,
+)
+from repro.engines.spark import (
+    KafkaUtils,
+    SparkCluster,
+    SparkConf,
+    SparkContext,
+    StreamingContext,
+)
+from repro.simtime import Simulator
+from repro.workloads.aol import FULL_SCALE_RECORDS, generate_records
+from repro.yarn import YarnCluster
+
+RECORDS = 20_000
+
+
+@pytest.fixture(scope="module")
+def world():
+    sim = Simulator(seed=31)
+    broker = BrokerCluster(sim)
+    admin = AdminClient(broker)
+    DataSender(broker, "in").send(generate_records(RECORDS, seed=31))
+    return sim, broker, admin
+
+
+def execute_native(system, sim, broker, admin, spec):
+    admin.recreate_topic("out")
+    function = spec.make_function(random.Random(0))
+    if system == "flink":
+        env = StreamExecutionEnvironment(FlinkCluster(sim))
+        stream = env.add_source(KafkaSource(broker, "in"))
+        if function is not None:
+            stream = stream.transform_with(function)
+        stream.add_sink(KafkaSink(broker, "out"))
+        return env.execute(spec.name)
+    if system == "spark":
+        sc = SparkContext(SparkConf(), SparkCluster(sim))
+        ssc = StreamingContext(sc)
+        stream = KafkaUtils.create_direct_stream(ssc, broker, "in")
+        if function is not None:
+            stream = stream.transform_with(function)
+        stream.write_to_kafka(broker, "out")
+        job = ssc.run(spec.name)
+        sc.stop()
+        return job
+    dag = DAG(spec.name)
+    source = dag.add_operator("in", KafkaSinglePortInputOperator(broker, "in"))
+    port = source.output
+    if function is not None:
+        operator = dag.add_operator("q", FunctionOperator(function))
+        dag.add_stream("s", port, operator.input)
+        port = operator.output
+    sink = dag.add_operator("out", KafkaSinglePortOutputOperator(broker, "out"))
+    dag.add_stream("o", port, sink.input)
+    return ApexLauncher(YarnCluster(sim)).launch(dag)
+
+
+def execute_beam(system, sim, broker, admin, spec):
+    admin.recreate_topic("out")
+    runner = {
+        "flink": lambda: FlinkRunner(FlinkCluster(sim)),
+        "spark": lambda: SparkRunner(SparkCluster(sim)),
+        "apex": lambda: ApexRunner(YarnCluster(sim)),
+    }[system]()
+    pipeline = beam.Pipeline(runner=runner)
+    pcoll = pipeline | kafka.read(broker, "in").without_metadata() | beam.Values()
+    transform = spec.make_beam_transform(random.Random(0))
+    if transform is not None:
+        pcoll = pcoll | transform
+    pcoll | kafka.write(broker, "out")
+    return pipeline.run().job_result
+
+
+class TestProfileDerivation:
+    def test_identity_profile(self):
+        profile = QueryProfile.of(QUERIES["identity"])
+        assert not profile.has_operator
+        assert profile.selectivity == 1.0
+
+    def test_grep_profile(self):
+        profile = QueryProfile.of(QUERIES["grep"])
+        assert profile.has_operator
+        assert profile.cost_weight == 0.4
+        assert profile.rng_draws == 0.0
+
+    def test_sample_profile_declares_rng(self):
+        profile = QueryProfile.of(QUERIES["sample"])
+        assert profile.rng_draws == 1.0
+
+
+class TestPredictionMatchesExecution:
+    """Prediction == executed base duration, to floating-point precision."""
+
+    @pytest.mark.parametrize("system", ["flink", "spark", "apex"])
+    @pytest.mark.parametrize("query", ["identity", "projection", "grep"])
+    def test_native(self, world, system, query):
+        sim, broker, admin = world
+        spec = QUERIES[query]
+        job = execute_native(system, sim, broker, admin, spec)
+        profile = QueryProfile(
+            name=spec.name if spec.make_function(random.Random(0)) is None else
+            spec.make_function(random.Random(0)).name,
+            selectivity=job.records_out / job.records_in,
+            cost_weight=getattr(spec.make_function(random.Random(0)), "cost_weight", 0.0)
+            if spec.make_function(random.Random(0)) is not None
+            else 0.0,
+            rng_draws=0.0,
+            has_operator=spec.make_function(random.Random(0)) is not None,
+        )
+        predictor = SlowdownPredictor()
+        prediction = predictor.predict(system, "native", profile, RECORDS)
+        assert prediction.seconds == pytest.approx(job.base_duration, rel=1e-9)
+
+    @pytest.mark.parametrize("system", ["flink", "spark", "apex"])
+    @pytest.mark.parametrize("query", ["identity", "projection", "grep"])
+    def test_beam(self, world, system, query):
+        sim, broker, admin = world
+        spec = QUERIES[query]
+        job = execute_beam(system, sim, broker, admin, spec)
+        function = spec.make_function(random.Random(0))
+        profile = QueryProfile(
+            name=function.name if function is not None else spec.name,
+            selectivity=job.records_out / job.records_in,
+            cost_weight=function.cost_weight if function is not None else 0.0,
+            rng_draws=0.0,
+            has_operator=function is not None,
+        )
+        predictor = SlowdownPredictor()
+        prediction = predictor.predict(system, "beam", profile, RECORDS)
+        assert prediction.seconds == pytest.approx(job.base_duration, rel=1e-9)
+
+    def test_sample_close_despite_randomness(self, world):
+        sim, broker, admin = world
+        spec = QUERIES["sample"]
+        job = execute_native("flink", sim, broker, admin, spec)
+        predictor = SlowdownPredictor()
+        prediction = predictor.predict(
+            "flink", "native", QueryProfile.of(spec), RECORDS
+        )
+        # the realised 40% differs from the expectation only slightly
+        assert prediction.seconds == pytest.approx(job.base_duration, rel=0.02)
+
+
+class TestPredictedSlowdowns:
+    def test_breakdown_sums_to_total(self):
+        predictor = SlowdownPredictor()
+        prediction = predictor.predict(
+            "flink", "beam", QueryProfile.of(QUERIES["grep"]), 100_000
+        )
+        assert isinstance(prediction, Prediction)
+        assert sum(prediction.per_stage.values()) == pytest.approx(prediction.seconds)
+
+    def test_full_scale_predictions_match_paper_shape(self):
+        """The predictor alone — no execution at all — lands in the
+        paper's slowdown bands."""
+        predictor = SlowdownPredictor()
+        expectations = {
+            ("apex", "identity"): (30, 70),
+            ("apex", "projection"): (30, 70),
+            ("apex", "sample"): (15, 45),
+            ("apex", "grep"): (0.5, 1.3),
+            ("flink", "grep"): (8, 18),
+            ("flink", "identity"): (4, 12),
+            ("spark", "identity"): (2, 5),
+            ("spark", "grep"): (3, 9),
+        }
+        for (system, query), (low, high) in expectations.items():
+            profile = QueryProfile.of(QUERIES[query])
+            sf = predictor.predict_slowdown(system, profile, FULL_SCALE_RECORDS)
+            paper = PAPER_SLOWDOWN_FACTORS[(system, query)]
+            assert low < sf < high, (
+                f"sf({system},{query}) predicted {sf:.2f}, paper {paper:.2f}"
+            )
+
+    def test_unknown_system_rejected(self):
+        predictor = SlowdownPredictor()
+        with pytest.raises(ValueError):
+            predictor.predict("storm", "native", QueryProfile.of(QUERIES["grep"]), 10)
+
+    def test_unknown_kind_rejected(self):
+        predictor = SlowdownPredictor()
+        with pytest.raises(ValueError):
+            predictor.predict("flink", "sql", QueryProfile.of(QUERIES["grep"]), 10)

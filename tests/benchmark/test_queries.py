@@ -1,0 +1,131 @@
+"""Tests for the StreamBench query registry."""
+
+import random
+
+import pytest
+
+import repro.beam as beam
+from repro.benchmark.queries import (
+    QUERIES,
+    SAMPLE_FRACTION,
+    get_query,
+    stateless_queries,
+)
+from repro.workloads.aol import GREP_NEEDLE, generate_records
+
+
+@pytest.fixture
+def lines():
+    return generate_records(2_000, seed=9)
+
+
+def apply_function(spec, lines, rng=None):
+    fn = spec.make_function(rng or random.Random(0))
+    if fn is None:
+        return list(lines)
+    out = []
+    for line in lines:
+        out.extend(fn.process(line))
+    return out
+
+
+class TestRegistry:
+    def test_get_query_known(self):
+        assert get_query("grep").name == "grep"
+
+    def test_get_query_unknown_lists_names(self):
+        with pytest.raises(KeyError, match="identity"):
+            get_query("nope")
+
+    def test_stateless_queries_order_matches_table2(self):
+        assert [q.name for q in stateless_queries()] == [
+            "identity",
+            "sample",
+            "projection",
+            "grep",
+        ]
+
+    def test_all_seven_streambench_queries_present(self):
+        assert len(QUERIES) == 7
+        assert sum(1 for q in QUERIES.values() if q.stateful) == 3
+
+
+class TestStatelessSemantics:
+    def test_identity_passes_everything(self, lines):
+        assert apply_function(QUERIES["identity"], lines) == lines
+
+    def test_identity_has_no_operator(self):
+        assert QUERIES["identity"].make_function(random.Random(0)) is None
+        assert QUERIES["identity"].make_beam_transform(random.Random(0)) is None
+
+    def test_sample_keeps_about_forty_percent(self, lines):
+        out = apply_function(QUERIES["sample"], lines, random.Random(1))
+        assert 0.3 * len(lines) < len(out) < 0.5 * len(lines)
+
+    def test_sample_outputs_are_subsequence(self, lines):
+        out = apply_function(QUERIES["sample"], lines, random.Random(1))
+        iterator = iter(lines)
+        assert all(any(line == kept for line in iterator) for kept in out)
+
+    def test_sample_deterministic_under_rng(self, lines):
+        a = apply_function(QUERIES["sample"], lines, random.Random(7))
+        b = apply_function(QUERIES["sample"], lines, random.Random(7))
+        assert a == b
+
+    def test_sample_declares_rng_draw(self):
+        fn = QUERIES["sample"].make_function(random.Random(0))
+        assert fn.rng_draws_per_record == 1.0
+
+    def test_projection_extracts_first_column(self, lines):
+        out = apply_function(QUERIES["projection"], lines)
+        assert out == [line.split("\t")[0] for line in lines]
+
+    def test_projection_weight_is_heaviest(self):
+        weights = {
+            name: (QUERIES[name].make_function(random.Random(0)) or type("N", (), {"cost_weight": 0})()).cost_weight
+            for name in ("sample", "projection", "grep")
+        }
+        assert weights["projection"] > weights["grep"]
+        assert weights["projection"] > weights["sample"]
+
+    def test_grep_matches_needle_lines(self, lines):
+        out = apply_function(QUERIES["grep"], lines)
+        assert out == [line for line in lines if GREP_NEEDLE in line]
+
+    def test_output_ratio_metadata(self):
+        assert QUERIES["identity"].output_ratio == 1.0
+        assert QUERIES["sample"].output_ratio == SAMPLE_FRACTION
+        assert QUERIES["grep"].output_ratio < 0.01
+
+
+class TestStatefulSemantics:
+    def test_wordcount_running_counts(self):
+        spec = QUERIES["wordcount"]
+        lines = ["u\tcat dog\tt\t\t", "u\tcat\tt\t\t"]
+        out = apply_function(spec, lines)
+        assert out == [("cat", 1), ("dog", 1), ("cat", 2)]
+
+    def test_distinct_count_running(self):
+        spec = QUERIES["distinct-count"]
+        lines = ["u\tq1\tt\t\t", "u\tq2\tt\t\t", "u\tq1\tt\t\t"]
+        assert apply_function(spec, lines) == [1, 2, 2]
+
+    def test_statistics_running_min_max_mean(self):
+        spec = QUERIES["statistics"]
+        lines = ["u\tab\tt\t\t", "u\tabcd\tt\t\t"]
+        out = apply_function(spec, lines)
+        assert out == [(2.0, 2.0, 2.0), (2.0, 4.0, 3.0)]
+
+    def test_stateful_functions_reset_on_open(self):
+        spec = QUERIES["distinct-count"]
+        fn = spec.make_function(random.Random(0))
+        fn.open()
+        list(fn.process("u\tq\tt\t\t"))
+        fn.open()
+        assert list(fn.process("u\tq\tt\t\t")) == [1]
+
+    def test_stateful_beam_transforms_marked_stateful(self):
+        for name in ("wordcount", "distinct-count", "statistics"):
+            transform = QUERIES[name].make_beam_transform(random.Random(0))
+            assert isinstance(transform, beam.ParDo)
+            assert transform.dofn.stateful

@@ -1,0 +1,73 @@
+"""Golden regression pin: the calibrated behaviour must not drift silently.
+
+The whole reproduction rests on calibrated cost constants and a
+deterministic simulation; an accidental change to either would invalidate
+EXPERIMENTS.md without any test noticing, because shape assertions are
+deliberately loose.  This test pins the exact mean execution times of a
+small campaign.  If it fails after an *intentional* cost-model change:
+re-run the full-scale campaign, refresh EXPERIMENTS.md, and regenerate the
+golden values with::
+
+    python - <<'PY'
+    from repro.benchmark import BenchmarkConfig, StreamBenchHarness
+    cfg = BenchmarkConfig(records=5_000, runs=2, parallelisms=(1,))
+    report = StreamBenchHarness(cfg).run_matrix()
+    for s in cfg.systems:
+        for q in cfg.queries:
+            for k in cfg.kinds:
+                print((s, q, k), repr(report.mean_time(s, q, k, 1)))
+    PY
+"""
+
+import pytest
+
+from repro.benchmark import BenchmarkConfig, StreamBenchHarness
+
+GOLDEN = {
+    ("flink", "identity", "native"): 0.02364148247939103,
+    ("flink", "identity", "beam"): 0.15348194084923372,
+    ("flink", "sample", "native"): 0.013018915419384467,
+    ("flink", "sample", "beam"): 0.12920088017966608,
+    ("flink", "projection", "native"): 0.06290708107605868,
+    ("flink", "projection", "beam"): 0.17752570501354434,
+    ("flink", "grep", "native"): 0.00736263401482025,
+    ("flink", "grep", "beam"): 0.08603143696065257,
+    ("spark", "identity", "native"): 0.01693537306236758,
+    ("spark", "identity", "beam"): 0.03781045871057048,
+    ("spark", "sample", "native"): 0.011432363713030434,
+    ("spark", "sample", "beam"): 0.06640697225071286,
+    ("spark", "projection", "native"): 0.01946478645903488,
+    ("spark", "projection", "beam"): 0.052836782502656554,
+    ("spark", "grep", "native"): 0.0056859443681081,
+    ("spark", "grep", "beam"): 0.027376178526359176,
+    ("apex", "identity", "native"): 0.022264788233809986,
+    ("apex", "identity", "beam"): 1.1738367594232617,
+    ("apex", "sample", "native"): 0.020037128777273802,
+    ("apex", "sample", "beam"): 0.5997189211304793,
+    ("apex", "projection", "native"): 0.027581672315724504,
+    ("apex", "projection", "beam"): 1.1991201397837687,
+    ("apex", "grep", "native"): 0.02201082611720255,
+    ("apex", "grep", "beam"): 0.019777844635505082,
+}
+
+
+@pytest.fixture(scope="module")
+def report():
+    config = BenchmarkConfig(records=5_000, runs=2, parallelisms=(1,))
+    return StreamBenchHarness(config).run_matrix()
+
+
+def test_every_cell_matches_golden(report):
+    mismatches = {}
+    for (system, query, kind), expected in GOLDEN.items():
+        actual = report.mean_time(system, query, kind, 1)
+        if actual != pytest.approx(expected, rel=1e-12):
+            mismatches[(system, query, kind)] = (expected, actual)
+    assert not mismatches, (
+        "calibrated behaviour drifted — see this module's docstring for the "
+        f"refresh procedure: {mismatches}"
+    )
+
+
+def test_golden_covers_full_small_matrix(report):
+    assert len(GOLDEN) == 24

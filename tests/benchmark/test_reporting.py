@@ -1,0 +1,119 @@
+"""Tests for the report renderers."""
+
+import pytest
+
+from repro.benchmark import BenchmarkConfig, StreamBenchHarness
+from repro.benchmark.reporting import (
+    render_figure10,
+    render_figure11,
+    render_figure_times,
+    render_full_report,
+    render_grep_plans,
+    render_table1,
+    render_table2,
+    render_table3,
+)
+
+
+@pytest.fixture(scope="module")
+def report():
+    config = BenchmarkConfig(
+        records=3_000,
+        runs=3,
+        parallelisms=(1, 2),
+        systems=("flink", "spark", "apex"),
+        queries=("identity", "sample", "projection", "grep"),
+    )
+    return StreamBenchHarness(config).run_matrix()
+
+
+class TestTableRenderers:
+    def test_table1_contains_all_systems_and_criteria(self):
+        text = render_table1()
+        for fragment in (
+            "Apache Flink",
+            "Apache Spark Streaming",
+            "Apache Apex",
+            "Tuple-by-tuple",
+            "Batch",
+            "Exactly-once",
+            "Mainly Written in",
+        ):
+            assert fragment in text
+
+    def test_table2_without_report(self):
+        text = render_table2()
+        assert "Identity" in text and "Grep" in text
+        assert "Observed" not in text
+
+    def test_table2_with_report_shows_counts(self, report):
+        text = render_table2(report)
+        assert "3000" in text
+        assert "Observed output records" in text
+
+    def test_table3_rows(self, report):
+        text = render_table3(report)
+        assert "P=1" in text and "Paper P=2" in text
+        # one row per run plus header rows
+        assert len(text.splitlines()) == 3 + report.config.runs
+
+
+class TestFigureRenderers:
+    @pytest.mark.parametrize(
+        "query,figure", [("identity", "Figure 6"), ("sample", "Figure 7"),
+                         ("projection", "Figure 8"), ("grep", "Figure 9")]
+    )
+    def test_figure_times_titles(self, report, query, figure):
+        text = render_figure_times(report, query)
+        assert text.startswith(figure)
+        # title + header + separator + 12 setup rows
+        assert len(text.splitlines()) == 15
+        assert "Flink Beam P1" in text
+        assert "Paper" in text
+
+    def test_figure10_has_24_rows(self, report):
+        text = render_figure10(report)
+        assert len(text.splitlines()) == 3 + 24
+
+    def test_figure11_has_12_rows(self, report):
+        text = render_figure11(report)
+        assert len(text.splitlines()) == 3 + 12
+        assert "Apex Identity" in text
+
+    def test_full_report_contains_everything(self, report):
+        text = render_full_report(report)
+        for fragment in (
+            "Table I",
+            "Table II",
+            "Figure 6",
+            "Figure 9",
+            "Figure 10",
+            "Figure 11",
+            "Table III",
+        ):
+            assert fragment in text
+
+    def test_partial_config_report_skips_missing(self):
+        config = BenchmarkConfig(
+            records=2_000,
+            runs=2,
+            parallelisms=(1,),
+            systems=("spark",),
+            queries=("grep",),
+            kinds=("native",),
+        )
+        report = StreamBenchHarness(config).run_matrix()
+        text = render_full_report(report)
+        assert "Figure 9" in text
+        assert "Figure 11" not in text  # needs both kinds
+        assert "Table III" not in text  # needs flink identity P1+P2
+
+
+class TestPlanRendering:
+    def test_grep_plans_match_figures(self):
+        native, translated = render_grep_plans(records=500)
+        assert native.count("Parallelism: 1") == 3
+        assert "Filter" in native
+        assert translated.count("Parallelism: 1") == 7
+        assert translated.count("ParDoTranslation.RawParDo") == 5
+        assert "PTransformTranslation.UnknownRawPTransform" in translated

@@ -1,0 +1,58 @@
+"""Tests for repro.broker.admin."""
+
+import pytest
+
+from repro.broker import AdminClient, BrokerCluster, Producer
+from repro.broker.errors import UnknownTopicError
+from repro.broker.records import TimestampType
+from repro.simtime import Simulator
+
+
+@pytest.fixture
+def cluster():
+    return BrokerCluster(Simulator(seed=1))
+
+
+@pytest.fixture
+def admin(cluster):
+    return AdminClient(cluster)
+
+
+class TestAdmin:
+    def test_create_with_paper_defaults(self, admin, cluster):
+        admin.create_topic("t")
+        description = admin.describe_topic("t")
+        assert description.num_partitions == 1
+        assert description.replication_factor == 1
+        assert description.timestamp_type is TimestampType.LOG_APPEND_TIME
+
+    def test_recreate_drops_data(self, admin, cluster):
+        admin.create_topic("t")
+        with Producer(cluster) as producer:
+            producer.send_values("t", ["a", "b"])
+        admin.recreate_topic("t")
+        assert cluster.topic("t").total_records() == 0
+
+    def test_recreate_creates_when_missing(self, admin, cluster):
+        admin.recreate_topic("fresh")
+        assert cluster.has_topic("fresh")
+
+    def test_delete(self, admin, cluster):
+        admin.create_topic("t")
+        admin.delete_topic("t")
+        assert not cluster.has_topic("t")
+
+    def test_describe_unknown(self, admin):
+        with pytest.raises(UnknownTopicError):
+            admin.describe_topic("missing")
+
+    def test_describe_counts_records(self, admin, cluster):
+        admin.create_topic("t")
+        with Producer(cluster) as producer:
+            producer.send_values("t", ["a", "b", "c"])
+        assert admin.describe_topic("t").total_records == 3
+
+    def test_describe_reports_leaders(self, admin):
+        admin.create_topic("t", num_partitions=3)
+        description = admin.describe_topic("t")
+        assert len(description.partition_leaders) == 3

@@ -1,0 +1,99 @@
+"""Tests for repro.broker.broker and repro.broker.topic."""
+
+import pytest
+
+from repro.broker import BrokerCluster, TopicConfig
+from repro.broker.errors import (
+    PartitionOutOfRangeError,
+    ReplicationError,
+    TopicAlreadyExistsError,
+    UnknownTopicError,
+)
+from repro.simtime import Simulator
+
+
+@pytest.fixture
+def sim():
+    return Simulator(seed=1)
+
+
+@pytest.fixture
+def cluster(sim):
+    return BrokerCluster(sim, num_nodes=3)
+
+
+class TestTopicConfig:
+    def test_defaults_match_paper(self):
+        config = TopicConfig()
+        assert config.num_partitions == 1
+        assert config.replication_factor == 1
+
+    def test_invalid_partitions(self):
+        with pytest.raises(ValueError):
+            TopicConfig(num_partitions=0)
+
+    def test_invalid_replication(self):
+        with pytest.raises(ValueError):
+            TopicConfig(replication_factor=0)
+
+
+class TestClusterTopics:
+    def test_create_and_get(self, cluster):
+        topic = cluster.create_topic("t")
+        assert cluster.topic("t") is topic
+        assert cluster.has_topic("t")
+
+    def test_create_duplicate_raises(self, cluster):
+        cluster.create_topic("t")
+        with pytest.raises(TopicAlreadyExistsError):
+            cluster.create_topic("t")
+
+    def test_unknown_topic_raises(self, cluster):
+        with pytest.raises(UnknownTopicError):
+            cluster.topic("missing")
+
+    def test_delete_topic(self, cluster):
+        cluster.create_topic("t")
+        cluster.delete_topic("t")
+        assert not cluster.has_topic("t")
+
+    def test_delete_unknown_raises(self, cluster):
+        with pytest.raises(UnknownTopicError):
+            cluster.delete_topic("missing")
+
+    def test_list_topics_sorted(self, cluster):
+        for name in ("zeta", "alpha", "mid"):
+            cluster.create_topic(name)
+        assert cluster.list_topics() == ["alpha", "mid", "zeta"]
+
+    def test_replication_bounded_by_cluster_size(self, cluster):
+        with pytest.raises(ReplicationError):
+            cluster.create_topic("t", TopicConfig(replication_factor=4))
+
+    def test_replication_at_cluster_size_ok(self, cluster):
+        cluster.create_topic("t", TopicConfig(replication_factor=3))
+
+    def test_multi_partition_topic(self, cluster):
+        topic = cluster.create_topic("t", TopicConfig(num_partitions=4))
+        assert topic.num_partitions == 4
+        with pytest.raises(PartitionOutOfRangeError):
+            topic.partition(4)
+
+    def test_partition_leaders_round_robin(self, cluster):
+        cluster.create_topic("t", TopicConfig(num_partitions=6))
+        leaders = [cluster.partition_leader("t", p).node_id for p in range(6)]
+        assert leaders == [0, 1, 2, 0, 1, 2]
+
+    def test_partition_leader_unknown_topic(self, cluster):
+        with pytest.raises(UnknownTopicError):
+            cluster.partition_leader("missing", 0)
+
+    def test_total_records(self, cluster):
+        topic = cluster.create_topic("t", TopicConfig(num_partitions=2))
+        topic.partition(0).append("a")
+        topic.partition(1).append_batch(["b", "c"])
+        assert topic.total_records() == 3
+
+    def test_min_one_node(self, sim):
+        with pytest.raises(ValueError):
+            BrokerCluster(sim, num_nodes=0)

@@ -1,0 +1,201 @@
+"""Tests for repro.broker.consumer."""
+
+import pytest
+
+from repro.broker import (
+    BrokerCluster,
+    Consumer,
+    ConsumerGroupCoordinator,
+    Producer,
+    TopicConfig,
+    TopicPartition,
+)
+from repro.broker.errors import ConsumerClosedError, UnknownTopicError
+from repro.simtime import Simulator
+
+
+@pytest.fixture
+def sim():
+    return Simulator(seed=1)
+
+
+@pytest.fixture
+def cluster(sim):
+    c = BrokerCluster(sim)
+    c.create_topic("t")
+    with Producer(c) as producer:
+        producer.send_values("t", [f"v{i}" for i in range(20)])
+    return c
+
+
+class TestAssignAndPoll:
+    def test_poll_returns_records_in_order(self, cluster):
+        consumer = Consumer(cluster)
+        consumer.assign([TopicPartition("t", 0)])
+        records = consumer.poll(max_records=100)
+        assert [r.value for r in records] == [f"v{i}" for i in range(20)]
+
+    def test_poll_respects_max_records(self, cluster):
+        consumer = Consumer(cluster)
+        consumer.assign([TopicPartition("t", 0)])
+        assert len(consumer.poll(max_records=7)) == 7
+        assert len(consumer.poll(max_records=7)) == 7
+        assert len(consumer.poll(max_records=7)) == 6
+
+    def test_poll_empty_after_consuming_all(self, cluster):
+        consumer = Consumer(cluster)
+        consumer.assign([TopicPartition("t", 0)])
+        consumer.poll(max_records=100)
+        assert consumer.poll() == []
+
+    def test_poll_invalid_max(self, cluster):
+        consumer = Consumer(cluster)
+        consumer.assign([TopicPartition("t", 0)])
+        with pytest.raises(ValueError):
+            consumer.poll(max_records=0)
+
+    def test_assign_unknown_topic(self, cluster):
+        consumer = Consumer(cluster)
+        with pytest.raises(UnknownTopicError):
+            consumer.assign([TopicPartition("missing", 0)])
+
+    def test_poll_sees_new_records(self, cluster):
+        consumer = Consumer(cluster)
+        consumer.assign([TopicPartition("t", 0)])
+        consumer.poll(max_records=100)
+        with Producer(cluster) as producer:
+            producer.send("t", "late")
+        assert [r.value for r in consumer.poll()] == ["late"]
+
+    def test_records_fetched_counter(self, cluster):
+        consumer = Consumer(cluster)
+        consumer.assign([TopicPartition("t", 0)])
+        consumer.poll(max_records=5)
+        assert consumer.records_fetched == 5
+
+
+class TestSeek:
+    def test_seek_rewinds(self, cluster):
+        tp = TopicPartition("t", 0)
+        consumer = Consumer(cluster)
+        consumer.assign([tp])
+        consumer.poll(max_records=100)
+        consumer.seek(tp, 18)
+        assert [r.value for r in consumer.poll()] == ["v18", "v19"]
+
+    def test_seek_to_beginning(self, cluster):
+        tp = TopicPartition("t", 0)
+        consumer = Consumer(cluster)
+        consumer.assign([tp])
+        consumer.poll(max_records=100)
+        consumer.seek_to_beginning()
+        assert consumer.position(tp) == 0
+
+    def test_seek_to_end(self, cluster):
+        tp = TopicPartition("t", 0)
+        consumer = Consumer(cluster)
+        consumer.assign([tp])
+        consumer.seek_to_end()
+        assert consumer.position(tp) == 20
+        assert consumer.poll() == []
+
+    def test_position_tracks_poll(self, cluster):
+        tp = TopicPartition("t", 0)
+        consumer = Consumer(cluster)
+        consumer.assign([tp])
+        consumer.poll(max_records=4)
+        assert consumer.position(tp) == 4
+
+    def test_seek_unassigned_raises(self, cluster):
+        consumer = Consumer(cluster)
+        with pytest.raises(ValueError):
+            consumer.seek(TopicPartition("t", 0), 0)
+
+    def test_seek_negative_offset(self, cluster):
+        tp = TopicPartition("t", 0)
+        consumer = Consumer(cluster)
+        consumer.assign([tp])
+        with pytest.raises(ValueError):
+            consumer.seek(tp, -1)
+
+
+class TestConsumerGroups:
+    def test_subscribe_requires_group(self, cluster):
+        consumer = Consumer(cluster)
+        with pytest.raises(ValueError):
+            consumer.subscribe(["t"])
+
+    def test_single_member_gets_all_partitions(self, cluster):
+        cluster.create_topic("multi", TopicConfig(num_partitions=4))
+        group = ConsumerGroupCoordinator("g1")
+        consumer = Consumer(cluster, group=group)
+        consumer.subscribe(["multi"])
+        assert len(consumer.assignment()) == 4
+
+    def test_two_members_split_partitions(self, cluster):
+        cluster.create_topic("multi", TopicConfig(num_partitions=4))
+        group = ConsumerGroupCoordinator("g1")
+        a = Consumer(cluster, group=group)
+        a.subscribe(["multi"])
+        b = Consumer(cluster, group=group)
+        b.subscribe(["multi"])
+        assert len(a.assignment()) == 2
+        assert len(b.assignment()) == 2
+        assert set(a.assignment()) & set(b.assignment()) == set()
+
+    def test_range_assignment_remainder_goes_to_earlier_member(self, cluster):
+        cluster.create_topic("multi", TopicConfig(num_partitions=3))
+        group = ConsumerGroupCoordinator("g1")
+        a = Consumer(cluster, group=group)
+        a.subscribe(["multi"])
+        b = Consumer(cluster, group=group)
+        b.subscribe(["multi"])
+        assert len(a.assignment()) == 2
+        assert len(b.assignment()) == 1
+
+    def test_member_leave_rebalances(self, cluster):
+        cluster.create_topic("multi", TopicConfig(num_partitions=4))
+        group = ConsumerGroupCoordinator("g1")
+        a = Consumer(cluster, group=group)
+        a.subscribe(["multi"])
+        b = Consumer(cluster, group=group)
+        b.subscribe(["multi"])
+        b.close()
+        assert len(a.assignment()) == 4
+
+    def test_commit_and_resume_from_committed(self, cluster):
+        group = ConsumerGroupCoordinator("g1")
+        a = Consumer(cluster, group=group)
+        a.subscribe(["t"])
+        a.poll(max_records=5)
+        a.commit()
+        a.close()
+        b = Consumer(cluster, group=group)
+        b.subscribe(["t"])
+        assert b.position(TopicPartition("t", 0)) == 5
+
+    def test_subscribe_unknown_topic(self, cluster):
+        group = ConsumerGroupCoordinator("g1")
+        consumer = Consumer(cluster, group=group)
+        with pytest.raises(UnknownTopicError):
+            consumer.subscribe(["missing"])
+
+
+class TestLifecycle:
+    def test_poll_after_close_raises(self, cluster):
+        consumer = Consumer(cluster)
+        consumer.assign([TopicPartition("t", 0)])
+        consumer.close()
+        with pytest.raises(ConsumerClosedError):
+            consumer.poll()
+
+    def test_close_idempotent(self, cluster):
+        consumer = Consumer(cluster)
+        consumer.close()
+        consumer.close()
+
+    def test_context_manager(self, cluster):
+        with Consumer(cluster) as consumer:
+            consumer.assign([TopicPartition("t", 0)])
+        with pytest.raises(ConsumerClosedError):
+            consumer.poll()

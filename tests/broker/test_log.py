@@ -1,0 +1,148 @@
+"""Tests for repro.broker.log."""
+
+import pytest
+
+from repro.broker.errors import OffsetOutOfRangeError
+from repro.broker.log import PartitionLog
+from repro.broker.records import TimestampType
+from repro.simtime import SimClock
+
+
+@pytest.fixture
+def clock():
+    return SimClock()
+
+
+@pytest.fixture
+def log(clock):
+    return PartitionLog("t", 0, clock)
+
+
+class TestAppend:
+    def test_offsets_are_consecutive(self, log):
+        assert [log.append(i) for i in range(5)] == [0, 1, 2, 3, 4]
+
+    def test_end_offset_tracks_appends(self, log):
+        assert log.end_offset == 0
+        log.append("a")
+        assert log.end_offset == 1
+
+    def test_log_append_time_stamps_with_clock(self, clock, log):
+        clock.advance(2.5)
+        log.append("a")
+        assert log.record_at(0).timestamp == 2.5
+
+    def test_log_append_time_ignores_producer_timestamp(self, clock, log):
+        clock.advance(2.5)
+        log.append("a", create_time=99.0)
+        assert log.record_at(0).timestamp == 2.5
+
+    def test_create_time_keeps_producer_timestamp(self, clock):
+        log = PartitionLog("t", 0, clock, TimestampType.CREATE_TIME)
+        log.append("a", create_time=99.0)
+        assert log.record_at(0).timestamp == 99.0
+
+    def test_create_time_falls_back_to_clock(self, clock):
+        log = PartitionLog("t", 0, clock, TimestampType.CREATE_TIME)
+        clock.advance(1.0)
+        log.append("a")
+        assert log.record_at(0).timestamp == 1.0
+
+    def test_timestamps_monotonic_as_clock_advances(self, clock, log):
+        for i in range(10):
+            clock.advance(0.5)
+            log.append(i)
+        stamps = [r.timestamp for r in log.iter_all()]
+        assert stamps == sorted(stamps)
+
+
+class TestAppendBatch:
+    def test_batch_shares_append_time(self, clock, log):
+        clock.advance(3.0)
+        first = log.append_batch(["a", "b", "c"])
+        assert first == 0
+        assert all(r.timestamp == 3.0 for r in log.iter_all())
+
+    def test_batch_returns_first_offset(self, log):
+        log.append("x")
+        assert log.append_batch(["a", "b"]) == 1
+
+    def test_batch_with_keys(self, log):
+        log.append_batch(["a", "b"], keys=["k1", "k2"])
+        assert [r.key for r in log.iter_all()] == ["k1", "k2"]
+
+    def test_batch_key_length_mismatch(self, log):
+        with pytest.raises(ValueError):
+            log.append_batch(["a"], keys=["k1", "k2"])
+
+    def test_batch_rejected_for_create_time(self, clock):
+        log = PartitionLog("t", 0, clock, TimestampType.CREATE_TIME)
+        with pytest.raises(ValueError):
+            log.append_batch(["a"])
+
+
+class TestRead:
+    def test_read_all(self, log):
+        log.append_batch(list(range(5)))
+        assert [r.value for r in log.read(0)] == [0, 1, 2, 3, 4]
+
+    def test_read_from_offset(self, log):
+        log.append_batch(list(range(5)))
+        assert [r.value for r in log.read(3)] == [3, 4]
+
+    def test_read_with_limit(self, log):
+        log.append_batch(list(range(5)))
+        assert [r.value for r in log.read(1, max_records=2)] == [1, 2]
+
+    def test_read_at_end_returns_empty(self, log):
+        log.append("a")
+        assert log.read(1) == []
+
+    def test_read_past_end_raises(self, log):
+        log.append("a")
+        with pytest.raises(OffsetOutOfRangeError):
+            log.read(2)
+
+    def test_read_negative_raises(self, log):
+        with pytest.raises(OffsetOutOfRangeError):
+            log.read(-1)
+
+    def test_read_values_fast_path(self, log):
+        log.append_batch(list(range(5)))
+        assert log.read_values(2) == [2, 3, 4]
+        assert log.read_values(0, max_records=2) == [0, 1]
+
+    def test_record_at_out_of_range(self, log):
+        with pytest.raises(OffsetOutOfRangeError):
+            log.record_at(0)
+
+    def test_consumer_record_fields(self, clock, log):
+        clock.advance(1.0)
+        log.append("v", key="k")
+        record = log.record_at(0)
+        assert record.topic == "t"
+        assert record.partition == 0
+        assert record.offset == 0
+        assert record.key == "k"
+        assert record.value == "v"
+        assert record.timestamp_type is TimestampType.LOG_APPEND_TIME
+
+
+class TestTimestampsAndTruncate:
+    def test_first_last_none_when_empty(self, log):
+        assert log.first_timestamp() is None
+        assert log.last_timestamp() is None
+
+    def test_first_last_timestamps(self, clock, log):
+        clock.advance(1.0)
+        log.append("a")
+        clock.advance(1.0)
+        log.append("b")
+        assert log.first_timestamp() == 1.0
+        assert log.last_timestamp() == 2.0
+
+    def test_truncate_clears(self, log):
+        log.append_batch(["a", "b"])
+        log.truncate()
+        assert len(log) == 0
+        assert log.first_timestamp() is None

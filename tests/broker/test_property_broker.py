@@ -1,0 +1,101 @@
+"""Property-based tests of broker invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.broker import BrokerCluster, Consumer, Producer, TopicConfig, TopicPartition
+from repro.simtime import Simulator
+
+values_strategy = st.lists(
+    st.one_of(st.text(max_size=20), st.integers(), st.binary(max_size=10)),
+    max_size=200,
+)
+
+
+def make_cluster(num_partitions: int = 1) -> BrokerCluster:
+    cluster = BrokerCluster(Simulator(seed=7))
+    cluster.create_topic("t", TopicConfig(num_partitions=num_partitions))
+    return cluster
+
+
+class TestBrokerProperties:
+    @given(values=values_strategy, batch_size=st.integers(1, 50))
+    @settings(max_examples=50, deadline=None)
+    def test_everything_sent_is_received_in_order(self, values, batch_size):
+        """Single-partition topics preserve exact global order (the paper's
+        reason for using one partition)."""
+        cluster = make_cluster()
+        with Producer(cluster, batch_size=batch_size) as producer:
+            for value in values:
+                producer.send("t", value)
+        consumer = Consumer(cluster)
+        consumer.assign([TopicPartition("t", 0)])
+        received = []
+        while True:
+            batch = consumer.poll(max_records=17)
+            if not batch:
+                break
+            received.extend(r.value for r in batch)
+        assert received == values
+
+    @given(values=values_strategy, partitions=st.integers(1, 5))
+    @settings(max_examples=50, deadline=None)
+    def test_no_record_lost_or_duplicated_across_partitions(self, values, partitions):
+        cluster = make_cluster(num_partitions=partitions)
+        with Producer(cluster) as producer:
+            for index, value in enumerate(values):
+                producer.send("t", (index, value))
+        consumer = Consumer(cluster)
+        consumer.assign([TopicPartition("t", p) for p in range(partitions)])
+        received = []
+        while True:
+            batch = consumer.poll(max_records=23)
+            if not batch:
+                break
+            received.extend(r.value for r in batch)
+        assert sorted(received) == sorted(enumerate(values))
+
+    @given(values=values_strategy)
+    @settings(max_examples=30, deadline=None)
+    def test_offsets_are_dense_and_increasing(self, values):
+        cluster = make_cluster()
+        with Producer(cluster) as producer:
+            producer.send_values("t", values)
+        offsets = [r.offset for r in cluster.topic("t").partition(0).iter_all()]
+        assert offsets == list(range(len(values)))
+
+    @given(
+        values=st.lists(st.integers(), min_size=1, max_size=100),
+        advances=st.lists(st.floats(0, 5), min_size=1, max_size=10),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_log_append_timestamps_monotonic(self, values, advances):
+        """LogAppendTime never decreases with offset — the property the
+        paper's measurement depends on."""
+        cluster = make_cluster()
+        sim = cluster.simulator
+        producer = Producer(cluster, batch_size=7)
+        for index, value in enumerate(values):
+            if advances and index % 3 == 0:
+                sim.charge(advances[index % len(advances)])
+            producer.send("t", value)
+        producer.close()
+        stamps = [r.timestamp for r in cluster.topic("t").partition(0).iter_all()]
+        assert stamps == sorted(stamps)
+
+    @given(
+        keys=st.lists(st.text(min_size=1, max_size=5), min_size=1, max_size=100),
+        partitions=st.integers(1, 4),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_same_key_always_same_partition(self, keys, partitions):
+        cluster = make_cluster(num_partitions=partitions)
+        with Producer(cluster) as producer:
+            for key in keys:
+                producer.send("t", "v", key=key)
+                producer.send("t", "v", key=key)
+        topic = cluster.topic("t")
+        placements: dict[str, set[int]] = {}
+        for p in range(partitions):
+            for record in topic.partition(p).iter_all():
+                placements.setdefault(record.key, set()).add(p)
+        assert all(len(parts) == 1 for parts in placements.values())

@@ -1,0 +1,34 @@
+"""Shared fixtures."""
+
+import pytest
+
+from repro.broker import AdminClient, BrokerCluster, Producer
+from repro.simtime import Simulator
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    return Simulator(seed=1234)
+
+
+@pytest.fixture
+def broker(sim: Simulator) -> BrokerCluster:
+    return BrokerCluster(sim, num_nodes=3)
+
+
+@pytest.fixture
+def admin(broker: BrokerCluster) -> AdminClient:
+    return AdminClient(broker)
+
+
+@pytest.fixture
+def ingested_lines(sim, broker, admin) -> list[str]:
+    """A small ingested input topic 'in'; returns the sent lines."""
+    admin.create_topic("in")
+    lines = [
+        f"user{i}\tquery {'test' if i % 10 == 0 else 'word'} {i}\t2006-03-01 00:00:00\t\t"
+        for i in range(1_000)
+    ]
+    with Producer(broker) as producer:
+        producer.send_values("in", lines)
+    return lines

@@ -1,0 +1,140 @@
+"""Tests for repro.dataflow.functions."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.dataflow.functions import (
+    ComposedFunction,
+    FilterFunction,
+    FlatMapFunction,
+    IdentityFunction,
+    MapFunction,
+    compose,
+)
+
+
+class TestBasicFunctions:
+    def test_identity_passes_through(self):
+        assert list(IdentityFunction().process("x")) == ["x"]
+
+    def test_map_applies(self):
+        fn = MapFunction(lambda v: v * 2)
+        assert list(fn.process(3)) == [6]
+
+    def test_filter_keeps_matching(self):
+        fn = FilterFunction(lambda v: v > 0)
+        assert list(fn.process(1)) == [1]
+        assert list(fn.process(-1)) == []
+
+    def test_flat_map_multiplies(self):
+        fn = FlatMapFunction(lambda v: v.split())
+        assert list(fn.process("a b c")) == ["a", "b", "c"]
+
+    def test_flat_map_can_emit_nothing(self):
+        fn = FlatMapFunction(lambda v: [])
+        assert list(fn.process("x")) == []
+
+    def test_names_and_weights(self):
+        fn = MapFunction(lambda v: v, name="MyMap", cost_weight=2.5)
+        assert fn.name == "MyMap"
+        assert fn.cost_weight == 2.5
+
+    def test_rng_draws_attribute(self):
+        fn = FilterFunction(lambda v: True, rng_draws_per_record=1.0)
+        assert fn.rng_draws_per_record == 1.0
+
+
+class TestCompose:
+    def test_compose_single_returns_it(self):
+        fn = MapFunction(lambda v: v)
+        assert compose([fn]) is fn
+
+    def test_compose_applies_in_order(self):
+        fused = compose(
+            [MapFunction(lambda v: v + 1), MapFunction(lambda v: v * 10)]
+        )
+        assert list(fused.process(1)) == [20]
+
+    def test_compose_filter_short_circuits(self):
+        calls = []
+        fused = compose(
+            [
+                FilterFunction(lambda v: v > 0),
+                MapFunction(lambda v: calls.append(v) or v),
+            ]
+        )
+        assert list(fused.process(-1)) == []
+        assert calls == []
+
+    def test_compose_flat_map_then_filter(self):
+        fused = compose(
+            [
+                FlatMapFunction(lambda v: v.split()),
+                FilterFunction(lambda w: len(w) > 1),
+            ]
+        )
+        assert list(fused.process("a bb ccc")) == ["bb", "ccc"]
+
+    def test_compose_flattens_nested(self):
+        inner = compose([MapFunction(lambda v: v + 1), MapFunction(lambda v: v + 1)])
+        outer = compose([inner, MapFunction(lambda v: v * 2)])
+        assert isinstance(outer, ComposedFunction)
+        assert len(outer.parts) == 3
+        assert list(outer.process(0)) == [4]
+
+    def test_compose_weight_is_sum(self):
+        fused = compose(
+            [
+                MapFunction(lambda v: v, cost_weight=1.0),
+                MapFunction(lambda v: v, cost_weight=2.5),
+            ]
+        )
+        assert fused.cost_weight == 3.5
+
+    def test_compose_rng_draws_sum(self):
+        fused = compose(
+            [
+                FilterFunction(lambda v: True, rng_draws_per_record=1.0),
+                FilterFunction(lambda v: True, rng_draws_per_record=0.5),
+            ]
+        )
+        assert fused.rng_draws_per_record == 1.5
+
+    def test_compose_empty_rejected(self):
+        with pytest.raises(ValueError):
+            compose([])
+
+    def test_compose_lifecycle_propagates(self):
+        events = []
+
+        class Probe(IdentityFunction):
+            def __init__(self, tag):
+                self.tag = tag
+
+            def open(self):
+                events.append(f"open-{self.tag}")
+
+            def close(self):
+                events.append(f"close-{self.tag}")
+
+        fused = compose([Probe("a"), Probe("b")])
+        fused.open()
+        fused.close()
+        assert events == ["open-a", "open-b", "close-a", "close-b"]
+
+    @given(st.lists(st.integers(), max_size=50))
+    def test_composed_equals_sequential_application(self, values):
+        """Fusing must never change results — the chaining correctness
+        invariant."""
+        parts = [
+            FlatMapFunction(lambda v: [v, v + 1]),
+            FilterFunction(lambda v: v % 2 == 0),
+            MapFunction(lambda v: v * 3),
+        ]
+        fused = compose(parts)
+        for value in values:
+            expected = []
+            stage1 = list(parts[0].process(value))
+            stage2 = [v for s in stage1 for v in parts[1].process(s)]
+            expected = [v for s in stage2 for v in parts[2].process(s)]
+            assert list(fused.process(value)) == expected

@@ -1,0 +1,153 @@
+"""Tests for repro.dataflow.graph."""
+
+import pytest
+
+from repro.dataflow.functions import IdentityFunction
+from repro.dataflow.graph import (
+    GraphError,
+    LogicalGraph,
+    LogicalOperator,
+    OperatorKind,
+)
+
+
+def op(name, kind=OperatorKind.OPERATOR, **kwargs):
+    if kind is OperatorKind.OPERATOR and "function" not in kwargs:
+        kwargs["function"] = IdentityFunction()
+    return LogicalOperator(name=name, kind=kind, **kwargs)
+
+
+def linear_graph():
+    g = LogicalGraph("g")
+    g.add(op("src", OperatorKind.SOURCE))
+    g.add(op("mid"))
+    g.add(op("sink", OperatorKind.SINK))
+    g.connect("src", "mid")
+    g.connect("mid", "sink")
+    return g
+
+
+class TestConstruction:
+    def test_duplicate_names_rejected(self):
+        g = LogicalGraph()
+        g.add(op("a", OperatorKind.SOURCE))
+        with pytest.raises(GraphError):
+            g.add(op("a", OperatorKind.SOURCE))
+
+    def test_operator_requires_function(self):
+        with pytest.raises(GraphError):
+            LogicalOperator(name="x", kind=OperatorKind.OPERATOR)
+
+    def test_parallelism_must_be_positive(self):
+        with pytest.raises(GraphError):
+            LogicalOperator(name="x", kind=OperatorKind.SOURCE, parallelism=0)
+
+    def test_connect_unknown_node(self):
+        g = LogicalGraph()
+        g.add(op("a", OperatorKind.SOURCE))
+        with pytest.raises(GraphError):
+            g.connect("a", "missing")
+
+    def test_self_loop_rejected(self):
+        g = LogicalGraph()
+        g.add(op("a", OperatorKind.SOURCE))
+        with pytest.raises(GraphError):
+            g.connect("a", "a")
+
+    def test_contains(self):
+        g = linear_graph()
+        assert "mid" in g
+        assert "nope" not in g
+
+    def test_lookup_unknown_operator(self):
+        with pytest.raises(GraphError):
+            linear_graph().operator("nope")
+
+
+class TestNavigation:
+    def test_operators_in_insertion_order(self):
+        g = linear_graph()
+        assert [o.name for o in g.operators()] == ["src", "mid", "sink"]
+
+    def test_sources_and_sinks(self):
+        g = linear_graph()
+        assert [o.name for o in g.sources()] == ["src"]
+        assert [o.name for o in g.sinks()] == ["sink"]
+
+    def test_downstream_upstream(self):
+        g = linear_graph()
+        assert [o.name for o in g.downstream("src")] == ["mid"]
+        assert [o.name for o in g.upstream("sink")] == ["mid"]
+
+    def test_topological_order(self):
+        g = linear_graph()
+        assert [o.name for o in g.topological()] == ["src", "mid", "sink"]
+
+    def test_len(self):
+        assert len(linear_graph()) == 3
+
+
+class TestValidation:
+    def test_valid_linear_graph(self):
+        linear_graph().validate()
+
+    def test_empty_graph_invalid(self):
+        with pytest.raises(GraphError):
+            LogicalGraph().validate()
+
+    def test_cycle_detected(self):
+        g = LogicalGraph()
+        g.add(op("src", OperatorKind.SOURCE))
+        g.add(op("a"))
+        g.add(op("b"))
+        g.connect("src", "a")
+        g.connect("a", "b")
+        g.connect("b", "a")
+        with pytest.raises(GraphError):
+            g.validate()
+
+    def test_no_source_invalid(self):
+        g = LogicalGraph()
+        g.add(op("a"))
+        g.add(op("b", OperatorKind.SINK))
+        g.connect("a", "b")
+        with pytest.raises(GraphError):
+            g.validate()
+
+    def test_unreachable_operator_invalid(self):
+        g = linear_graph()
+        g.add(op("orphan"))
+        with pytest.raises(GraphError):
+            g.validate()
+
+    def test_source_with_inputs_invalid(self):
+        g = LogicalGraph()
+        g.add(op("s1", OperatorKind.SOURCE))
+        g.add(op("s2", OperatorKind.SOURCE))
+        g.connect("s1", "s2")
+        with pytest.raises(GraphError):
+            g.validate()
+
+    def test_sink_with_outputs_invalid(self):
+        g = LogicalGraph()
+        g.add(op("src", OperatorKind.SOURCE))
+        g.add(op("sink", OperatorKind.SINK))
+        g.add(op("after"))
+        g.connect("src", "sink")
+        g.connect("sink", "after")
+        g.connect("src", "after")
+        with pytest.raises(GraphError):
+            g.validate()
+
+    def test_branching_graph_is_valid_as_graph(self):
+        """Branching graphs validate (the *engines* reject them later)."""
+        g = LogicalGraph()
+        g.add(op("src", OperatorKind.SOURCE))
+        g.add(op("a"))
+        g.add(op("b"))
+        g.add(op("sink", OperatorKind.SINK))
+        g.connect("src", "a")
+        g.connect("src", "b")
+        g.connect("a", "sink")
+        g.connect("b", "sink")
+        g.validate()

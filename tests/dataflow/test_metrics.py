@@ -1,0 +1,61 @@
+"""Tests for repro.dataflow.metrics."""
+
+import pytest
+
+from repro.dataflow.metrics import JobMetrics, OperatorMetrics
+
+
+class TestOperatorMetrics:
+    def test_record_accumulates(self):
+        m = OperatorMetrics("op")
+        m.record(10, 5, 0.5)
+        m.record(10, 5, 0.5)
+        assert m.records_in == 20
+        assert m.records_out == 10
+        assert m.busy_seconds == pytest.approx(1.0)
+
+    def test_selectivity(self):
+        m = OperatorMetrics("op")
+        m.record(100, 40, 0.0)
+        assert m.selectivity == pytest.approx(0.4)
+
+    def test_selectivity_zero_input(self):
+        assert OperatorMetrics("op").selectivity == 0.0
+
+
+class TestJobMetrics:
+    def test_operator_creates_bucket(self):
+        jm = JobMetrics("job")
+        bucket = jm.operator("a")
+        assert jm.operator("a") is bucket
+
+    def test_duration(self):
+        jm = JobMetrics("job")
+        jm.started_at = 1.0
+        jm.finished_at = 4.5
+        assert jm.duration == pytest.approx(3.5)
+
+    def test_duration_never_negative(self):
+        jm = JobMetrics("job")
+        jm.started_at = 5.0
+        jm.finished_at = 1.0
+        assert jm.duration == 0.0
+
+    def test_time_share_sums_to_one(self):
+        jm = JobMetrics("job")
+        jm.operator("a").record(1, 1, 3.0)
+        jm.operator("b").record(1, 1, 1.0)
+        shares = jm.time_share()
+        assert shares["a"] == pytest.approx(0.75)
+        assert sum(shares.values()) == pytest.approx(1.0)
+
+    def test_time_share_empty(self):
+        jm = JobMetrics("job")
+        jm.operator("a")
+        assert jm.time_share() == {"a": 0.0}
+
+    def test_total_busy(self):
+        jm = JobMetrics("job")
+        jm.operator("a").record(1, 1, 2.0)
+        jm.operator("b").record(1, 1, 3.0)
+        assert jm.total_busy_seconds() == pytest.approx(5.0)

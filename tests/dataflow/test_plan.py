@@ -1,0 +1,75 @@
+"""Tests for repro.dataflow.plan."""
+
+import pytest
+
+from repro.dataflow.plan import ExecutionPlan, PlanNode, ShipStrategy
+
+
+def three_node_plan():
+    plan = ExecutionPlan("grep")
+    src = plan.add_node("Data Source", "Source: Custom Source", 1)
+    mid = plan.add_node("Operator", "Filter", 1)
+    sink = plan.add_node("Data Sink", "Sink: Unnamed", 1)
+    plan.add_edge(src, mid)
+    plan.add_edge(mid, sink)
+    return plan, src, mid, sink
+
+
+class TestPlanStructure:
+    def test_node_ids_sequential(self):
+        plan, src, mid, sink = three_node_plan()
+        assert (src.node_id, mid.node_id, sink.node_id) == (0, 1, 2)
+
+    def test_successors_predecessors(self):
+        plan, src, mid, sink = three_node_plan()
+        assert plan.successors(src) == [mid]
+        assert plan.predecessors(sink) == [mid]
+
+    def test_sources(self):
+        plan, src, mid, sink = three_node_plan()
+        assert plan.sources() == [src]
+
+    def test_len(self):
+        plan, *_ = three_node_plan()
+        assert len(plan) == 3
+
+    def test_edge_to_foreign_node_rejected(self):
+        plan, src, *_ = three_node_plan()
+        foreign = PlanNode(99, "Operator", "X", 1)
+        with pytest.raises(ValueError):
+            plan.add_edge(src, foreign)
+
+    def test_edge_strategies(self):
+        plan = ExecutionPlan("p")
+        a = plan.add_node("Data Source", "s", 1)
+        b = plan.add_node("Operator", "o", 2)
+        edge = plan.add_edge(a, b, ShipStrategy.HASH)
+        assert edge.strategy is ShipStrategy.HASH
+
+
+class TestRendering:
+    def test_render_native_grep_shape(self):
+        """The render of the native plan matches Figure 12's three boxes."""
+        plan, *_ = three_node_plan()
+        text = plan.render()
+        assert "Source: Custom Source" in text
+        assert "Filter" in text
+        assert "Sink: Unnamed" in text
+        assert text.count("Parallelism: 1") == 3
+
+    def test_render_shows_parallelism(self):
+        plan = ExecutionPlan("p")
+        plan.add_node("Data Source", "s", 2)
+        assert "Parallelism: 2" in plan.render()
+
+    def test_render_preserves_topology_order(self):
+        plan, *_ = three_node_plan()
+        text = plan.render()
+        assert text.index("Custom Source") < text.index("Filter") < text.index("Unnamed")
+
+    def test_render_multiple_sources(self):
+        plan = ExecutionPlan("p")
+        plan.add_node("Data Source", "s1", 1)
+        plan.add_node("Data Source", "s2", 1)
+        text = plan.render()
+        assert "s1" in text and "s2" in text

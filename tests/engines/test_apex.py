@@ -1,0 +1,169 @@
+"""Tests for the Apex-like engine on YARN."""
+
+import pytest
+
+from repro.engines.apex import (
+    ApexLauncher,
+    CollectOutputOperator,
+    DAG,
+    DagValidationError,
+    FilterOperator,
+    FlatMapOperator,
+    KafkaSinglePortInputOperator,
+    KafkaSinglePortOutputOperator,
+    MapOperator,
+)
+from repro.engines.apex.operators import CollectionInputOperator, PassThroughOperator
+from repro.simtime import Simulator
+from repro.yarn import YarnCluster
+
+
+@pytest.fixture
+def yarn(sim):
+    return YarnCluster(sim)
+
+
+def linear_dag(values, *operators):
+    dag = DAG("test-app")
+    source = dag.add_operator("input", CollectionInputOperator(values))
+    previous = source.output
+    for index, operator in enumerate(operators):
+        node = dag.add_operator(f"op{index}", operator)
+        dag.add_stream(f"s{index}", previous, node.input)
+        previous = node.output
+    sink = dag.add_operator("output", CollectOutputOperator())
+    dag.add_stream("out", previous, sink.input)
+    return dag, sink
+
+
+class TestDagConstruction:
+    def test_duplicate_operator_name(self):
+        dag = DAG()
+        dag.add_operator("a", CollectionInputOperator([]))
+        with pytest.raises(DagValidationError):
+            dag.add_operator("a", CollectOutputOperator())
+
+    def test_stream_requires_registered_operators(self):
+        dag = DAG()
+        src = CollectionInputOperator([])
+        sink = CollectOutputOperator()
+        dag.add_operator("src", src)
+        with pytest.raises(DagValidationError):
+            dag.add_stream("s", src.output, sink.input)
+
+    def test_input_port_connected_once(self):
+        dag = DAG()
+        src = dag.add_operator("src", CollectionInputOperator([]))
+        mid = dag.add_operator("mid", PassThroughOperator())
+        sink = dag.add_operator("sink", CollectOutputOperator())
+        dag.add_stream("a", src.output, sink.input)
+        with pytest.raises(DagValidationError):
+            dag.add_stream("b", mid.output, sink.input)
+
+    def test_validate_empty(self):
+        with pytest.raises(DagValidationError):
+            DAG().validate()
+
+    def test_validate_needs_one_input(self):
+        dag = DAG()
+        dag.add_operator("out", CollectOutputOperator())
+        with pytest.raises(DagValidationError):
+            dag.validate()
+
+    def test_validate_disconnected(self):
+        dag = DAG()
+        dag.add_operator("in", CollectionInputOperator([]))
+        dag.add_operator("mid", PassThroughOperator())
+        dag.add_operator("out", CollectOutputOperator())
+        with pytest.raises(DagValidationError):
+            dag.validate()
+
+    def test_validate_linear_ok(self):
+        dag, _ = linear_dag([1], PassThroughOperator())
+        assert [op.name for op in dag.validate()] == ["input", "op0", "output"]
+
+    def test_attributes(self):
+        dag = DAG()
+        dag.set_attribute("VCORES_PER_OPERATOR", 2)
+        assert dag.attributes["VCORES_PER_OPERATOR"] == 2
+
+
+class TestExecution:
+    def test_filter_operator(self, yarn):
+        dag, sink = linear_dag(list(range(10)), FilterOperator(lambda v: v < 3))
+        result = ApexLauncher(yarn).launch(dag)
+        assert sink.values == [0, 1, 2]
+        assert result.records_in == 10
+        assert result.records_out == 3
+        assert result.engine == "apex"
+
+    def test_map_and_flat_map(self, yarn):
+        dag, sink = linear_dag(
+            ["a b", "c"], FlatMapOperator(str.split), MapOperator(str.upper)
+        )
+        ApexLauncher(yarn).launch(dag)
+        assert sink.values == ["A", "B", "C"]
+
+    def test_kafka_roundtrip(self, sim, broker, admin, ingested_lines):
+        admin.create_topic("out")
+        yarn = YarnCluster(sim)
+        dag = DAG("grep")
+        src = dag.add_operator("in", KafkaSinglePortInputOperator(broker, "in"))
+        flt = dag.add_operator("grep", FilterOperator(lambda line: "test" in line))
+        out = dag.add_operator("out", KafkaSinglePortOutputOperator(broker, "out"))
+        dag.add_stream("lines", src.output, flt.input)
+        dag.add_stream("matches", flt.output, out.input)
+        ApexLauncher(yarn).launch(dag)
+        expected = [line for line in ingested_lines if "test" in line]
+        assert broker.topic("out").partition(0).read_values(0) == expected
+
+    def test_containers_released_after_run(self, yarn):
+        dag, _ = linear_dag([1], PassThroughOperator())
+        ApexLauncher(yarn).launch(dag)
+        assert (
+            yarn.resource_manager.available_resources()
+            == yarn.resource_manager.total_capacity()
+        )
+
+    def test_one_container_per_operator_plus_stram(self, yarn):
+        dag, _ = linear_dag([1], PassThroughOperator())
+        ApexLauncher(yarn).launch(dag)
+        report = list(yarn.resource_manager.applications.values())[0]
+        # STRAM AM + 3 operators
+        assert len(report.container_ids) == 4
+
+    def test_vcores_attribute_sets_parallelism(self, yarn):
+        dag, _ = linear_dag([1], PassThroughOperator())
+        dag.set_attribute("VCORES_PER_OPERATOR", 2)
+        result = ApexLauncher(yarn).launch(dag)
+        assert all(node.parallelism == 2 for node in result.plan.nodes)
+
+    def test_higher_vcores_cost_more_per_record(self, sim):
+        def run(vcores):
+            local = Simulator(seed=5)
+            yarn = YarnCluster(local)
+            dag, _ = linear_dag(list(range(2000)), PassThroughOperator())
+            dag.set_attribute("VCORES_PER_OPERATOR", vcores)
+            return ApexLauncher(yarn).launch(dag).base_duration
+
+        assert run(2) > run(1)
+
+    def test_container_local_stream_skips_buffer_server(self, sim):
+        def run(locality):
+            local = Simulator(seed=5)
+            yarn = YarnCluster(local)
+            dag = DAG("loc")
+            src = dag.add_operator("in", CollectionInputOperator(list(range(5000))))
+            mid = dag.add_operator("mid", PassThroughOperator())
+            out = dag.add_operator("out", CollectOutputOperator())
+            dag.add_stream("a", src.output, mid.input, locality=locality)
+            dag.add_stream("b", mid.output, out.input, locality=locality)
+            return ApexLauncher(yarn).launch(dag).base_duration
+
+        assert run("CONTAINER_LOCAL") < run("NODE_LOCAL")
+
+    def test_plan_structure(self, yarn):
+        dag, _ = linear_dag([1], FilterOperator(lambda v: True))
+        result = ApexLauncher(yarn).launch(dag)
+        kinds = [n.kind_label for n in result.plan.nodes]
+        assert kinds == ["Data Source", "Operator", "Data Sink"]

@@ -1,0 +1,101 @@
+"""Unit tests for the engine cost models and traits."""
+
+import pytest
+
+from repro.engines.apex.config import APEX_TRAITS, ApexCostModel
+from repro.engines.common.results import JobResult
+from repro.engines.flink.config import FLINK_TRAITS, FlinkCostModel
+from repro.engines.spark.config import SPARK_TRAITS, SparkCostModel
+from repro.dataflow.metrics import JobMetrics
+from repro.dataflow.plan import ExecutionPlan
+
+
+class TestFlinkCostModel:
+    def test_parallelism_increases_source_cost(self):
+        model = FlinkCostModel()
+        assert (
+            model.source_costs(2).per_record_in > model.source_costs(1).per_record_in
+        )
+
+    def test_chained_operator_pays_no_hop(self):
+        model = FlinkCostModel()
+        chained = model.operator_costs(chained_after_previous=True)
+        unchained = model.operator_costs(chained_after_previous=False)
+        assert chained.per_record_in == 0.0
+        assert unchained.per_record_in == model.hop_per_record
+
+    def test_hash_input_costs_more_than_forward(self):
+        model = FlinkCostModel()
+        hashed = model.operator_costs(chained_after_previous=False, hash_input=True)
+        forward = model.operator_costs(chained_after_previous=False)
+        assert hashed.per_record_in > forward.per_record_in
+
+    def test_sink_includes_hop_and_write(self):
+        model = FlinkCostModel()
+        sink = model.sink_costs()
+        assert sink.per_record_in == model.hop_per_record
+        assert sink.per_record_out == model.sink_per_record
+
+
+class TestSparkCostModel:
+    def test_batch_overhead_grows_with_parallelism(self):
+        model = SparkCostModel()
+        assert model.batch_overhead(2) > model.batch_overhead(1)
+
+    def test_compute_is_much_cheaper_than_flink(self):
+        # the constant behind "native Spark is fastest" (docs/calibration.md)
+        assert SparkCostModel().op_per_weight < FlinkCostModel().op_per_weight / 10
+
+    def test_shuffle_costs_more_than_pipelined(self):
+        model = SparkCostModel()
+        assert (
+            model.operator_costs(shuffle_input=True).per_record_in
+            > model.operator_costs(shuffle_input=False).per_record_in
+        )
+
+
+class TestApexCostModel:
+    def test_source_is_most_expensive_native_source(self):
+        assert (
+            ApexCostModel().source_per_record
+            > FlinkCostModel().source_per_record
+        )
+        assert (
+            ApexCostModel().source_per_record
+            > SparkCostModel().source_per_record
+        )
+
+    def test_operator_entered_via_buffer_server(self):
+        model = ApexCostModel()
+        assert model.operator_costs().per_record_in == model.hop_per_record
+
+    def test_container_resource_is_one_vcore(self):
+        assert ApexCostModel().container_resource.vcores == 1
+
+
+class TestTraits:
+    def test_table1_rows(self):
+        assert FLINK_TRAITS.row()[0] == "Apache Flink"
+        assert SPARK_TRAITS.row()[3] == "Batch"
+        assert APEX_TRAITS.row()[2] == "Java"
+
+    def test_all_exactly_once(self):
+        for traits in (FLINK_TRAITS, SPARK_TRAITS, APEX_TRAITS):
+            assert traits.row()[4] == "Exactly-once"
+
+
+class TestJobResult:
+    def test_summary_line(self):
+        result = JobResult(
+            job_name="grep",
+            engine="flink",
+            records_in=100,
+            records_out=3,
+            duration=1.234,
+            plan=ExecutionPlan("grep"),
+            metrics=JobMetrics("grep"),
+        )
+        summary = result.summary()
+        assert "flink:grep" in summary
+        assert "in=100" in summary
+        assert "1.234" in summary

@@ -1,0 +1,235 @@
+"""Tests for the Flink-like engine."""
+
+import pytest
+
+from repro.broker import Producer
+from repro.engines.common.translate import PipelineShapeError
+from repro.engines.flink import (
+    CollectSink,
+    FlinkCluster,
+    KafkaSink,
+    KafkaSource,
+    NoResourceAvailableError,
+    StreamExecutionEnvironment,
+)
+from repro.engines.flink.errors import JobGraphError
+from repro.simtime import Simulator
+
+
+@pytest.fixture
+def cluster(sim):
+    return FlinkCluster(sim)
+
+
+def env_for(cluster):
+    return StreamExecutionEnvironment(cluster)
+
+
+class TestDataStreamApi:
+    def test_map(self, cluster):
+        env = env_for(cluster)
+        sink = CollectSink()
+        env.from_collection([1, 2, 3]).map(lambda v: v * 2).add_sink(sink)
+        env.execute("map-job")
+        assert sink.values == [2, 4, 6]
+
+    def test_filter(self, cluster):
+        env = env_for(cluster)
+        sink = CollectSink()
+        env.from_collection(range(10)).filter(lambda v: v % 2 == 0).add_sink(sink)
+        env.execute()
+        assert sink.values == [0, 2, 4, 6, 8]
+
+    def test_flat_map(self, cluster):
+        env = env_for(cluster)
+        sink = CollectSink()
+        env.from_collection(["a b", "c"]).flat_map(str.split).add_sink(sink)
+        env.execute()
+        assert sink.values == ["a", "b", "c"]
+
+    def test_chained_transformations(self, cluster):
+        env = env_for(cluster)
+        sink = CollectSink()
+        (
+            env.from_collection(range(10))
+            .filter(lambda v: v > 3)
+            .map(lambda v: v * 10)
+            .filter(lambda v: v < 90)
+            .add_sink(sink)
+        )
+        env.execute()
+        assert sink.values == [40, 50, 60, 70, 80]
+
+    def test_key_by_reduce_running_aggregate(self, cluster):
+        env = env_for(cluster)
+        sink = CollectSink()
+        (
+            env.from_collection(["a", "b", "a", "a"])
+            .key_by(lambda v: v)
+            .reduce(lambda acc, v: acc + v, value_selector=lambda v: 1)
+            .add_sink(sink)
+        )
+        env.execute()
+        assert sink.values == [("a", 1), ("b", 1), ("a", 2), ("a", 3)]
+
+    def test_keyed_sum(self, cluster):
+        env = env_for(cluster)
+        sink = CollectSink()
+        (
+            env.from_collection([("x", 2), ("x", 5), ("y", 1)])
+            .key_by(lambda kv: kv[0])
+            .sum(lambda kv: kv[1])
+            .add_sink(sink)
+        )
+        env.execute()
+        assert sink.values == [("x", 2), ("x", 7), ("y", 1)]
+
+    def test_execute_without_sink_raises(self, cluster):
+        env = env_for(cluster)
+        env.from_collection([1])
+        with pytest.raises(JobGraphError):
+            env.execute()
+
+    def test_invalid_parallelism(self, cluster):
+        with pytest.raises(ValueError):
+            env_for(cluster).set_parallelism(0)
+
+    def test_result_counts(self, cluster):
+        env = env_for(cluster)
+        sink = CollectSink()
+        env.from_collection(range(100)).filter(lambda v: v < 10).add_sink(sink)
+        result = env.execute("counting")
+        assert result.records_in == 100
+        assert result.records_out == 10
+        assert result.engine == "flink"
+
+
+class TestKafkaIntegration:
+    def test_kafka_roundtrip(self, sim, broker, admin, ingested_lines):
+        admin.create_topic("out")
+        cluster = FlinkCluster(sim)
+        env = env_for(cluster)
+        env.add_source(KafkaSource(broker, "in")).filter(
+            lambda line: "test" in line
+        ).add_sink(KafkaSink(broker, "out"))
+        result = env.execute("grep")
+        expected = [line for line in ingested_lines if "test" in line]
+        out_values = broker.topic("out").partition(0).read_values(0)
+        assert out_values == expected
+        assert result.records_out == len(expected)
+
+    def test_output_timestamps_increase(self, sim, broker, admin, ingested_lines):
+        admin.create_topic("out")
+        cluster = FlinkCluster(sim)
+        env = env_for(cluster)
+        env.add_source(KafkaSource(broker, "in")).add_sink(KafkaSink(broker, "out"))
+        env.execute("identity")
+        log = broker.topic("out").partition(0)
+        assert log.last_timestamp() >= log.first_timestamp()
+
+
+class TestChainingAndPlan:
+    def test_native_grep_plan_has_three_elements(self, cluster):
+        """Figure 12: source, filter, sink."""
+        env = env_for(cluster)
+        sink = CollectSink()
+        env.from_collection(["x"]).filter(lambda v: True, name="Filter").add_sink(sink)
+        result = env.execute("grep")
+        assert len(result.plan) == 3
+        labels = [n.kind_label for n in result.plan.nodes]
+        assert labels == ["Data Source", "Operator", "Data Sink"]
+
+    def test_consecutive_operators_chain_into_one_stage(self, cluster):
+        env = env_for(cluster)
+        sink = CollectSink()
+        (
+            env.from_collection(range(5))
+            .map(lambda v: v)
+            .map(lambda v: v)
+            .map(lambda v: v)
+            .add_sink(sink)
+        )
+        result = env.execute("chained")
+        # 3 logical operators fused into one stage: metrics show one
+        # operator bucket between source and sink.
+        operator_buckets = [
+            name
+            for name in result.metrics.operators
+            if name not in ("Collection Source", "Sink")
+        ]
+        assert len(operator_buckets) == 1
+
+    def test_chaining_reduces_cost(self, sim):
+        def run(chainable):
+            local = Simulator(seed=9)
+            cluster = FlinkCluster(local)
+            env = StreamExecutionEnvironment(cluster)
+            sink = CollectSink()
+            stream = env.from_collection(range(1000))
+            for _ in range(3):
+                stream = stream._append(
+                    __import__(
+                        "repro.dataflow.functions", fromlist=["MapFunction"]
+                    ).MapFunction(lambda v: v),
+                    "Map",
+                    chainable=chainable,
+                )
+            stream.add_sink(sink)
+            return env.execute("j").base_duration
+
+        assert run(True) < run(False)
+
+    def test_key_by_breaks_chain_with_hash_edge(self, cluster):
+        from repro.dataflow.plan import ShipStrategy
+
+        env = env_for(cluster)
+        sink = CollectSink()
+        (
+            env.from_collection(["a"])
+            .key_by(lambda v: v)
+            .reduce(lambda a, b: a)
+            .add_sink(sink)
+        )
+        result = env.execute("keyed")
+        strategies = [e.strategy for e in result.plan.edges]
+        assert ShipStrategy.HASH in strategies
+
+
+class TestScheduling:
+    def test_job_releases_slots(self, sim):
+        cluster = FlinkCluster(sim, num_task_managers=1, slots_per_task_manager=2)
+        env = env_for(cluster)
+        sink = CollectSink()
+        env.from_collection([1]).add_sink(sink)
+        env.execute()
+        assert cluster.job_manager.total_free_slots() == 2
+
+    def test_insufficient_slots(self, sim):
+        cluster = FlinkCluster(sim, num_task_managers=1, slots_per_task_manager=1)
+        env = env_for(cluster)
+        env.set_parallelism(2)
+        sink = CollectSink()
+        env.from_collection([1]).add_sink(sink)
+        with pytest.raises(NoResourceAvailableError):
+            env.execute()
+
+    def test_default_cluster_matches_paper(self, sim):
+        cluster = FlinkCluster(sim)
+        assert len(cluster.task_managers) == 2
+        assert cluster.job_manager.total_free_slots() == 16
+
+    def test_restart_clears_jobs(self, sim):
+        cluster = FlinkCluster(sim)
+        cluster.job_manager.allocate_job(["v"], 4)
+        cluster.restart()
+        assert cluster.job_manager.total_free_slots() == 16
+
+
+class TestShapeErrors:
+    def test_two_sinks_rejected(self, cluster):
+        env = env_for(cluster)
+        stream = env.from_collection([1])
+        stream.add_sink(CollectSink())
+        stream.add_sink(CollectSink())
+        with pytest.raises(PipelineShapeError):
+            env.execute()

@@ -1,0 +1,119 @@
+"""Tests for the pump's end-of-input drain (buffering functions)."""
+
+import random
+
+import pytest
+
+from repro.beam.runners.util import GroupByKeyFunction
+from repro.dataflow.functions import (
+    FlatMapFunction,
+    MapFunction,
+    StreamFunction,
+    compose,
+)
+from repro.engines.common.costs import RunVariance, StageCosts
+from repro.engines.common.pump import StreamPump
+from repro.engines.common.stages import PhysicalStage, StageKind
+from repro.simtime import Simulator
+
+
+def pump_with(function, sink_costs=None):
+    sim = Simulator(seed=1)
+    outputs = []
+    pump = StreamPump(
+        simulator=sim,
+        stages=[
+            PhysicalStage("src", StageKind.SOURCE, StageCosts()),
+            PhysicalStage("op", StageKind.OPERATOR, StageCosts(), function=function),
+            PhysicalStage(
+                "snk", StageKind.SINK, sink_costs or StageCosts(per_record_out=1e-4)
+            ),
+        ],
+        variance=RunVariance(),
+        rng=random.Random(0),
+        emit=outputs.extend,
+    )
+    return pump, outputs
+
+
+class TestDrain:
+    def test_grouping_flushes_at_end(self):
+        pump, outputs = pump_with(GroupByKeyFunction())
+        result = pump.run([("a", 1), ("b", 2), ("a", 3)])
+        assert outputs == [("a", [1, 3]), ("b", [2])]
+        assert result.records_out == 2
+
+    def test_drained_records_pay_sink_costs(self):
+        pump, _ = pump_with(GroupByKeyFunction())
+        result = pump.run([("a", 1), ("b", 2)])
+        # two drained groups through the sink at 1e-4 each
+        assert result.base_duration == pytest.approx(2e-4)
+
+    def test_stateless_functions_drain_nothing(self):
+        pump, outputs = pump_with(MapFunction(lambda v: v + 1))
+        result = pump.run([1, 2, 3])
+        assert outputs == [2, 3, 4]
+        assert result.records_out == 3
+
+    def test_drain_cascades_through_downstream_parts(self):
+        fused = compose(
+            [GroupByKeyFunction(), MapFunction(lambda kv: (kv[0], sum(kv[1])))]
+        )
+        pump, outputs = pump_with(fused)
+        pump.run([("a", 1), ("a", 2), ("b", 5)])
+        assert outputs == [("a", 3), ("b", 5)]
+
+    def test_drain_emit_timestamps_at_end(self):
+        pump, _ = pump_with(GroupByKeyFunction())
+        result = pump.run([("a", 1)])
+        assert result.first_emit_time is not None
+        assert result.first_emit_time == result.last_emit_time
+
+    def test_empty_input_drains_nothing(self):
+        pump, outputs = pump_with(GroupByKeyFunction())
+        result = pump.run([])
+        assert outputs == []
+        assert result.records_out == 0
+
+
+class TestCustomDrainFunction:
+    def test_custom_finish_hook(self):
+        class Batcher(StreamFunction):
+            name = "Batcher"
+
+            def __init__(self):
+                self.buffer = []
+
+            def process(self, value):
+                self.buffer.append(value)
+                if len(self.buffer) == 2:
+                    out = [tuple(self.buffer)]
+                    self.buffer = []
+                    return out
+                return ()
+
+            def finish(self):
+                return [tuple(self.buffer)] if self.buffer else ()
+
+        pump, outputs = pump_with(Batcher())
+        pump.run([1, 2, 3, 4, 5])
+        assert outputs == [(1, 2), (3, 4), (5,)]
+
+    def test_drain_through_following_flat_map(self):
+        class Holder(StreamFunction):
+            name = "Holder"
+
+            def __init__(self):
+                self.values = []
+
+            def process(self, value):
+                self.values.append(value)
+                return ()
+
+            def finish(self):
+                return [self.values]
+
+        fused = compose([Holder(), FlatMapFunction(lambda batch: batch)])
+        pump, outputs = pump_with(fused)
+        pump.run([1, 2, 3])
+        assert outputs == [1, 2, 3]

@@ -1,0 +1,139 @@
+"""Property-based tests of the pump's conservation invariants."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.dataflow.functions import (
+    FilterFunction,
+    FlatMapFunction,
+    MapFunction,
+    compose,
+)
+from repro.engines.common.costs import RunVariance, StageCosts
+from repro.engines.common.pump import StreamPump
+from repro.engines.common.stages import PhysicalStage, StageKind
+from repro.simtime import Simulator
+
+
+def make_chain(spec: list[str]):
+    """Build a function chain from a compact spec list."""
+    parts = []
+    for kind in spec:
+        if kind == "inc":
+            parts.append(MapFunction(lambda v: v + 1))
+        elif kind == "even":
+            parts.append(FilterFunction(lambda v: v % 2 == 0))
+        elif kind == "dup":
+            parts.append(FlatMapFunction(lambda v: [v, v]))
+        elif kind == "drop":
+            parts.append(FlatMapFunction(lambda v: []))
+    return compose(parts) if parts else None
+
+
+def reference(values, spec):
+    out = list(values)
+    for kind in spec:
+        if kind == "inc":
+            out = [v + 1 for v in out]
+        elif kind == "even":
+            out = [v for v in out if v % 2 == 0]
+        elif kind == "dup":
+            out = [v for item in out for v in (item, item)]
+        elif kind == "drop":
+            out = []
+    return out
+
+
+chain_specs = st.lists(
+    st.sampled_from(["inc", "even", "dup", "drop"]), min_size=1, max_size=5
+)
+
+
+class TestPumpConservation:
+    @given(
+        values=st.lists(st.integers(-100, 100), max_size=200),
+        spec=chain_specs,
+        chunk=st.integers(1, 64),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_pump_equals_reference_semantics(self, values, spec, chunk):
+        """The pump is a faithful executor: outputs equal the functional
+        reference regardless of chunking."""
+        function = make_chain(spec)
+        sim = Simulator(seed=1)
+        outputs = []
+        pump = StreamPump(
+            simulator=sim,
+            stages=[
+                PhysicalStage("src", StageKind.SOURCE, StageCosts()),
+                PhysicalStage("op", StageKind.OPERATOR, StageCosts(), function=function),
+                PhysicalStage("snk", StageKind.SINK, StageCosts()),
+            ],
+            variance=RunVariance(),
+            rng=random.Random(0),
+            emit=outputs.extend,
+            chunk_size=chunk,
+        )
+        result = pump.run(values)
+        assert outputs == reference(values, spec)
+        assert result.records_in == len(values)
+        assert result.records_out == len(outputs)
+
+    @given(
+        values=st.lists(st.integers(), max_size=150),
+        spec=chain_specs,
+        cost_in=st.floats(0, 1e-3),
+        cost_out=st.floats(0, 1e-3),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_duration_nonnegative_and_monotone_in_costs(
+        self, values, spec, cost_in, cost_out
+    ):
+        def run(scale):
+            sim = Simulator(seed=1)
+            pump = StreamPump(
+                simulator=sim,
+                stages=[
+                    PhysicalStage(
+                        "src",
+                        StageKind.SOURCE,
+                        StageCosts(per_record_in=cost_in * scale),
+                    ),
+                    PhysicalStage(
+                        "op", StageKind.OPERATOR, StageCosts(), function=make_chain(spec)
+                    ),
+                    PhysicalStage(
+                        "snk",
+                        StageKind.SINK,
+                        StageCosts(per_record_out=cost_out * scale),
+                    ),
+                ],
+                variance=RunVariance(),
+                rng=random.Random(0),
+            )
+            return pump.run(values).base_duration
+
+        cheap, expensive = run(1.0), run(2.0)
+        assert cheap >= 0
+        assert expensive >= cheap
+
+    @given(values=st.lists(st.integers(), min_size=1, max_size=100))
+    @settings(max_examples=30, deadline=None)
+    def test_metrics_account_every_record(self, values):
+        sim = Simulator(seed=1)
+        function = MapFunction(lambda v: v)
+        pump = StreamPump(
+            simulator=sim,
+            stages=[
+                PhysicalStage("src", StageKind.SOURCE, StageCosts()),
+                PhysicalStage("op", StageKind.OPERATOR, StageCosts(), function=function),
+                PhysicalStage("snk", StageKind.SINK, StageCosts()),
+            ],
+            variance=RunVariance(),
+            rng=random.Random(0),
+        )
+        result = pump.run(values)
+        assert result.metrics.operator("op").records_in == len(values)
+        assert result.metrics.operator("op").records_out == len(values)
+        assert result.metrics.operator("snk").records_in == len(values)

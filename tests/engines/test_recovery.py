@@ -1,0 +1,271 @@
+"""Tests for checkpointing, failure injection and exactly-once recovery.
+
+Backs Table I's "Exactly-once" row: each input tuple is processed exactly
+once even across failures — and the guarantee is *observable*: with the
+transactional sink disabled the same failure produces duplicates.
+"""
+
+import random
+
+import pytest
+
+from repro.engines.common.costs import StageCosts
+from repro.engines.common.recovery import (
+    CheckpointingConfig,
+    FailureInjector,
+    RecoveringPump,
+)
+from repro.engines.common.stages import PhysicalStage, StageKind
+from repro.engines.flink import CollectSink, FlinkCluster, StreamExecutionEnvironment
+from repro.engines.flink.datastream import KeyedReduceFunction
+from repro.dataflow.functions import FilterFunction
+from repro.simtime import Simulator
+
+
+def stages_for(function=None):
+    stages = [
+        PhysicalStage("src", StageKind.SOURCE, StageCosts(per_record_in=1e-5))
+    ]
+    if function is not None:
+        stages.append(
+            PhysicalStage("op", StageKind.OPERATOR, StageCosts(), function=function)
+        )
+    stages.append(PhysicalStage("snk", StageKind.SINK, StageCosts(per_record_out=1e-5)))
+    return stages
+
+
+def run_pump(records, exactly_once=True, failure=None, function=None, interval=100):
+    sim = Simulator(seed=5)
+    outputs = []
+    pump = RecoveringPump(
+        simulator=sim,
+        stages=stages_for(function),
+        rng=random.Random(1),
+        emit=outputs.extend,
+        checkpoint_interval_records=interval,
+        exactly_once=exactly_once,
+        failure=failure,
+    )
+    report = pump.run(records)
+    return report, outputs
+
+
+class TestFailureInjector:
+    def test_fraction_validation(self):
+        with pytest.raises(ValueError):
+            FailureInjector(at_fraction=1.5)
+
+    def test_delay_validation(self):
+        with pytest.raises(ValueError):
+            FailureInjector(at_fraction=0.5, recovery_delay=-1)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            CheckpointingConfig(interval_records=0)
+
+
+class TestNoFailure:
+    def test_outputs_identical_to_plain_run(self):
+        records = list(range(1000))
+        report, outputs = run_pump(records)
+        assert outputs == records
+        assert report.failures == 0
+        assert report.result.records_out == 1000
+
+    def test_checkpoints_taken_periodically(self):
+        report, _ = run_pump(list(range(1000)), interval=100)
+        # initial + one per interval
+        assert report.checkpoints_taken == 11
+
+    def test_checkpointing_costs_time(self):
+        plain_sim = Simulator(seed=5)
+        from repro.engines.common.pump import StreamPump
+        from repro.engines.common.costs import RunVariance
+
+        plain = StreamPump(
+            simulator=plain_sim,
+            stages=stages_for(),
+            variance=RunVariance(),
+            rng=random.Random(1),
+        )
+        plain_result = plain.run(list(range(1000)))
+        report, _ = run_pump(list(range(1000)), interval=100)
+        # checkpoint snapshots add overhead beyond the plain run
+        assert report.result.duration >= plain_result.duration
+
+
+class TestExactlyOnce:
+    def test_failure_does_not_change_outputs(self):
+        records = list(range(1000))
+        clean, clean_out = run_pump(records)
+        failed, failed_out = run_pump(
+            records, failure=FailureInjector(at_fraction=0.55, recovery_delay=0.5)
+        )
+        assert failed.failures == 1
+        assert failed_out == clean_out
+        assert failed.result.records_out == clean.result.records_out
+
+    def test_failure_at_various_points(self):
+        records = list(range(500))
+        for fraction in (0.0, 0.1, 0.5, 0.9, 0.999):
+            report, outputs = run_pump(
+                records,
+                failure=FailureInjector(at_fraction=fraction, recovery_delay=0.1),
+                interval=64,
+            )
+            assert outputs == records, f"lost/duplicated records at {fraction}"
+            assert report.failures == 1
+
+    def test_recovery_takes_longer_than_clean_run(self):
+        records = list(range(2000))
+        clean, _ = run_pump(records)
+        failed, _ = run_pump(
+            records, failure=FailureInjector(at_fraction=0.93, recovery_delay=1.0)
+        )
+        assert failed.result.duration > clean.result.duration
+        assert failed.records_reprocessed > 0
+
+    def test_stateful_function_state_correct_after_recovery(self):
+        """The running counts must not double-count replayed records."""
+        records = ["a", "b", "a", "a", "b"] * 100
+        counter = KeyedReduceFunction(
+            key_selector=lambda v: v,
+            reducer=lambda acc, one: acc + one,
+            value_selector=lambda v: 1,
+        )
+        report, outputs = run_pump(
+            records,
+            function=counter,
+            failure=FailureInjector(at_fraction=0.6, recovery_delay=0.2),
+            interval=64,
+        )
+        clean_counter = KeyedReduceFunction(
+            key_selector=lambda v: v,
+            reducer=lambda acc, one: acc + one,
+            value_selector=lambda v: 1,
+        )
+        _, clean_outputs = run_pump(records, function=clean_counter)
+        assert outputs == clean_outputs
+        assert counter.state == {"a": 300, "b": 200}
+
+    def test_filter_function_with_failure(self):
+        records = list(range(1000))
+        report, outputs = run_pump(
+            records,
+            function=FilterFunction(lambda v: v % 7 == 0),
+            failure=FailureInjector(at_fraction=0.33),
+            interval=50,
+        )
+        assert outputs == [v for v in records if v % 7 == 0]
+
+
+class TestAtLeastOnce:
+    def test_failure_produces_duplicates(self):
+        records = list(range(1000))
+        report, outputs = run_pump(
+            records,
+            exactly_once=False,
+            failure=FailureInjector(at_fraction=0.55, recovery_delay=0.1),
+            interval=100,
+        )
+        assert report.duplicates_possible
+        assert len(outputs) > len(records)
+        # every record still present at least once
+        assert set(outputs) == set(records)
+
+    def test_no_failure_no_duplicates(self):
+        records = list(range(500))
+        report, outputs = run_pump(records, exactly_once=False)
+        assert outputs == records
+        assert not report.duplicates_possible
+
+
+class TestEngineIntegration:
+    def test_flink_exactly_once_end_to_end(self):
+        sim = Simulator(seed=6)
+        cluster = FlinkCluster(sim)
+        records = [f"r{i}" for i in range(3000)]
+
+        def run(failure):
+            env = StreamExecutionEnvironment(cluster)
+            env.enable_checkpointing(interval_records=500)
+            sink = CollectSink()
+            env.from_collection(records).filter(lambda v: v.endswith("0")).add_sink(sink)
+            result = env.execute("ck", failure=failure)
+            return result, sink.values
+
+        clean_result, clean_values = run(None)
+        failed_result, failed_values = run(
+            FailureInjector(at_fraction=0.5, recovery_delay=0.5)
+        )
+        assert failed_values == clean_values
+        assert failed_result.recovery.failures == 1
+        assert failed_result.duration > clean_result.duration
+
+    def test_flink_at_least_once_duplicates(self):
+        sim = Simulator(seed=6)
+        cluster = FlinkCluster(sim)
+        env = StreamExecutionEnvironment(cluster)
+        env.enable_checkpointing(interval_records=200, exactly_once=False)
+        sink = CollectSink()
+        env.from_collection(list(range(1000))).add_sink(sink)
+        result = env.execute("alo", failure=FailureInjector(at_fraction=0.5))
+        assert result.recovery.duplicates_possible
+        assert len(sink.values) > 1000
+
+    def test_spark_checkpoint_recovery(self):
+        from repro.engines.spark import (
+            SparkCluster,
+            SparkConf,
+            SparkContext,
+            StreamingContext,
+        )
+
+        sim = Simulator(seed=6)
+        cluster = SparkCluster(sim)
+        records = list(range(2000))
+
+        def run(failure):
+            sc = SparkContext(SparkConf(), cluster)
+            ssc = StreamingContext(sc, records_per_batch=250)
+            ssc.checkpoint()
+            bucket = []
+            ssc.queue_stream(records).map(lambda v: v * 2).collect_into(bucket)
+            result = ssc.run("ck", failure=failure)
+            sc.stop()
+            return result, bucket
+
+        _, clean = run(None)
+        failed_result, failed = run(FailureInjector(at_fraction=0.4))
+        assert failed == clean
+        assert failed_result.recovery.failures == 1
+
+    def test_apex_checkpoint_recovery(self):
+        from repro.engines.apex import ApexLauncher, CollectOutputOperator, DAG
+        from repro.engines.apex.operators import (
+            CollectionInputOperator,
+            FilterOperator,
+        )
+        from repro.yarn import YarnCluster
+
+        sim = Simulator(seed=6)
+        records = list(range(2000))
+
+        def run(failure):
+            dag = DAG("ck")
+            src = dag.add_operator("in", CollectionInputOperator(records))
+            flt = dag.add_operator("f", FilterOperator(lambda v: v % 3 == 0))
+            out = dag.add_operator("out", CollectOutputOperator())
+            dag.add_stream("a", src.output, flt.input)
+            dag.add_stream("b", flt.output, out.input)
+            result = ApexLauncher(YarnCluster(sim)).launch(
+                dag,
+                checkpointing=CheckpointingConfig(interval_records=300),
+                failure=failure,
+            )
+            return result, out.values
+
+        _, clean = run(None)
+        failed_result, failed = run(FailureInjector(at_fraction=0.7))
+        assert failed == clean
+        assert failed_result.recovery.failures == 1

@@ -1,0 +1,100 @@
+"""Property-based tests of the exactly-once guarantee."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.engines.common.costs import StageCosts
+from repro.engines.common.recovery import FailureInjector, RecoveringPump
+from repro.engines.common.stages import PhysicalStage, StageKind
+from repro.engines.flink.datastream import KeyedReduceFunction
+from repro.simtime import Simulator
+
+
+def run(records, exactly_once, failure, interval, function=None):
+    stages = [PhysicalStage("src", StageKind.SOURCE, StageCosts(per_record_in=1e-6))]
+    if function is not None:
+        stages.append(
+            PhysicalStage("op", StageKind.OPERATOR, StageCosts(), function=function)
+        )
+    stages.append(PhysicalStage("snk", StageKind.SINK, StageCosts()))
+    outputs = []
+    pump = RecoveringPump(
+        simulator=Simulator(seed=1),
+        stages=stages,
+        rng=random.Random(0),
+        emit=outputs.extend,
+        checkpoint_interval_records=interval,
+        exactly_once=exactly_once,
+        failure=failure,
+    )
+    report = pump.run(records)
+    return report, outputs
+
+
+class TestExactlyOnceProperty:
+    @given(
+        n=st.integers(1, 500),
+        fraction=st.floats(0.0, 1.0),
+        interval=st.integers(1, 100),
+        delay=st.floats(0.0, 2.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_outputs_invariant_under_any_failure_point(
+        self, n, fraction, interval, delay
+    ):
+        records = list(range(n))
+        _, outputs = run(
+            records,
+            exactly_once=True,
+            failure=FailureInjector(at_fraction=fraction, recovery_delay=delay),
+            interval=interval,
+        )
+        assert outputs == records
+
+    @given(
+        n=st.integers(1, 400),
+        fraction=st.floats(0.0, 1.0),
+        interval=st.integers(1, 64),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_at_least_once_never_loses_records(self, n, fraction, interval):
+        records = list(range(n))
+        _, outputs = run(
+            records,
+            exactly_once=False,
+            failure=FailureInjector(at_fraction=fraction, recovery_delay=0.1),
+            interval=interval,
+        )
+        assert set(outputs) == set(records)
+        assert len(outputs) >= len(records)
+
+    @given(
+        keys=st.lists(st.sampled_from("abcde"), min_size=1, max_size=300),
+        fraction=st.floats(0.0, 1.0),
+        interval=st.integers(1, 50),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_stateful_counts_exact_under_failure(self, keys, fraction, interval):
+        counter = KeyedReduceFunction(
+            key_selector=lambda v: v,
+            reducer=lambda acc, one: acc + one,
+            value_selector=lambda v: 1,
+        )
+        _, outputs = run(
+            keys,
+            exactly_once=True,
+            failure=FailureInjector(at_fraction=fraction, recovery_delay=0.0),
+            interval=interval,
+            function=counter,
+        )
+        expected_final = {key: keys.count(key) for key in set(keys)}
+        assert counter.state == expected_final
+        # the emitted running counts are exactly the failure-free sequence
+        clean_counter = KeyedReduceFunction(
+            key_selector=lambda v: v,
+            reducer=lambda acc, one: acc + one,
+            value_selector=lambda v: 1,
+        )
+        clean_expected = [next(iter(clean_counter.process(k))) for k in keys]
+        assert outputs == clean_expected

@@ -1,0 +1,203 @@
+"""Tests for the Spark-Streaming-like engine."""
+
+import pytest
+
+from repro.engines.spark import (
+    KafkaUtils,
+    SparkCluster,
+    SparkConf,
+    SparkContext,
+    StreamingContext,
+)
+from repro.engines.spark.errors import (
+    NoExecutorsError,
+    SparkError,
+    StreamingContextStateError,
+)
+from repro.simtime import Simulator
+
+
+@pytest.fixture
+def cluster(sim):
+    return SparkCluster(sim)
+
+
+def make_ssc(cluster, parallelism=1, records_per_batch=None):
+    conf = SparkConf().set("spark.default.parallelism", str(parallelism))
+    sc = SparkContext(conf, cluster)
+    return StreamingContext(sc, records_per_batch=records_per_batch)
+
+
+class TestSparkConf:
+    def test_set_get(self):
+        conf = SparkConf().set("a", "1")
+        assert conf.get("a") == "1"
+        assert conf.get("missing") is None
+        assert conf.get("missing", "d") == "d"
+
+    def test_get_int(self):
+        conf = SparkConf().set("spark.default.parallelism", "4")
+        assert conf.get_int("spark.default.parallelism", 1) == 4
+        assert conf.get_int("missing", 7) == 7
+
+    def test_chaining(self):
+        conf = SparkConf().set("a", "1").set("b", "2")
+        assert conf.entries() == {"a": "1", "b": "2"}
+
+
+class TestRdd:
+    def test_parallelize_partitions(self, cluster):
+        sc = SparkContext(SparkConf().set("spark.default.parallelism", "3"), cluster)
+        rdd = sc.parallelize(list(range(10)))
+        assert rdd.num_partitions == 3
+        assert sorted(rdd.collect()) == list(range(10))
+
+    def test_map_filter_lazy_then_collect(self, cluster):
+        sc = SparkContext(SparkConf(), cluster)
+        rdd = sc.parallelize(list(range(10))).map(lambda v: v * 2).filter(lambda v: v > 10)
+        assert sorted(rdd.collect()) == [12, 14, 16, 18]
+
+    def test_flat_map(self, cluster):
+        sc = SparkContext(SparkConf(), cluster)
+        rdd = sc.parallelize(["a b", "c"]).flat_map(str.split)
+        assert sorted(rdd.collect()) == ["a", "b", "c"]
+
+    def test_count(self, cluster):
+        sc = SparkContext(SparkConf(), cluster)
+        assert sc.parallelize(list(range(7))).count() == 7
+
+    def test_take(self, cluster):
+        sc = SparkContext(SparkConf(), cluster)
+        assert sc.parallelize([5, 6, 7, 8], num_slices=1).take(2) == [5, 6]
+
+    def test_reduce(self, cluster):
+        sc = SparkContext(SparkConf(), cluster)
+        assert sc.parallelize([1, 2, 3, 4]).reduce(lambda a, b: a + b) == 10
+
+    def test_reduce_empty_raises(self, cluster):
+        sc = SparkContext(SparkConf(), cluster)
+        with pytest.raises(ValueError):
+            sc.parallelize([]).reduce(lambda a, b: a + b)
+
+    def test_rdd_immutable_lineage(self, cluster):
+        sc = SparkContext(SparkConf(), cluster)
+        base = sc.parallelize([1, 2, 3], num_slices=1)
+        mapped = base.map(lambda v: v * 2)
+        assert base.collect() == [1, 2, 3]
+        assert mapped.collect() == [2, 4, 6]
+
+    def test_glom_exposes_partitions(self, cluster):
+        sc = SparkContext(SparkConf().set("spark.default.parallelism", "2"), cluster)
+        parts = sc.parallelize([0, 1, 2, 3]).glom()
+        assert len(parts) == 2
+
+
+class TestExecutors:
+    def test_context_acquires_executor_per_worker(self, cluster):
+        sc = SparkContext(SparkConf(), cluster)
+        assert len(sc.executors) == 2
+        assert all(w.executors for w in cluster.workers)
+
+    def test_stop_releases(self, cluster):
+        sc = SparkContext(SparkConf(), cluster)
+        sc.stop()
+        assert all(not w.executors for w in cluster.workers)
+
+    def test_applications_do_not_share_executors(self, cluster):
+        sc1 = SparkContext(SparkConf(), cluster, app_name="a")
+        sc2 = SparkContext(SparkConf(), cluster, app_name="b")
+        apps = {e.app_id for e in sc1.executors} | {e.app_id for e in sc2.executors}
+        assert len(apps) == 2
+
+    def test_exhausted_cores_raise(self, sim):
+        small = SparkCluster(sim, cores_per_worker=1)
+        SparkContext(SparkConf(), small)
+        with pytest.raises(NoExecutorsError):
+            SparkContext(SparkConf(), small)
+
+    def test_invalid_parallelism(self, cluster):
+        conf = SparkConf().set("spark.default.parallelism", "0")
+        with pytest.raises(ValueError):
+            SparkContext(conf, cluster)
+
+
+class TestStreaming:
+    def test_queue_stream_pipeline(self, cluster):
+        ssc = make_ssc(cluster)
+        bucket = []
+        ssc.queue_stream(list(range(10))).filter(lambda v: v % 2 == 0).map(
+            lambda v: v * 10
+        ).collect_into(bucket)
+        result = ssc.run("evens")
+        assert bucket == [0, 20, 40, 60, 80]
+        assert result.engine == "spark"
+
+    def test_kafka_roundtrip(self, sim, broker, admin, ingested_lines):
+        admin.create_topic("out")
+        ssc = make_ssc(SparkCluster(sim))
+        stream = KafkaUtils.create_direct_stream(ssc, broker, "in")
+        stream.filter(lambda line: "test" in line).write_to_kafka(broker, "out")
+        result = ssc.run("grep")
+        expected = [line for line in ingested_lines if "test" in line]
+        assert broker.topic("out").partition(0).read_values(0) == expected
+        assert result.records_out == len(expected)
+
+    def test_update_state_by_key(self, cluster):
+        ssc = make_ssc(cluster)
+        bucket = []
+        (
+            ssc.queue_stream(["a", "b", "a"])
+            .map(lambda w: (w, 1))
+            .update_state_by_key(lambda value, state: (state or 0) + value)
+            .collect_into(bucket)
+        )
+        ssc.run("wordcount")
+        assert bucket == [("a", 1), ("b", 1), ("a", 2)]
+
+    def test_foreach_rdd_gets_one_rdd_per_batch(self, cluster):
+        ssc = make_ssc(cluster, records_per_batch=25)
+        batches = []
+        ssc.queue_stream(list(range(100))).foreach_rdd(
+            lambda rdd: batches.append(rdd.count())
+        )
+        ssc.run("batches")
+        assert batches == [25, 25, 25, 25]
+
+    def test_more_batches_cost_more(self, sim):
+        def run(records_per_batch):
+            local = Simulator(seed=4)
+            ssc = make_ssc(SparkCluster(local), records_per_batch=records_per_batch)
+            bucket = []
+            ssc.queue_stream(list(range(1000))).collect_into(bucket)
+            return ssc.run("j").base_duration
+
+        assert run(100) > run(1000)
+
+    def test_run_without_sink_raises(self, cluster):
+        ssc = make_ssc(cluster)
+        ssc.queue_stream([1])
+        with pytest.raises(SparkError):
+            ssc.run()
+
+    def test_run_without_source_raises(self, cluster):
+        ssc = make_ssc(cluster)
+        with pytest.raises(SparkError):
+            ssc.run()
+
+    def test_double_sink_rejected(self, cluster):
+        ssc = make_ssc(cluster)
+        stream = ssc.queue_stream([1])
+        stream.collect_into([])
+        with pytest.raises(SparkError):
+            stream.collect_into([])
+
+    def test_rerun_after_stop_raises(self, cluster):
+        ssc = make_ssc(cluster)
+        ssc.queue_stream([1]).collect_into([])
+        ssc.run()
+        with pytest.raises(StreamingContextStateError):
+            ssc.run()
+
+    def test_invalid_records_per_batch(self, cluster):
+        with pytest.raises(ValueError):
+            make_ssc(cluster, records_per_batch=0)

@@ -1,0 +1,56 @@
+"""Tests for repro.simtime.clock."""
+
+import pytest
+
+from repro.simtime.clock import ClockError, SimClock
+
+
+class TestSimClock:
+    def test_starts_at_zero(self):
+        assert SimClock().now() == 0.0
+
+    def test_custom_start(self):
+        assert SimClock(start=5.0).now() == 5.0
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ValueError):
+            SimClock(start=-1.0)
+
+    def test_advance_returns_new_time(self):
+        clock = SimClock()
+        assert clock.advance(1.5) == 1.5
+        assert clock.now() == 1.5
+
+    def test_advance_accumulates(self):
+        clock = SimClock()
+        clock.advance(1.0)
+        clock.advance(2.0)
+        assert clock.now() == pytest.approx(3.0)
+
+    def test_advance_zero_is_noop(self):
+        clock = SimClock(start=2.0)
+        clock.advance(0.0)
+        assert clock.now() == 2.0
+
+    def test_advance_negative_rejected(self):
+        clock = SimClock()
+        with pytest.raises(ClockError):
+            clock.advance(-0.1)
+
+    def test_advance_to_absolute(self):
+        clock = SimClock()
+        clock.advance_to(7.25)
+        assert clock.now() == 7.25
+
+    def test_advance_to_now_is_noop(self):
+        clock = SimClock(start=3.0)
+        clock.advance_to(3.0)
+        assert clock.now() == 3.0
+
+    def test_advance_to_past_rejected(self):
+        clock = SimClock(start=3.0)
+        with pytest.raises(ClockError):
+            clock.advance_to(2.999)
+
+    def test_repr_mentions_time(self):
+        assert "1.5" in repr(SimClock(start=1.5))

@@ -1,0 +1,70 @@
+"""Tests for repro.simtime.events."""
+
+import pytest
+
+from repro.simtime.events import EventQueue
+
+
+class TestEventQueue:
+    def test_empty_queue_is_falsy(self):
+        queue = EventQueue()
+        assert not queue
+        assert len(queue) == 0
+        assert queue.peek() is None
+
+    def test_pop_from_empty_raises(self):
+        with pytest.raises(IndexError):
+            EventQueue().pop()
+
+    def test_pop_in_time_order(self):
+        queue = EventQueue()
+        queue.push(3.0, lambda: "c", name="c")
+        queue.push(1.0, lambda: "a", name="a")
+        queue.push(2.0, lambda: "b", name="b")
+        assert [queue.pop().name for _ in range(3)] == ["a", "b", "c"]
+
+    def test_ties_fire_in_insertion_order(self):
+        queue = EventQueue()
+        queue.push(1.0, lambda: None, name="first")
+        queue.push(1.0, lambda: None, name="second")
+        queue.push(1.0, lambda: None, name="third")
+        assert [queue.pop().name for _ in range(3)] == ["first", "second", "third"]
+
+    def test_peek_does_not_remove(self):
+        queue = EventQueue()
+        queue.push(1.0, lambda: None, name="only")
+        assert queue.peek().name == "only"
+        assert len(queue) == 1
+
+    def test_cancel_skips_event(self):
+        queue = EventQueue()
+        keep = queue.push(1.0, lambda: None, name="keep")
+        drop = queue.push(0.5, lambda: None, name="drop")
+        queue.cancel(drop)
+        assert len(queue) == 1
+        assert queue.pop().name == "keep"
+
+    def test_cancel_is_idempotent(self):
+        queue = EventQueue()
+        event = queue.push(1.0, lambda: None)
+        queue.cancel(event)
+        queue.cancel(event)
+        assert len(queue) == 0
+
+    def test_fire_runs_action(self):
+        queue = EventQueue()
+        queue.push(1.0, lambda: 42)
+        assert queue.pop().fire() == 42
+
+    def test_clear(self):
+        queue = EventQueue()
+        queue.push(1.0, lambda: None)
+        queue.push(2.0, lambda: None)
+        queue.clear()
+        assert not queue
+
+    def test_event_ordering_operator(self):
+        queue = EventQueue()
+        early = queue.push(1.0, lambda: None)
+        late = queue.push(2.0, lambda: None)
+        assert early < late

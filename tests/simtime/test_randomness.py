@@ -1,0 +1,58 @@
+"""Tests for repro.simtime.randomness."""
+
+from hypothesis import given, strategies as st
+
+from repro.simtime.randomness import RandomSource
+
+
+class TestRandomSource:
+    def test_same_seed_same_stream(self):
+        assert (
+            RandomSource(1).stream("a").random()
+            == RandomSource(1).stream("a").random()
+        )
+
+    def test_different_names_differ(self):
+        root = RandomSource(1)
+        assert root.stream("a").random() != root.stream("b").random()
+
+    def test_different_seeds_differ(self):
+        assert (
+            RandomSource(1).stream("a").random()
+            != RandomSource(2).stream("a").random()
+        )
+
+    def test_derive_scopes_names(self):
+        root = RandomSource(7)
+        child = root.derive("child")
+        # child's "x" equals root's "child/x"
+        assert child.stream("x").random() == root.stream("child/x").random()
+
+    def test_derive_isolates_between_children(self):
+        root = RandomSource(7)
+        assert (
+            root.derive("a").stream("x").random()
+            != root.derive("b").stream("x").random()
+        )
+
+    def test_stream_restarts_from_same_state(self):
+        root = RandomSource(3)
+        first = root.stream("s")
+        first.random()
+        second = root.stream("s")
+        assert second.random() == RandomSource(3).stream("s").random()
+
+    def test_repr(self):
+        assert "seed=5" in repr(RandomSource(5))
+
+    @given(st.integers(), st.text(min_size=1, max_size=20))
+    def test_streams_deterministic_property(self, seed, name):
+        a = RandomSource(seed).stream(name).random()
+        b = RandomSource(seed).stream(name).random()
+        assert a == b
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_adjacent_seeds_do_not_collide(self, seed):
+        a = RandomSource(seed).stream("s").random()
+        b = RandomSource(seed + 1).stream("s").random()
+        assert a != b

@@ -1,0 +1,103 @@
+"""Tests for repro.simtime.simulator."""
+
+import pytest
+
+from repro.simtime import Simulator
+
+
+class TestSimulator:
+    def test_charge_advances_clock(self):
+        sim = Simulator()
+        sim.charge(2.5)
+        assert sim.now() == 2.5
+
+    def test_schedule_fires_in_order(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(2.0, lambda: fired.append("b"))
+        sim.schedule(1.0, lambda: fired.append("a"))
+        count = sim.run()
+        assert fired == ["a", "b"]
+        assert count == 2
+        assert sim.now() == 2.0
+
+    def test_schedule_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            sim.schedule(-1.0, lambda: None)
+
+    def test_schedule_at_absolute_time(self):
+        sim = Simulator()
+        sim.charge(1.0)
+        sim.schedule_at(4.0, lambda: None)
+        sim.run()
+        assert sim.now() == 4.0
+
+    def test_schedule_at_past_rejected(self):
+        sim = Simulator()
+        sim.charge(5.0)
+        with pytest.raises(ValueError):
+            sim.schedule_at(4.0, lambda: None)
+
+    def test_step_returns_none_when_empty(self):
+        assert Simulator().step() is None
+
+    def test_step_fires_single_event(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append(1))
+        event = sim.step()
+        assert event is not None
+        assert fired == [1]
+
+    def test_run_until_stops_before_later_events(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append("early"))
+        sim.schedule(10.0, lambda: fired.append("late"))
+        sim.run(until=5.0)
+        assert fired == ["early"]
+        assert sim.now() == 5.0
+        sim.run()
+        assert fired == ["early", "late"]
+
+    def test_run_until_advances_clock_with_no_events(self):
+        sim = Simulator()
+        sim.run(until=3.0)
+        assert sim.now() == 3.0
+
+    def test_cancel_scheduled_event(self):
+        sim = Simulator()
+        fired = []
+        event = sim.schedule(1.0, lambda: fired.append(1))
+        sim.cancel(event)
+        sim.run()
+        assert fired == []
+
+    def test_events_scheduling_events(self):
+        sim = Simulator()
+        fired = []
+
+        def outer():
+            fired.append("outer")
+            sim.schedule(1.0, lambda: fired.append("inner"))
+
+        sim.schedule(1.0, outer)
+        sim.run()
+        assert fired == ["outer", "inner"]
+        assert sim.now() == 2.0
+
+    def test_runaway_guard(self):
+        sim = Simulator()
+
+        def reschedule():
+            sim.schedule(0.0, reschedule)
+
+        sim.schedule(0.0, reschedule)
+        with pytest.raises(RuntimeError):
+            sim.run(max_events=100)
+
+    def test_seeded_random_is_deterministic(self):
+        a = Simulator(seed=99).random.stream("x").random()
+        b = Simulator(seed=99).random.stream("x").random()
+        assert a == b

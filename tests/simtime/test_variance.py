@@ -1,0 +1,84 @@
+"""Tests for repro.simtime.variance."""
+
+import random
+
+import pytest
+
+from repro.simtime.variance import (
+    GaussianNoise,
+    LognormalNoise,
+    NO_NOISE,
+    NO_STRAGGLERS,
+    StragglerModel,
+)
+
+
+class TestGaussianNoise:
+    def test_zero_sigma_is_identity(self):
+        rng = random.Random(1)
+        assert GaussianNoise(sigma=0.0).factor(rng) == 1.0
+
+    def test_factor_respects_floor(self):
+        noise = GaussianNoise(sigma=10.0, floor=0.5)
+        rng = random.Random(1)
+        assert all(noise.factor(rng) >= 0.5 for _ in range(200))
+
+    def test_apply_scales(self):
+        rng = random.Random(2)
+        noise = GaussianNoise(sigma=0.1)
+        factor_rng = random.Random(2)
+        assert noise.apply(10.0, rng) == pytest.approx(
+            10.0 * noise.factor(factor_rng)
+        )
+
+
+class TestLognormalNoise:
+    def test_zero_sigma_is_identity(self):
+        assert LognormalNoise(sigma=0.0).factor(random.Random(1)) == 1.0
+
+    def test_factors_positive(self):
+        noise = LognormalNoise(sigma=0.5)
+        rng = random.Random(3)
+        assert all(noise.factor(rng) > 0 for _ in range(500))
+
+    def test_median_near_one(self):
+        noise = LognormalNoise(sigma=0.2)
+        rng = random.Random(4)
+        draws = sorted(noise.factor(rng) for _ in range(2001))
+        assert draws[1000] == pytest.approx(1.0, abs=0.05)
+
+
+class TestStragglerModel:
+    def test_zero_probability_never_delays(self):
+        model = StragglerModel(probability=0.0, scale=5.0)
+        rng = random.Random(5)
+        assert all(model.delay(rng) == 0.0 for _ in range(100))
+
+    def test_delays_bounded_by_cap(self):
+        model = StragglerModel(probability=1.0, scale=2.0, shape=1.1, cap=10.0)
+        rng = random.Random(6)
+        assert all(model.delay(rng) <= 10.0 for _ in range(500))
+
+    def test_delay_at_least_scale_when_hit(self):
+        model = StragglerModel(probability=1.0, scale=2.0)
+        rng = random.Random(7)
+        assert all(model.delay(rng) >= 2.0 for _ in range(100))
+
+    def test_frequency_matches_probability(self):
+        model = StragglerModel(probability=0.3, scale=1.0)
+        rng = random.Random(8)
+        hits = sum(1 for _ in range(5000) if model.delay(rng) > 0)
+        assert 0.25 < hits / 5000 < 0.35
+
+    def test_apply_adds(self):
+        model = StragglerModel(probability=1.0, scale=1.0, cap=3.0)
+        rng = random.Random(9)
+        assert model.apply(10.0, rng) > 10.0
+
+
+class TestSentinels:
+    def test_no_noise(self):
+        assert NO_NOISE.factor(random.Random(0)) == 1.0
+
+    def test_no_stragglers(self):
+        assert NO_STRAGGLERS.delay(random.Random(0)) == 0.0

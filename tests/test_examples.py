@@ -1,0 +1,69 @@
+"""Smoke tests: every example script runs to completion.
+
+Examples are user-facing documentation; they must not rot.  Each is run
+in-process via runpy (so coverage and import errors surface normally) with
+its output captured and spot-checked.
+"""
+
+import pathlib
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str, argv: list[str] | None = None) -> None:
+    old_argv = sys.argv
+    sys.argv = [name] + (argv or [])
+    try:
+        runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        run_example("quickstart.py")
+        out = capsys.readouterr().out
+        assert "native Flink grep" in out
+        assert "ApexRunner" in out
+
+    def test_campaign_small(self, capsys):
+        run_example("streambench_campaign.py", ["--records", "2000"])
+        out = capsys.readouterr().out
+        assert "Figure 11" in out
+        assert "Table III" in out
+
+    def test_execution_plans_and_profiling(self, capsys):
+        run_example("execution_plans_and_profiling.py")
+        out = capsys.readouterr().out
+        assert "Figure 12" in out
+        assert out.count("ParDoTranslation.RawParDo") >= 5
+        assert "operator time share" in out
+
+    def test_stateful_wordcount(self, capsys):
+        run_example("stateful_wordcount.py")
+        out = capsys.readouterr().out
+        assert "native Flink" in out
+        assert "REFUSED" in out
+
+    def test_fault_tolerance(self, capsys):
+        run_example("fault_tolerance.py")
+        out = capsys.readouterr().out
+        assert "outputs identical to the failure-free run? True" in out
+        assert "duplicates" in out
+
+    def test_nexmark_auctions(self, capsys):
+        run_example("nexmark_auctions.py")
+        out = capsys.readouterr().out
+        assert "Q1 currency conversion" in out
+        assert "REFUSED" in out
+        assert "hottest auctions" in out
+
+    def test_predict_slowdowns(self, capsys):
+        run_example("predict_slowdowns.py")
+        out = capsys.readouterr().out
+        assert "predicted slowdown factors" in out
+        assert "validation" in out

@@ -1,0 +1,160 @@
+"""Tests for the NEXMark workload and queries."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.workloads.nexmark import (
+    Auction,
+    Bid,
+    NexmarkGenerator,
+    Person,
+    USD_TO_EUR,
+    decode_event,
+    encode_event,
+)
+from repro.workloads.nexmark_queries import (
+    Q2_AUCTION_MODULUS,
+    Q3_STATES,
+    q1_currency_conversion,
+    q2_selection,
+    q3_local_item_suggestion,
+    q4_category_average,
+)
+
+
+@pytest.fixture(scope="module")
+def events():
+    return NexmarkGenerator(5_000, seed=3).event_list()
+
+
+class TestGenerator:
+    def test_count(self, events):
+        assert len(events) == 5_000
+
+    def test_deterministic(self):
+        a = NexmarkGenerator(500, seed=9).event_list()
+        b = NexmarkGenerator(500, seed=9).event_list()
+        assert a == b
+
+    def test_proportions_roughly_1_3_46(self, events):
+        persons = sum(1 for e in events if isinstance(e, Person))
+        auctions = sum(1 for e in events if isinstance(e, Auction))
+        bids = sum(1 for e in events if isinstance(e, Bid))
+        assert persons == pytest.approx(len(events) * 1 / 50, rel=0.2)
+        assert auctions == pytest.approx(len(events) * 3 / 50, rel=0.2)
+        assert bids == pytest.approx(len(events) * 46 / 50, rel=0.05)
+
+    def test_event_times_monotonic(self, events):
+        stamps = [e.date_time for e in events]
+        assert stamps == sorted(stamps)
+
+    def test_referential_integrity(self, events):
+        person_ids = set()
+        auction_ids = set()
+        for event in events:
+            if isinstance(event, Person):
+                person_ids.add(event.person_id)
+            elif isinstance(event, Auction):
+                assert event.seller in person_ids
+                auction_ids.add(event.auction_id)
+            else:
+                assert event.auction in auction_ids
+                assert event.bidder in person_ids
+
+    def test_dense_ids(self, events):
+        person_ids = sorted(e.person_id for e in events if isinstance(e, Person))
+        assert person_ids == list(range(len(person_ids)))
+
+    def test_auction_economics(self, events):
+        for auction in (e for e in events if isinstance(e, Auction)):
+            assert auction.reserve >= auction.initial_bid
+            assert auction.expires > auction.date_time
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            NexmarkGenerator(-1)
+
+    def test_wire_roundtrip(self, events):
+        for event in events[:500]:
+            assert decode_event(encode_event(event)) == event
+
+    def test_decode_unknown_tag(self):
+        with pytest.raises(ValueError):
+            decode_event("X\t1")
+
+
+class TestQueries:
+    def test_q1_converts_only_bids(self, events):
+        q1 = q1_currency_conversion()
+        out = [r for e in events for r in q1.process(e)]
+        bids = [e for e in events if isinstance(e, Bid)]
+        assert len(out) == len(bids)
+        for converted, original in zip(out, bids):
+            assert converted.price == round(original.price * USD_TO_EUR)
+            assert converted.auction == original.auction
+
+    def test_q2_selects_matching_auctions(self, events):
+        q2 = q2_selection()
+        out = [r for e in events for r in q2.process(e)]
+        assert all(isinstance(r, Bid) for r in out)
+        assert all(r.auction % Q2_AUCTION_MODULUS == 0 for r in out)
+        expected = [
+            e
+            for e in events
+            if isinstance(e, Bid) and e.auction % Q2_AUCTION_MODULUS == 0
+        ]
+        assert out == expected
+
+    def test_q3_joins_sellers_in_target_states(self, events):
+        q3 = q3_local_item_suggestion()
+        q3.open()
+        out = [r for e in events for r in q3.process(e)]
+        persons = {e.person_id: e for e in events if isinstance(e, Person)}
+        expected = [
+            (persons[a.seller].name, persons[a.seller].city, persons[a.seller].state, a.auction_id)
+            for a in events
+            if isinstance(a, Auction) and persons[a.seller].state in Q3_STATES
+        ]
+        assert out == expected
+
+    def test_q3_snapshot_restore(self, events):
+        q3 = q3_local_item_suggestion()
+        q3.open()
+        half = len(events) // 2
+        for event in events[:half]:
+            list(q3.process(event))
+        snapshot = q3.snapshot()
+        first_half_out = [r for e in events[half:] for r in q3.process(e)]
+        q3.restore(snapshot)
+        replay_out = [r for e in events[half:] for r in q3.process(e)]
+        assert first_half_out == replay_out
+
+    def test_q4_running_category_means(self, events):
+        q4 = q4_category_average()
+        q4.open()
+        out = [r for e in events for r in q4.process(e)]
+        assert out, "q4 produced no rows"
+        # recompute final means independently
+        categories = {
+            a.auction_id: a.category for a in events if isinstance(a, Auction)
+        }
+        sums: dict[int, float] = {}
+        counts: dict[int, int] = {}
+        finals: dict[int, float] = {}
+        for bid in (e for e in events if isinstance(e, Bid)):
+            category = categories[bid.auction]
+            sums[category] = sums.get(category, 0.0) + bid.price
+            counts[category] = counts.get(category, 0) + 1
+            finals[category] = sums[category] / counts[category]
+        last_seen: dict[int, float] = {}
+        for category, mean in out:
+            last_seen[category] = mean
+        assert last_seen == pytest.approx(finals)
+
+    @given(st.integers(min_value=0, max_value=2_000))
+    @settings(max_examples=15, deadline=None)
+    def test_generator_any_size_consistent(self, n):
+        events = NexmarkGenerator(n, seed=1).event_list()
+        assert len(events) == n
+        if n:
+            assert isinstance(events[0], Person)

@@ -1,0 +1,116 @@
+"""NEXMark queries running on the engines and through Beam."""
+
+import pytest
+
+import repro.beam as beam
+from repro.beam.errors import UnsupportedFeatureError
+from repro.beam.runners import ApexRunner, DirectRunner, FlinkRunner, SparkRunner
+from repro.engines.flink import CollectSink, FlinkCluster, StreamExecutionEnvironment
+from repro.engines.spark import SparkCluster, SparkConf, SparkContext, StreamingContext
+from repro.simtime import Simulator
+from repro.workloads.nexmark import Bid, NexmarkGenerator
+from repro.workloads.nexmark_queries import (
+    beam_q1,
+    beam_q2,
+    beam_q3,
+    beam_q5_hot_items,
+    q1_currency_conversion,
+    q2_selection,
+    q3_local_item_suggestion,
+)
+
+
+@pytest.fixture(scope="module")
+def events():
+    return NexmarkGenerator(3_000, seed=4).event_list()
+
+
+def reference(events, function):
+    function.open()
+    return [r for e in events for r in function.process(e)]
+
+
+class TestNativeEngines:
+    def test_q1_on_flink(self, events):
+        env = StreamExecutionEnvironment(FlinkCluster(Simulator(seed=1)))
+        sink = CollectSink()
+        env.from_collection(events).transform_with(q1_currency_conversion()).add_sink(sink)
+        env.execute("q1")
+        assert sink.values == reference(events, q1_currency_conversion())
+
+    def test_q2_on_spark(self, events):
+        sc = SparkContext(SparkConf(), SparkCluster(Simulator(seed=1)))
+        ssc = StreamingContext(sc)
+        bucket = []
+        ssc.queue_stream(events).transform_with(q2_selection()).collect_into(bucket)
+        ssc.run("q2")
+        assert bucket == reference(events, q2_selection())
+
+    def test_q3_on_flink_stateful(self, events):
+        env = StreamExecutionEnvironment(FlinkCluster(Simulator(seed=1)))
+        sink = CollectSink()
+        env.from_collection(events).transform_with(
+            q3_local_item_suggestion()
+        ).add_sink(sink)
+        env.execute("q3")
+        assert sink.values == reference(events, q3_local_item_suggestion())
+
+
+class TestBeamRunners:
+    def test_q1_same_output_on_flink_and_apex(self, events):
+        from repro.yarn import YarnCluster
+
+        expected = reference(events, q1_currency_conversion())
+        sim = Simulator(seed=2)
+        for runner in (
+            DirectRunner(),
+            FlinkRunner(FlinkCluster(sim)),
+            SparkRunner(SparkCluster(sim)),
+            ApexRunner(YarnCluster(sim)),
+        ):
+            pipeline = beam.Pipeline(runner=runner)
+            pcoll = pipeline | beam.Create(events) | beam_q1()
+            result = pipeline.run()
+            if isinstance(runner, DirectRunner):
+                values = result.outputs[pcoll.producer.full_label]
+            else:
+                values = runner.collected
+            assert values == expected, type(runner).__name__
+
+    def test_q2_beam_slower_than_native_on_flink(self, events):
+        def native():
+            sim = Simulator(seed=3)
+            env = StreamExecutionEnvironment(FlinkCluster(sim))
+            sink = CollectSink()
+            env.from_collection(events).transform_with(q2_selection()).add_sink(sink)
+            return env.execute("q2").base_duration
+
+        def with_beam():
+            sim = Simulator(seed=3)
+            runner = FlinkRunner(FlinkCluster(sim))
+            pipeline = beam.Pipeline(runner=runner)
+            pipeline | beam.Create(events) | beam_q2()
+            pipeline.run()
+            return pipeline.result.job_result.base_duration
+
+        assert with_beam() > 2 * native()
+
+    def test_q3_refused_by_spark_runner(self, events):
+        pipeline = beam.Pipeline(runner=SparkRunner(SparkCluster(Simulator(seed=2))))
+        pipeline | beam.Create(events) | beam_q3()
+        with pytest.raises(UnsupportedFeatureError):
+            pipeline.run()
+
+    def test_q5_hot_items_on_direct_runner(self, events):
+        pipeline = beam.Pipeline(runner=DirectRunner())
+        pcoll = pipeline | beam.Create(
+            events, timestamps=[e.date_time for e in events]
+        )
+        for transform in beam_q5_hot_items(window_seconds=5.0):
+            pcoll = pcoll | transform
+        result = pipeline.run()
+        counts = result.outputs[pcoll.producer.full_label]
+        assert counts, "no windowed counts"
+        total_counted = sum(count for _, count in counts)
+        assert total_counted == sum(1 for e in events if isinstance(e, Bid))
+        assert all(count >= 1 for _, count in counts)

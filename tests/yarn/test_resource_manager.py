@@ -1,0 +1,139 @@
+"""Tests for repro.yarn.resource_manager, node_manager and application."""
+
+import pytest
+
+from repro.simtime import Simulator
+from repro.yarn import (
+    ApplicationMaster,
+    InsufficientResourcesError,
+    NodeManager,
+    Resource,
+    ResourceManager,
+    YarnApplicationState,
+    YarnCluster,
+)
+from repro.yarn.containers import ContainerState
+from repro.yarn.errors import UnknownApplicationError
+
+
+class WorkerAM(ApplicationMaster):
+    """Requests a fixed number of worker containers on start."""
+
+    def __init__(self, name="app", workers=2, vcores=1):
+        super().__init__(name)
+        self.workers = workers
+        self.vcores = vcores
+        self.containers = []
+
+    def on_start(self, rm):
+        for index in range(self.workers):
+            container = rm.allocate(Resource(self.vcores, 1024), role=f"w{index}")
+            container.transition(ContainerState.RUNNING)
+            self.containers.append(container)
+
+
+@pytest.fixture
+def sim():
+    return Simulator(seed=3)
+
+
+@pytest.fixture
+def cluster(sim):
+    return YarnCluster(sim, num_nodes=2, vcores_per_node=8)
+
+
+class TestNodeManager:
+    def test_accounting(self):
+        node = NodeManager("n0", Resource(8, 8192))
+        assert node.available == Resource(8, 8192)
+
+    def test_heartbeat_records(self):
+        node = NodeManager("n0", Resource(8, 8192))
+        node.heartbeat(5.0)
+        assert node.last_heartbeat == 5.0
+        assert node.heartbeat_count == 1
+
+
+class TestSubmission:
+    def test_submit_runs_am_and_workers(self, cluster):
+        am = WorkerAM(workers=3)
+        report = cluster.submit(am)
+        assert report.state is YarnApplicationState.RUNNING
+        # AM container + 3 workers
+        assert len(report.container_ids) == 4
+        assert report.am_container_id is not None
+
+    def test_submission_charges_time(self, sim, cluster):
+        before = sim.now()
+        cluster.submit(WorkerAM())
+        assert sim.now() > before
+
+    def test_resources_accounted(self, cluster):
+        cluster.submit(WorkerAM(workers=3))
+        used = cluster.resource_manager.total_capacity() - (
+            cluster.resource_manager.available_resources()
+        )
+        assert used.vcores == 4  # AM + 3 workers, 1 vcore each
+
+    def test_finish_releases_everything(self, cluster):
+        report = cluster.submit(WorkerAM(workers=3))
+        cluster.finish(report.app_id)
+        assert (
+            cluster.resource_manager.available_resources()
+            == cluster.resource_manager.total_capacity()
+        )
+        assert (
+            cluster.resource_manager.application_report(report.app_id).state
+            is YarnApplicationState.FINISHED
+        )
+
+    def test_unknown_application(self, cluster):
+        with pytest.raises(UnknownApplicationError):
+            cluster.resource_manager.application_report("nope")
+
+    def test_insufficient_resources(self, cluster):
+        with pytest.raises(InsufficientResourcesError):
+            cluster.submit(WorkerAM(workers=32))
+
+    def test_oversized_container_rejected(self, cluster):
+        am = WorkerAM(workers=1, vcores=100)
+        with pytest.raises(InsufficientResourcesError):
+            cluster.submit(am)
+
+    def test_two_applications_coexist(self, cluster):
+        r1 = cluster.submit(WorkerAM("a", workers=2))
+        r2 = cluster.submit(WorkerAM("b", workers=2))
+        assert r1.app_id != r2.app_id
+        used = cluster.resource_manager.total_capacity() - (
+            cluster.resource_manager.available_resources()
+        )
+        assert used.vcores == 6
+
+    def test_allocation_spreads_across_nodes(self, cluster):
+        am = WorkerAM(workers=4)
+        cluster.submit(am)
+        nodes = {c.node_id for c in am.containers}
+        assert len(nodes) == 2
+
+    def test_heartbeats_happen_during_allocation(self, cluster):
+        cluster.submit(WorkerAM(workers=2))
+        assert all(n.heartbeat_count > 0 for n in cluster.nodes)
+
+    def test_heartbeat_all(self, sim, cluster):
+        sim.charge(9.0)
+        cluster.resource_manager.heartbeat_all()
+        assert all(n.last_heartbeat == sim.now() for n in cluster.nodes)
+
+
+class TestAmHandleIsolation:
+    def test_am_cannot_release_foreign_container(self, cluster):
+        from repro.yarn.application import ResourceManagerHandle
+        from repro.yarn.errors import InvalidStateTransitionError
+
+        am1 = WorkerAM("a", workers=1)
+        am2 = WorkerAM("b", workers=1)
+        r1 = cluster.submit(am1)
+        cluster.submit(am2)
+        handle = ResourceManagerHandle(cluster.resource_manager, r1.app_id)
+        with pytest.raises(InvalidStateTransitionError):
+            handle.release(am2.containers[0])

@@ -1,0 +1,75 @@
+"""Tests for repro.yarn.resources and containers."""
+
+import pytest
+
+from repro.yarn.containers import Container, ContainerState
+from repro.yarn.errors import InvalidStateTransitionError
+from repro.yarn.resources import Resource
+
+
+class TestResource:
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Resource(-1, 0)
+
+    def test_add(self):
+        assert Resource(1, 100) + Resource(2, 200) == Resource(3, 300)
+
+    def test_sub(self):
+        assert Resource(3, 300) - Resource(1, 100) == Resource(2, 200)
+
+    def test_sub_below_zero_rejected(self):
+        with pytest.raises(ValueError):
+            Resource(1, 100) - Resource(2, 0)
+
+    def test_fits_within(self):
+        assert Resource(1, 100).fits_within(Resource(2, 200))
+        assert not Resource(3, 100).fits_within(Resource(2, 200))
+        assert not Resource(1, 300).fits_within(Resource(2, 200))
+
+    def test_str(self):
+        assert str(Resource(4, 4096)) == "<4 vcores, 4096 MB>"
+
+
+class TestContainerLifecycle:
+    def make(self):
+        return Container("c1", "node-0", Resource(1, 1024), "app1")
+
+    def test_initial_state_allocated(self):
+        assert self.make().state is ContainerState.ALLOCATED
+
+    def test_allocated_to_running(self):
+        c = self.make()
+        c.transition(ContainerState.RUNNING)
+        assert c.state is ContainerState.RUNNING
+
+    def test_running_to_completed(self):
+        c = self.make()
+        c.transition(ContainerState.RUNNING)
+        c.transition(ContainerState.COMPLETED)
+        assert not c.is_live
+
+    def test_allocated_to_completed_illegal(self):
+        with pytest.raises(InvalidStateTransitionError):
+            self.make().transition(ContainerState.COMPLETED)
+
+    def test_completed_is_terminal(self):
+        c = self.make()
+        c.transition(ContainerState.RUNNING)
+        c.transition(ContainerState.COMPLETED)
+        with pytest.raises(InvalidStateTransitionError):
+            c.transition(ContainerState.RUNNING)
+
+    def test_kill_from_any_live_state(self):
+        c1 = self.make()
+        c1.transition(ContainerState.KILLED)
+        c2 = self.make()
+        c2.transition(ContainerState.RUNNING)
+        c2.transition(ContainerState.KILLED)
+        assert not c1.is_live and not c2.is_live
+
+    def test_is_live(self):
+        c = self.make()
+        assert c.is_live
+        c.transition(ContainerState.RUNNING)
+        assert c.is_live
