@@ -1,0 +1,117 @@
+"""Extension — end-to-end chaos: broker faults + engine crashes combined.
+
+The tentpole robustness scenario: the full Figure-5 pipeline (sender →
+Kafka → engine → Kafka → result calculator) runs while a seeded
+:class:`~repro.broker.faults.FaultPlan` crashes a broker node, injects
+transient request errors and lost acknowledgements, and adds latency
+jitter — and the engine additionally crashes twice mid-run.  With
+idempotent produce, retries and exactly-once checkpointing the output
+record count must equal the failure-free count; the recovery-time penalty
+per system is reported the way the paper reports execution times (broker
+LogAppendTime deltas).
+
+Runs in smoke mode (``REPRO_CHAOS_SMOKE=1``: fewer records, Flink only)
+so CI can exercise the whole chaos path in seconds.
+"""
+
+import os
+
+from conftest import save_artifact
+
+from repro.benchmark.config import BenchmarkConfig
+from repro.benchmark.harness import StreamBenchHarness
+from repro.broker import FaultPlan, NodeOutage
+from repro.engines.common.recovery import FailureInjector
+
+SMOKE = os.environ.get("REPRO_CHAOS_SMOKE", "") not in ("", "0")
+RECORDS = 5_000 if SMOKE else 20_000
+SYSTEMS = ("flink",) if SMOKE else ("flink", "spark", "apex")
+
+#: One broker node goes down for half a simulated second early in the run;
+#: on top of that every request risks a transient error or a lost ack.
+CHAOS = FaultPlan(
+    seed=97,
+    error_rate=0.10,
+    timeout_rate=0.05,
+    latency_jitter=0.001,
+    outages=(NodeOutage(node_id=1, start=0.05, duration=0.5),),
+)
+#: The engine crashes twice, off checkpoint boundaries.
+ENGINE_CRASHES = FailureInjector(at_fractions=(0.37, 0.73), recovery_delay=0.5)
+
+
+def _config():
+    return BenchmarkConfig(records=RECORDS, runs=1)
+
+
+def clean_run(system):
+    """Failure-free reference run (no chaos, no engine crashes)."""
+    return StreamBenchHarness(_config()).run_fault_tolerant(system)
+
+
+def chaotic_run(system, exactly_once=True):
+    """The same pipeline under broker chaos plus two engine crashes."""
+    harness = StreamBenchHarness(_config(), chaos=CHAOS)
+    return harness.run_fault_tolerant(
+        system, failure=ENGINE_CRASHES, exactly_once=exactly_once
+    )
+
+
+def run_campaign():
+    return {system: (clean_run(system), chaotic_run(system)) for system in SYSTEMS}
+
+
+def test_chaos_end_to_end(benchmark):
+    campaign = benchmark.pedantic(run_campaign, rounds=1, iterations=1)
+
+    lines = [
+        "Chaos end-to-end — broker faults + engine crashes, grep query",
+        f"{'system':8s} {'clean(s)':>10s} {'chaos(s)':>10s} {'penalty':>8s}"
+        f" {'crashes':>8s} {'errors':>7s} {'acks lost':>9s} {'retries':>8s}",
+    ]
+    for system, (clean, chaotic) in campaign.items():
+        penalty = chaotic.measured - clean.measured
+        lines.append(
+            f"{system:8s} {clean.measured:10.3f} {chaotic.measured:10.3f}"
+            f" {penalty:8.3f} {chaotic.failures + chaotic.broker_crashes:8d}"
+            f" {chaotic.broker_errors_injected:7d}"
+            f" {chaotic.broker_timeouts_injected:9d}"
+            f" {chaotic.sender_retries:8d}"
+        )
+    save_artifact("chaos_end_to_end", "\n".join(lines))
+
+    for system, (clean, chaotic) in campaign.items():
+        # Exactly-once under chaos: the output record count matches the
+        # failure-free run despite broker faults and two engine crashes.
+        assert chaotic.records_out == clean.records_out, system
+        assert chaotic.failures == 2, system
+        assert not chaotic.duplicates_possible, system
+        # The chaos actually happened: faults were injected and the
+        # pipeline paid for riding them out in simulated time.
+        assert chaotic.broker_crashes >= 1, system
+        assert (
+            chaotic.broker_errors_injected + chaotic.broker_timeouts_injected > 0
+        ), system
+        assert chaotic.duration > clean.duration, system
+
+
+def test_same_chaos_seed_is_bit_identical():
+    """Two fresh worlds under the same fault plan agree exactly."""
+    system = SYSTEMS[0]
+    assert chaotic_run(system) == chaotic_run(system)
+
+
+def test_at_least_once_reports_duplicates():
+    """With the transactional sink off, the crash leaks duplicates — and
+    the run record says so instead of hiding them."""
+    system = SYSTEMS[0]
+    clean = clean_run(system)
+    lossy = chaotic_run(system, exactly_once=False)
+    assert lossy.duplicates_possible
+    duplicates = lossy.records_out - clean.records_out
+    assert duplicates > 0
+    save_artifact(
+        "chaos_at_least_once",
+        f"At-least-once under chaos — {system}: {lossy.records_out} outputs vs "
+        f"{clean.records_out} clean ({duplicates} duplicates leaked)",
+    )

@@ -14,7 +14,8 @@ from repro.benchmark.queries import QuerySpec, get_query
 from repro.benchmark.result_calculator import ExecutionMeasurement, ResultCalculator
 from repro.benchmark.sender import DataSender, SenderReport
 from repro.benchmark import stats
-from repro.broker import AdminClient, BrokerCluster
+from repro.broker import AdminClient, BrokerCluster, FaultPlan
+from repro.broker.retry import RetryPolicy
 from repro.engines.apex import (
     ApexCostModel,
     ApexLauncher,
@@ -24,6 +25,7 @@ from repro.engines.apex import (
     KafkaSinglePortOutputOperator,
 )
 from repro.engines.common.costs import RunVariance
+from repro.engines.common.recovery import CheckpointingConfig, FailureInjector
 from repro.engines.common.results import JobResult
 from repro.engines.flink import (
     FlinkCluster,
@@ -118,6 +120,35 @@ class BenchmarkReport:
         raise KeyError((system, query, kind, parallelism))
 
 
+@dataclass(frozen=True)
+class FaultRunRecord:
+    """One end-to-end fault-tolerance run: Figure 5 under injected faults.
+
+    ``measured`` is the broker-timestamp execution time (the paper's
+    metric); ``sender_retries``/``sender_duplicates_avoided`` report the
+    ingestion phase's resilience work; the ``failures`` /
+    ``checkpoints_taken`` / ``records_reprocessed`` triple comes from the
+    engine's :class:`~repro.engines.common.recovery.RecoveryReport`.
+    """
+
+    system: str
+    query: str
+    parallelism: int
+    exactly_once: bool
+    records_out: int
+    duration: float
+    measured: float
+    failures: int
+    checkpoints_taken: int
+    records_reprocessed: int
+    duplicates_possible: bool
+    sender_retries: int
+    sender_duplicates_avoided: int
+    broker_errors_injected: int
+    broker_timeouts_injected: int
+    broker_crashes: int
+
+
 _COST_MODELS = {
     "flink": FlinkCostModel,
     "spark": SparkCostModel,
@@ -157,12 +188,28 @@ class StreamBenchHarness:
     One harness owns one simulated world: a clock, a three-node broker
     cluster, and the ingested workload.  Engine clusters are created fresh
     for every run ("each system is restarted").
+
+    ``chaos`` attaches a :class:`~repro.broker.faults.FaultPlan` to the
+    broker: node outages, transient request errors, lost acknowledgements
+    and latency jitter then hit every phase of the Figure-5 pipeline, and
+    all clients (sender, engine connectors, result calculator) switch to
+    retrying, idempotent operation via the cluster-wide defaults.
     """
 
-    def __init__(self, config: BenchmarkConfig | None = None) -> None:
+    def __init__(
+        self,
+        config: BenchmarkConfig | None = None,
+        chaos: FaultPlan | None = None,
+        retry_policy: RetryPolicy | None = None,
+    ) -> None:
         self.config = config or BenchmarkConfig()
         self.simulator = Simulator(seed=self.config.seed)
         self.broker = BrokerCluster(self.simulator, num_nodes=3)
+        self.chaos = (
+            self.broker.attach_chaos(chaos, retry_policy=retry_policy)
+            if chaos is not None
+            else None
+        )
         self.admin = AdminClient(self.broker)
         self.workload = AolWorkload(self.config.records, seed=self.config.seed)
         self.result_calculator = ResultCalculator(self.broker)
@@ -275,6 +322,78 @@ class StreamBenchHarness:
             )
         return records
 
+    def run_fault_tolerant(
+        self,
+        system: str,
+        query_name: str = "grep",
+        parallelism: int = 1,
+        failure: FailureInjector | None = None,
+        exactly_once: bool = True,
+        checkpoint_interval_records: int | None = None,
+    ) -> FaultRunRecord:
+        """Run one native setup end to end with checkpointing enabled.
+
+        This is the fault-tolerance counterpart of :meth:`run_setup`: the
+        full Figure-5 path (sender → broker → engine → broker → result
+        calculator) executes once with record-aligned checkpoints, an
+        optional engine :class:`FailureInjector`, and whatever broker chaos
+        is attached to the harness.  The returned record carries both the
+        engine-side duration and the broker-timestamp measurement, so
+        recovery-time penalties are computed the same way the paper
+        computes execution times.
+        """
+        self.ingest()
+        spec = get_query(query_name)
+        label = f"{self.config.noise_label}/{system}/{query_name}/ft/p{parallelism}"
+        rng = self.simulator.random.stream(f"runs/{label}")
+        data_rng = self.simulator.random.stream(f"data/{label}")
+        out_topic = self.config.output_topic
+        self.admin.recreate_topic(out_topic)
+        interval = checkpoint_interval_records or max(1, self.config.records // 10)
+        checkpointing = CheckpointingConfig(
+            interval_records=interval, exactly_once=exactly_once
+        )
+        job = self._run_native(
+            system,
+            spec,
+            parallelism,
+            rng,
+            data_rng,
+            out_topic,
+            checkpointing=checkpointing,
+            failure=failure,
+        )
+        measurement = self.result_calculator.measure(out_topic)
+        recovery = job.recovery
+        sender_report = self._sender_report
+        assert sender_report is not None
+        return FaultRunRecord(
+            system=system,
+            query=query_name,
+            parallelism=parallelism,
+            exactly_once=exactly_once,
+            records_out=job.records_out,
+            duration=job.duration,
+            measured=measurement.execution_time,
+            failures=recovery.failures if recovery is not None else 0,
+            checkpoints_taken=recovery.checkpoints_taken if recovery is not None else 0,
+            records_reprocessed=(
+                recovery.records_reprocessed if recovery is not None else 0
+            ),
+            duplicates_possible=(
+                recovery.duplicates_possible if recovery is not None else False
+            ),
+            sender_retries=sender_report.retries,
+            sender_duplicates_avoided=sender_report.duplicates_avoided,
+            broker_errors_injected=(
+                self.chaos.errors_injected if self.chaos is not None else 0
+            ),
+            broker_timeouts_injected=(
+                self.chaos.timeouts_injected if self.chaos is not None else 0
+            ),
+            broker_crashes=self.chaos.crashes_applied if self.chaos is not None else 0,
+        )
+
     def _records_per_batch(self) -> int:
         """Micro-batch size proportional to workload scale.
 
@@ -312,6 +431,8 @@ class StreamBenchHarness:
         rng: random.Random,
         data_rng: random.Random,
         out_topic: str,
+        checkpointing: CheckpointingConfig | None = None,
+        failure: FailureInjector | None = None,
     ) -> JobResult:
         function = spec.make_function(data_rng)
         in_topic = self.config.input_topic
@@ -319,21 +440,29 @@ class StreamBenchHarness:
             cluster = FlinkCluster(self.simulator, cost_model=self.cost_models["flink"])
             env = StreamExecutionEnvironment(cluster)
             env.set_parallelism(parallelism)
+            if checkpointing is not None:
+                env.enable_checkpointing(
+                    interval_records=checkpointing.interval_records,
+                    exactly_once=checkpointing.exactly_once,
+                )
             stream = env.add_source(KafkaSource(self.broker, in_topic))
             if function is not None:
                 stream = stream.transform_with(function)
             stream.add_sink(KafkaSink(self.broker, out_topic))
-            return env.execute(job_name=spec.name, rng=rng)
+            return env.execute(job_name=spec.name, rng=rng, failure=failure)
         if system == "spark":
             cluster = SparkCluster(self.simulator, cost_model=self.cost_models["spark"])
             conf = SparkConf().set("spark.default.parallelism", str(parallelism))
             sc = SparkContext(conf, cluster, app_name=spec.name)
             ssc = StreamingContext(sc, records_per_batch=self._records_per_batch())
+            if checkpointing is not None:
+                # Spark's natural checkpoint boundary is the micro-batch.
+                ssc.checkpoint(exactly_once=checkpointing.exactly_once)
             stream = KafkaUtils.create_direct_stream(ssc, self.broker, in_topic)
             if function is not None:
                 stream = stream.transform_with(function)
             stream.write_to_kafka(self.broker, out_topic)
-            job = ssc.run(job_name=spec.name, rng=rng)
+            job = ssc.run(job_name=spec.name, rng=rng, failure=failure)
             sc.stop()
             return job
         if system == "apex":
@@ -352,7 +481,9 @@ class StreamBenchHarness:
                 "kafkaOutput", KafkaSinglePortOutputOperator(self.broker, out_topic)
             )
             dag.add_stream("output", previous_port, sink.input)
-            return ApexLauncher(yarn, cost_model=self.cost_models["apex"]).launch(dag, rng=rng)
+            return ApexLauncher(yarn, cost_model=self.cost_models["apex"]).launch(
+                dag, rng=rng, checkpointing=checkpointing, failure=failure
+            )
         raise ValueError(f"unknown system: {system!r}")
 
     def _run_beam(

@@ -14,6 +14,7 @@ from dataclasses import dataclass
 
 from repro.broker import BrokerCluster
 from repro.broker.records import TimestampType
+from repro.broker.retry import RetryPolicy, run_with_retries
 
 
 @dataclass(frozen=True)
@@ -37,10 +38,23 @@ class ExecutionMeasurement:
 
 
 class ResultCalculator:
-    """Reads a result topic and computes the execution time."""
+    """Reads a result topic and computes the execution time.
 
-    def __init__(self, cluster: BrokerCluster) -> None:
+    ``retry_policy`` (defaulting to the cluster-wide policy installed by an
+    attached chaos schedule) lets the measurement phase ride out broker
+    faults: the read of each partition is guarded and retried like any
+    consumer fetch.  Retries happen *after* the run under measurement, so
+    they never distort the LogAppendTime-derived execution time itself.
+    """
+
+    def __init__(
+        self, cluster: BrokerCluster, retry_policy: RetryPolicy | None = None
+    ) -> None:
         self.cluster = cluster
+        self.retry_policy = retry_policy
+        self._retry_rng = cluster.simulator.random.stream(
+            f"broker/retry/calculator-{cluster.register_client()}"
+        )
 
     def measure(self, topic: str) -> ExecutionMeasurement:
         """Measure the execution recorded in ``topic``.
@@ -58,10 +72,24 @@ class ResultCalculator:
         first: float | None = None
         last: float | None = None
         total = 0
-        for partition in topic_obj.partitions:
-            total += len(partition)
-            p_first = partition.first_timestamp()
-            p_last = partition.last_timestamp()
+        for index, partition in enumerate(topic_obj.partitions):
+
+            def attempt(index: int = index, partition=partition):
+                self.cluster.guard_request(topic, index)
+                return (
+                    len(partition),
+                    partition.first_timestamp(),
+                    partition.last_timestamp(),
+                )
+
+            policy = self.retry_policy or self.cluster.default_retry_policy
+            if policy is not None:
+                count, p_first, p_last = run_with_retries(
+                    self.cluster.simulator, policy, self._retry_rng, attempt
+                )
+            else:
+                count, p_first, p_last = attempt()
+            total += count
             if p_first is not None and (first is None or p_first < first):
                 first = p_first
             if p_last is not None and (last is None or p_last > last):

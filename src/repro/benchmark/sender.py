@@ -11,7 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
-from repro.broker import AdminClient, BrokerCluster, Producer
+from repro.broker import AdminClient, BrokerCluster, Producer, RetryPolicy
 
 
 @dataclass(frozen=True)
@@ -22,6 +22,11 @@ class SenderReport:
     records_sent: int
     started_at: float
     finished_at: float
+    #: Produce-request re-attempts that rode out injected broker faults.
+    retries: int = 0
+    #: Records a lost acknowledgement would have duplicated, deduplicated
+    #: by idempotent produce (always 0 for non-idempotent senders).
+    duplicates_avoided: int = 0
 
     @property
     def duration(self) -> float:
@@ -43,7 +48,10 @@ class DataSender:
     advances the clock accordingly so input records carry realistic,
     spread-out LogAppendTime stamps.  ``acks`` is forwarded to the producer
     (the paper exposes "the level of Kafka Producer acknowledgments" as a
-    sender parameter).
+    sender parameter), as are ``retry_policy`` and ``idempotent`` — with an
+    attached chaos schedule the sender inherits the cluster's resilient
+    defaults, so ingestion survives broker faults without duplicating
+    input records.
     """
 
     def __init__(
@@ -54,6 +62,9 @@ class DataSender:
         acks: int | str = 1,
         batch_size: int = 1_000,
         create_topic: bool = True,
+        replication_factor: int = 1,
+        retry_policy: RetryPolicy | None = None,
+        idempotent: bool | None = None,
     ) -> None:
         if ingestion_rate <= 0:
             raise ValueError(f"ingestion_rate must be > 0, got {ingestion_rate}")
@@ -63,18 +74,29 @@ class DataSender:
         self.acks = acks
         self.batch_size = batch_size
         self.create_topic = create_topic
+        self.replication_factor = replication_factor
+        self.retry_policy = retry_policy
+        self.idempotent = idempotent
 
     def send(self, records: Sequence[str]) -> SenderReport:
         """Ingest all ``records``; returns a :class:`SenderReport`.
 
-        The topic is created (single partition, replication factor one —
-        the paper's ordering setup) unless it already exists and
-        ``create_topic`` is False.
+        The topic is created (single partition — the paper's ordering
+        setup — with ``replication_factor``, default one) unless it already
+        exists and ``create_topic`` is False.
         """
         if self.create_topic:
-            AdminClient(self.cluster).recreate_topic(self.topic)
+            AdminClient(self.cluster).recreate_topic(
+                self.topic, replication_factor=self.replication_factor
+            )
         started = self.cluster.simulator.now()
-        producer = Producer(self.cluster, acks=self.acks, batch_size=self.batch_size)
+        producer = Producer(
+            self.cluster,
+            acks=self.acks,
+            batch_size=self.batch_size,
+            retry_policy=self.retry_policy,
+            idempotent=self.idempotent,
+        )
         for start in range(0, len(records), self.batch_size):
             batch = records[start : start + self.batch_size]
             # Rate pacing: the batch occupies batch/rate seconds of the
@@ -87,4 +109,6 @@ class DataSender:
             records_sent=len(records),
             started_at=started,
             finished_at=self.cluster.simulator.now(),
+            retries=producer.retries_performed,
+            duplicates_avoided=producer.duplicates_avoided,
         )

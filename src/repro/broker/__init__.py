@@ -23,13 +23,21 @@ from repro.broker.broker import BrokerCluster, BrokerNode
 from repro.broker.consumer import Consumer, ConsumerGroupCoordinator, TopicPartition
 from repro.broker.errors import (
     BrokerError,
+    BrokerUnavailableError,
+    DeliveryTimeoutError,
+    NotLeaderForPartitionError,
     PartitionOutOfRangeError,
+    RequestTimedOutError,
+    RetriableBrokerError,
+    TimestampTypeError,
     TopicAlreadyExistsError,
     UnknownTopicError,
 )
+from repro.broker.faults import ChaosSchedule, FaultPlan, NodeOutage
 from repro.broker.log import PartitionLog
 from repro.broker.producer import Producer, RecordMetadata
 from repro.broker.records import ConsumerRecord, ProducerRecord, TimestampType
+from repro.broker.retry import RetryPolicy, run_with_retries
 from repro.broker.topic import Topic, TopicConfig
 
 __all__ = [
@@ -37,10 +45,20 @@ __all__ = [
     "TopicDescription",
     "BrokerCluster",
     "BrokerNode",
+    "ChaosSchedule",
     "Consumer",
     "ConsumerGroupCoordinator",
     "TopicPartition",
     "BrokerError",
+    "BrokerUnavailableError",
+    "DeliveryTimeoutError",
+    "FaultPlan",
+    "NodeOutage",
+    "NotLeaderForPartitionError",
+    "RequestTimedOutError",
+    "RetriableBrokerError",
+    "RetryPolicy",
+    "TimestampTypeError",
     "UnknownTopicError",
     "TopicAlreadyExistsError",
     "PartitionOutOfRangeError",
@@ -52,4 +70,5 @@ __all__ = [
     "TimestampType",
     "Topic",
     "TopicConfig",
+    "run_with_retries",
 ]

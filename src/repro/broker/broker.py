@@ -3,14 +3,20 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.broker.errors import (
+    BrokerUnavailableError,
     ReplicationError,
     TopicAlreadyExistsError,
     UnknownTopicError,
 )
 from repro.broker.topic import Topic, TopicConfig
 from repro.simtime import Simulator
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.broker.faults import ChaosSchedule, FaultPlan
+    from repro.broker.retry import RetryPolicy
 
 
 @dataclass(frozen=True)
@@ -51,10 +57,16 @@ class BrokerCluster:
     """A cluster of broker nodes hosting partitioned topic logs.
 
     Mirrors the paper's three-node Kafka cluster by default.  Partition
-    leadership is assigned round-robin over nodes; replication is tracked as
-    metadata (the simulation has no node failures, so replicas never serve
-    reads) but the replication factor still bounds at cluster size and scales
-    acknowledgement costs, as in Kafka.
+    leadership is assigned round-robin over nodes; the replication factor
+    bounds at cluster size, scales acknowledgement costs, and — when a node
+    fails — determines whether a partition's leadership can move to a
+    surviving node (:meth:`fail_node`) or the partition goes unavailable
+    until the node recovers, as in Kafka.
+
+    Nodes fail only through :meth:`fail_node` (usually driven by an
+    attached :class:`~repro.broker.faults.ChaosSchedule`); without chaos the
+    cluster behaves exactly like the perfectly reliable fixture it used to
+    be.
     """
 
     def __init__(self, simulator: Simulator, num_nodes: int = 3) -> None:
@@ -67,6 +79,18 @@ class BrokerCluster:
         self.costs = BrokerCosts()
         self._topics: dict[str, _TopicState] = {}
         self._next_leader = 0
+        self._down: set[int] = set()
+        self.failovers = 0
+        #: Chaos injection, attached via :meth:`attach_chaos` (None = the
+        #: perfectly reliable broker every earlier benchmark assumed).
+        self.chaos: "ChaosSchedule | None" = None
+        #: Client defaults picked up by producers/consumers that are not
+        #: constructed with an explicit policy; set by :meth:`attach_chaos`
+        #: so the whole Figure-5 pipeline becomes resilient at once.
+        self.default_retry_policy: "RetryPolicy | None" = None
+        self.default_idempotence = False
+        self._next_producer_id = 0
+        self._next_client_id = 0
 
     # ------------------------------------------------------------------
     # topic management (the AdminClient delegates here)
@@ -119,3 +143,123 @@ class BrokerCluster:
         node = self.nodes[self._next_leader % len(self.nodes)]
         self._next_leader += 1
         return node
+
+    # ------------------------------------------------------------------
+    # node liveness and failover
+    # ------------------------------------------------------------------
+    def node_is_up(self, node_id: int) -> bool:
+        """Whether the node is currently serving requests."""
+        return node_id not in self._down
+
+    def alive_nodes(self) -> list[BrokerNode]:
+        """The nodes currently up, in id order."""
+        return [n for n in self.nodes if n.node_id not in self._down]
+
+    def fail_node(self, node_id: int) -> None:
+        """Mark a node down and fail its partitions over where possible.
+
+        Partitions of topics with ``replication_factor > 1`` elect the next
+        alive node (deterministic: smallest id after the failed leader's,
+        wrapping) as their new leader, mirroring Kafka's ISR failover.
+        Partitions of unreplicated topics keep their dead leader and raise
+        :class:`BrokerUnavailableError` until the node recovers.  Idempotent
+        if the node is already down.
+        """
+        if node_id in self._down:
+            return
+        if not any(n.node_id == node_id for n in self.nodes):
+            raise ValueError(f"unknown node id {node_id}")
+        self._down.add(node_id)
+        for state in self._topics.values():
+            if state.topic.config.replication_factor < 2:
+                continue
+            for index, leader in enumerate(state.leaders):
+                if leader.node_id == node_id:
+                    successor = self._elect_leader(after=node_id)
+                    if successor is not None:
+                        state.leaders[index] = successor
+                        self.failovers += 1
+
+    def recover_node(self, node_id: int) -> None:
+        """Mark a node up again (idempotent).
+
+        Leadership moved by failover stays where it is — like Kafka without
+        preferred-leader election — but partitions that could not fail over
+        become available again immediately.
+        """
+        self._down.discard(node_id)
+
+    def _elect_leader(self, after: int) -> BrokerNode | None:
+        alive = self.alive_nodes()
+        if not alive:
+            return None
+        for node in alive:
+            if node.node_id > after:
+                return node
+        return alive[0]
+
+    # ------------------------------------------------------------------
+    # the guarded request path (chaos + liveness checks)
+    # ------------------------------------------------------------------
+    def guard_request(self, topic: str, partition: int) -> None:
+        """Pre-flight for one client request against a partition.
+
+        Applies due chaos transitions, verifies the partition leader is
+        alive, and lets the chaos schedule charge latency jitter or raise a
+        transient error.  Without chaos attached this is just a liveness
+        check, and nodes never go down on their own — the historical
+        always-reliable behaviour.
+        """
+        if self.chaos is not None:
+            self.chaos.advance()
+        leader = self.partition_leader(topic, partition)
+        if leader.node_id in self._down:
+            raise BrokerUnavailableError(topic, partition, leader.node_id)
+        if self.chaos is not None:
+            self.chaos.before_request(topic, partition, leader.node_id)
+
+    def post_append(self, topic: str, partition: int) -> None:
+        """Post-flight for one append: maybe lose the acknowledgement.
+
+        Raised *after* the records hit the log, so a non-idempotent retry
+        re-appends them — the duplicate path idempotent producers close.
+        """
+        if self.chaos is not None:
+            self.chaos.after_append(topic, partition)
+
+    # ------------------------------------------------------------------
+    # chaos attachment and client registration
+    # ------------------------------------------------------------------
+    def attach_chaos(
+        self,
+        plan: "FaultPlan",
+        retry_policy: "RetryPolicy | None" = None,
+        idempotence: bool = True,
+    ) -> "ChaosSchedule":
+        """Bind a :class:`FaultPlan` to this cluster and harden its clients.
+
+        Besides instantiating the :class:`ChaosSchedule`, this installs a
+        cluster-wide default :class:`RetryPolicy` and (by default) default
+        idempotence, so every producer/consumer created afterwards — the
+        data sender, engine Kafka writers, the result calculator — rides
+        out the injected faults without each call site opting in.
+        """
+        from repro.broker.faults import ChaosSchedule
+        from repro.broker.retry import RetryPolicy
+
+        self.chaos = ChaosSchedule(plan, self)
+        self.default_retry_policy = retry_policy or RetryPolicy()
+        self.default_idempotence = idempotence
+        return self.chaos
+
+    def register_producer(self) -> int:
+        """Allocate a producer id (idempotent-produce identity)."""
+        pid = self._next_producer_id
+        self._next_producer_id += 1
+        return pid
+
+    def register_client(self) -> int:
+        """Allocate a generic client id (names deterministic RNG streams)."""
+        cid = self._next_client_id
+        self._next_client_id += 1
+        return cid

@@ -7,6 +7,7 @@ from dataclasses import dataclass
 from repro.broker.broker import BrokerCluster
 from repro.broker.errors import ConsumerClosedError, UnknownTopicError
 from repro.broker.records import ConsumerRecord
+from repro.broker.retry import RetryPolicy, run_with_retries
 
 
 @dataclass(frozen=True, order=True)
@@ -86,12 +87,19 @@ class Consumer:
     (explicit partitions).  ``poll`` returns up to ``max_records`` records
     across the assignment, round-robin over partitions, charging simulated
     fetch costs.
+
+    ``retry_policy`` (defaulting to the cluster-wide policy installed by
+    :meth:`BrokerCluster.attach_chaos`) makes each per-partition fetch ride
+    out transient broker faults with backoff charged in simulated time.  A
+    fetch has no broker-side effect, so retrying it can never duplicate or
+    skip records — the position only advances on success.
     """
 
     def __init__(
         self,
         cluster: BrokerCluster,
         group: ConsumerGroupCoordinator | None = None,
+        retry_policy: RetryPolicy | None = None,
     ) -> None:
         self.cluster = cluster
         self.subscription: set[str] = set()
@@ -101,6 +109,13 @@ class Consumer:
         self._positions: dict[TopicPartition, int] = {}
         self._closed = False
         self.records_fetched = 0
+        self.retry_policy = (
+            retry_policy if retry_policy is not None else cluster.default_retry_policy
+        )
+        self._retry_rng = cluster.simulator.random.stream(
+            f"broker/retry/consumer-{cluster.register_client()}"
+        )
+        self.retries_performed = 0
 
     # ------------------------------------------------------------------
     # assignment
@@ -132,6 +147,13 @@ class Consumer:
 
     def _set_assignment(self, partitions: list[TopicPartition]) -> None:
         self._assignment = sorted(partitions)
+        # Positions of revoked partitions are dropped: if a partition comes
+        # back after a later rebalance, consumption resumes from the group's
+        # committed offset, not from this member's stale local position.
+        retained = set(self._assignment)
+        for tp in list(self._positions):
+            if tp not in retained:
+                del self._positions[tp]
         for tp in self._assignment:
             if tp not in self._positions:
                 committed = (
@@ -187,8 +209,7 @@ class Consumer:
         for tp in self._assignment:
             if budget <= 0:
                 break
-            log = self.cluster.topic(tp.topic).partition(tp.partition)
-            records = log.read(self._positions[tp], budget)
+            records = self._fetch(tp, budget)
             if records:
                 self._positions[tp] = records[-1].offset + 1
                 fetched.extend(records)
@@ -215,6 +236,27 @@ class Consumer:
         self.close()
 
     # ------------------------------------------------------------------
+    def _fetch(self, tp: TopicPartition, budget: int) -> list[ConsumerRecord]:
+        """One guarded fetch request against a partition, with retries."""
+
+        def attempt() -> list[ConsumerRecord]:
+            self.cluster.guard_request(tp.topic, tp.partition)
+            log = self.cluster.topic(tp.topic).partition(tp.partition)
+            return log.read(self._positions[tp], budget)
+
+        if self.retry_policy is None:
+            return attempt()
+        return run_with_retries(
+            self.cluster.simulator,
+            self.retry_policy,
+            self._retry_rng,
+            attempt,
+            on_retry=self._count_retry,
+        )
+
+    def _count_retry(self, _err: Exception) -> None:
+        self.retries_performed += 1
+
     def _check_assigned(self, tp: TopicPartition) -> None:
         if tp not in self._positions:
             raise ValueError(f"{tp} is not assigned to this consumer")

@@ -58,3 +58,80 @@ class ProducerClosedError(BrokerError):
 
 class ConsumerClosedError(BrokerError):
     """A poll was attempted on a closed consumer."""
+
+
+class TimestampTypeError(BrokerError):
+    """An operation requires a different topic timestamp type."""
+
+    def __init__(self, topic: str, required: str, actual: str) -> None:
+        super().__init__(
+            f"topic {topic!r} uses {actual}; this operation requires {required}"
+        )
+        self.topic = topic
+        self.required = required
+        self.actual = actual
+
+
+class RetriableBrokerError(BrokerError):
+    """Transient broker-side failures that a client may safely retry.
+
+    Mirrors Kafka's ``RetriableException`` branch: the request failed (or
+    its acknowledgement was lost), but nothing about the cluster state makes
+    a retry pointless.  :class:`repro.broker.retry.RetryPolicy` retries only
+    this branch; every other :class:`BrokerError` propagates immediately.
+    """
+
+
+class NotLeaderForPartitionError(RetriableBrokerError):
+    """The contacted node is not (or no longer) the partition's leader."""
+
+    def __init__(self, topic: str, partition: int, node_id: int) -> None:
+        super().__init__(
+            f"node {node_id} is not the leader for {topic!r}-{partition}"
+        )
+        self.topic = topic
+        self.partition = partition
+        self.node_id = node_id
+
+
+class RequestTimedOutError(RetriableBrokerError):
+    """The acknowledgement for a request was lost.
+
+    The ambiguous outcome: the broker may or may not have applied the
+    request before the timeout.  A producer retry after this error
+    duplicates the batch unless idempotence is enabled.
+    """
+
+    def __init__(self, topic: str, partition: int) -> None:
+        super().__init__(f"request to {topic!r}-{partition} timed out")
+        self.topic = topic
+        self.partition = partition
+
+
+class BrokerUnavailableError(RetriableBrokerError):
+    """The partition's leader node is down and no replica took over."""
+
+    def __init__(self, topic: str, partition: int, node_id: int) -> None:
+        super().__init__(
+            f"leader node {node_id} for {topic!r}-{partition} is unavailable"
+        )
+        self.topic = topic
+        self.partition = partition
+        self.node_id = node_id
+
+
+class DeliveryTimeoutError(BrokerError):
+    """Retries were exhausted without the request ever succeeding.
+
+    Raised by :func:`repro.broker.retry.run_with_retries` when the retry
+    budget (attempt count or delivery timeout) runs out; chains the last
+    transient error as its cause.
+    """
+
+    def __init__(self, attempts: int, elapsed: float) -> None:
+        super().__init__(
+            f"request failed after {attempts} attempt(s) over {elapsed:.3f}s "
+            "of simulated time"
+        )
+        self.attempts = attempts
+        self.elapsed = elapsed

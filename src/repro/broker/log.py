@@ -37,6 +37,9 @@ class PartitionLog:
         self._values: list[Any] = []
         self._keys: list[Any] = []
         self._timestamps: list[float] = []
+        #: Idempotent-produce state: highest sequence number appended per
+        #: producer id (Kafka's per-partition producer epoch/sequence check).
+        self._producer_sequences: dict[int, int] = {}
 
     def __len__(self) -> int:
         return len(self._values)
@@ -90,6 +93,25 @@ class PartitionLog:
         self._timestamps.extend([now] * len(values))
         return first
 
+    def register_producer_batch(
+        self, producer_id: int, base_sequence: int, count: int
+    ) -> bool:
+        """Record an idempotent producer batch; ``False`` if it is a replay.
+
+        Mirrors Kafka's per-partition sequence check: a batch whose
+        ``base_sequence`` does not advance past the highest sequence seen
+        from ``producer_id`` has already been appended (its acknowledgement
+        was lost in flight) and must be dropped, not re-appended.  The
+        caller appends the records only when this returns ``True``.
+        """
+        if count < 1:
+            raise ValueError(f"count must be >= 1, got {count}")
+        last = self._producer_sequences.get(producer_id, -1)
+        if base_sequence <= last:
+            return False
+        self._producer_sequences[producer_id] = base_sequence + count - 1
+        return True
+
     def read(self, offset: int, max_records: int | None = None) -> list[ConsumerRecord]:
         """Return up to ``max_records`` records starting at ``offset``.
 
@@ -135,6 +157,7 @@ class PartitionLog:
         self._values.clear()
         self._keys.clear()
         self._timestamps.clear()
+        self._producer_sequences.clear()
 
     def _record(self, offset: int) -> ConsumerRecord:
         return ConsumerRecord(

@@ -1,13 +1,16 @@
-"""The producer: batching sends with configurable acknowledgements."""
+"""The producer: batching sends with acks, retries and idempotence."""
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass
-from typing import Any
+from typing import Any, Callable
 
 from repro.broker.broker import BrokerCluster
-from repro.broker.errors import ProducerClosedError
+from repro.broker.errors import ProducerClosedError, TimestampTypeError
+from repro.broker.log import PartitionLog
 from repro.broker.records import ProducerRecord, TimestampType
+from repro.broker.retry import RetryPolicy, run_with_retries
 
 
 @dataclass(frozen=True)
@@ -45,6 +48,18 @@ class Producer:
     Records accumulate in per-partition batches and are appended to the
     broker when a batch reaches ``batch_size`` or on :meth:`flush`.  Batching
     amortises the per-request overhead, as in Kafka.
+
+    **Resilience.**  ``retries``/``delivery_timeout`` (or a full
+    :class:`RetryPolicy` via ``retry_policy``) make every append ride out
+    :class:`~repro.broker.errors.RetriableBrokerError` faults with capped
+    exponential backoff charged in simulated time.  ``idempotent`` enables
+    Kafka-style idempotent produce: the producer holds a broker-assigned
+    producer id and stamps each batch with a per-partition sequence number,
+    so a batch whose acknowledgement was lost is deduplicated on retry
+    instead of appended twice — exactly-once delivery through broker
+    faults.  Both default to the cluster-wide settings installed by
+    :meth:`BrokerCluster.attach_chaos`, so chaos experiments harden every
+    client at once.
     """
 
     def __init__(
@@ -52,18 +67,51 @@ class Producer:
         cluster: BrokerCluster,
         acks: int | str = 1,
         batch_size: int = 500,
+        retries: int | None = None,
+        delivery_timeout: float | None = None,
+        retry_policy: RetryPolicy | None = None,
+        idempotent: bool | None = None,
     ) -> None:
         if acks not in (0, 1, "all"):
             raise ValueError(f"acks must be 0, 1 or 'all', got {acks!r}")
         if batch_size < 1:
             raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        if retries is not None and retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
         self.cluster = cluster
         self.acks = acks
         self.batch_size = batch_size
+        if retry_policy is None and (retries is not None or delivery_timeout is not None):
+            base = cluster.default_retry_policy or RetryPolicy()
+            retry_policy = RetryPolicy(
+                max_retries=base.max_retries if retries is None else retries,
+                backoff_initial=base.backoff_initial,
+                backoff_max=base.backoff_max,
+                multiplier=base.multiplier,
+                jitter=base.jitter,
+                delivery_timeout=(
+                    base.delivery_timeout
+                    if delivery_timeout is None
+                    else delivery_timeout
+                ),
+            )
+        self.retry_policy = (
+            retry_policy if retry_policy is not None else cluster.default_retry_policy
+        )
+        self.idempotent = (
+            idempotent if idempotent is not None else cluster.default_idempotence
+        )
+        self.producer_id = cluster.register_producer()
+        self._retry_rng: random.Random = cluster.simulator.random.stream(
+            f"broker/retry/producer-{self.producer_id}"
+        )
+        self._sequences: dict[tuple[str, int], int] = {}
         self._batches: dict[tuple[str, int], list[ProducerRecord]] = {}
         self._round_robin = 0
         self._closed = False
         self.records_sent = 0
+        self.retries_performed = 0
+        self.duplicates_avoided = 0
 
     def send(
         self,
@@ -89,21 +137,25 @@ class Producer:
 
         Equivalent to calling :meth:`send` per value followed by
         :meth:`flush`, including the charged costs, but without building
-        per-record envelopes.  Only valid for ``LogAppendTime`` topics.
+        per-record envelopes.  Only valid for ``LogAppendTime`` topics —
+        a ``CreateTime`` topic raises :class:`TimestampTypeError` (use
+        :meth:`send`, which preserves producer timestamps, instead).
         """
         if self._closed:
             raise ProducerClosedError("producer is closed")
         if not values:
             return
         log = self.cluster.topic(topic).partition(partition)
-        costs = self.cluster.costs
-        per_record = costs.append_per_record
-        if self.acks == "all":
-            per_record *= costs.acks_all_factor
-        charge = 0.0 if self.acks == 0 else costs.request_overhead
-        self.cluster.simulator.charge(charge + per_record * len(values))
-        log.append_batch(list(values))
-        self.records_sent += len(values)
+        if log.timestamp_type is not TimestampType.LOG_APPEND_TIME:
+            raise TimestampTypeError(
+                topic,
+                required=TimestampType.LOG_APPEND_TIME.value,
+                actual=log.timestamp_type.value,
+            )
+        frozen = list(values)
+        self._append_guarded(
+            topic, partition, len(frozen), lambda log: log.append_batch(frozen)
+        )
 
     def flush(self) -> None:
         """Append every queued batch to the broker."""
@@ -140,19 +192,69 @@ class Producer:
         if not batch:
             return
         topic_name, partition = batch_key
-        log = self.cluster.topic(topic_name).partition(partition)
+
+        def append(log: PartitionLog) -> None:
+            if log.timestamp_type is TimestampType.LOG_APPEND_TIME:
+                log.append_batch(
+                    [record.value for record in batch],
+                    [record.key for record in batch],
+                )
+            else:
+                for record in batch:
+                    log.append(record.value, record.key, record.timestamp)
+
+        self._append_guarded(topic_name, partition, len(batch), append)
+
+    def _append_guarded(
+        self,
+        topic: str,
+        partition: int,
+        count: int,
+        append: Callable[[PartitionLog], None],
+    ) -> None:
+        """One produce request: guard, charge, append (deduped), ack.
+
+        Each attempt re-charges the request cost (every wire request costs
+        time, even a duplicate of one whose acknowledgement was lost).  With
+        idempotence on, a retried batch is recognised by its sequence
+        number and dropped instead of re-appended.
+        """
+        base_sequence = self._sequences.get((topic, partition), 0)
         costs = self.cluster.costs
         per_record = costs.append_per_record
         if self.acks == "all":
             per_record *= costs.acks_all_factor
-        charge = 0.0 if self.acks == 0 else costs.request_overhead
-        self.cluster.simulator.charge(charge + per_record * len(batch))
-        if log.timestamp_type is TimestampType.LOG_APPEND_TIME:
-            log.append_batch(
-                [record.value for record in batch],
-                [record.key for record in batch],
+        charge = (0.0 if self.acks == 0 else costs.request_overhead) + per_record * count
+
+        def attempt() -> None:
+            self.cluster.guard_request(topic, partition)
+            log = self.cluster.topic(topic).partition(partition)
+            self.cluster.simulator.charge(charge)
+            if self.idempotent:
+                fresh = log.register_producer_batch(
+                    self.producer_id, base_sequence, count
+                )
+                if not fresh:
+                    self.duplicates_avoided += count
+            else:
+                fresh = True
+            if fresh:
+                append(log)
+            self.cluster.post_append(topic, partition)
+
+        if self.retry_policy is not None:
+            run_with_retries(
+                self.cluster.simulator,
+                self.retry_policy,
+                self._retry_rng,
+                attempt,
+                on_retry=self._count_retry,
             )
         else:
-            for record in batch:
-                log.append(record.value, record.key, record.timestamp)
-        self.records_sent += len(batch)
+            attempt()
+        if self.idempotent:
+            self._sequences[(topic, partition)] = base_sequence + count
+        self.records_sent += count
+
+    def _count_retry(self, _err: Exception) -> None:
+        self.retries_performed += 1

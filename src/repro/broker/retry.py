@@ -1,0 +1,111 @@
+"""Client-side retries: capped exponential backoff in simulated time.
+
+Kafka clients hide most transient broker failures behind ``retries`` and
+``delivery.timeout.ms``; this module is that machinery for the simulated
+broker.  Every backoff delay is *charged to the simulator*, so a run that
+rides out broker faults is measurably slower than a clean run — the
+fault-tolerance dimension the paper leaves as future work becomes part of
+the measured execution time, exactly like the broker's append costs.
+
+Determinism: backoff jitter draws from a caller-supplied ``random.Random``
+(derived from the simulation's seeded RNG tree), never from wall-clock or
+process randomness, so a chaos run replays bit-identically under a seed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Callable, TypeVar
+
+from repro.broker.errors import DeliveryTimeoutError, RetriableBrokerError
+from repro.simtime import Simulator
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How a client retries :class:`RetriableBrokerError` failures.
+
+    ``max_retries`` bounds the number of *re*-attempts (Kafka's ``retries``);
+    ``delivery_timeout`` bounds the total simulated time spent on one
+    request including backoff (Kafka's ``delivery.timeout.ms``).  Backoff
+    delays grow as ``initial * multiplier**n`` capped at ``backoff_max``
+    (``retry.backoff.ms`` / ``retry.backoff.max.ms``), each stretched by a
+    deterministic ±``jitter`` fraction drawn from the caller's RNG.
+    """
+
+    max_retries: int = 10
+    backoff_initial: float = 0.05
+    backoff_max: float = 2.0
+    multiplier: float = 2.0
+    jitter: float = 0.1
+    delivery_timeout: float = 120.0
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.backoff_initial < 0:
+            raise ValueError(
+                f"backoff_initial must be >= 0, got {self.backoff_initial}"
+            )
+        if self.backoff_max < self.backoff_initial:
+            raise ValueError(
+                f"backoff_max ({self.backoff_max}) must be >= backoff_initial "
+                f"({self.backoff_initial})"
+            )
+        if self.multiplier < 1.0:
+            raise ValueError(f"multiplier must be >= 1, got {self.multiplier}")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError(f"jitter must be in [0, 1), got {self.jitter}")
+        if self.delivery_timeout <= 0:
+            raise ValueError(
+                f"delivery_timeout must be > 0, got {self.delivery_timeout}"
+            )
+
+    def backoff(self, retry_index: int, rng: random.Random) -> float:
+        """The delay before re-attempt number ``retry_index`` (1-based)."""
+        if retry_index < 1:
+            raise ValueError(f"retry_index must be >= 1, got {retry_index}")
+        base = min(
+            self.backoff_max,
+            self.backoff_initial * self.multiplier ** (retry_index - 1),
+        )
+        if self.jitter == 0.0:
+            return base
+        return base * (1.0 + self.jitter * (2.0 * rng.random() - 1.0))
+
+
+def run_with_retries(
+    simulator: Simulator,
+    policy: RetryPolicy,
+    rng: random.Random,
+    attempt: Callable[[], T],
+    on_retry: Callable[[RetriableBrokerError], Any] | None = None,
+) -> T:
+    """Invoke ``attempt`` until it succeeds or the retry budget is spent.
+
+    Only :class:`RetriableBrokerError` is retried; other exceptions
+    propagate unchanged.  Backoff delays are charged to ``simulator``
+    (simulated time), and both the attempt count and the elapsed simulated
+    time are checked against ``policy`` before every re-attempt.  Raises
+    :class:`DeliveryTimeoutError` (chaining the last transient error) when
+    the budget runs out.
+    """
+    started = simulator.now()
+    retries = 0
+    while True:
+        try:
+            return attempt()
+        except RetriableBrokerError as err:
+            retries += 1
+            elapsed = simulator.now() - started
+            if retries > policy.max_retries or elapsed >= policy.delivery_timeout:
+                raise DeliveryTimeoutError(retries, elapsed) from err
+            delay = policy.backoff(retries, rng)
+            if elapsed + delay > policy.delivery_timeout:
+                raise DeliveryTimeoutError(retries, elapsed) from err
+            simulator.charge(delay)
+            if on_retry is not None:
+                on_retry(err)

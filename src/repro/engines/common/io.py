@@ -27,17 +27,39 @@ class BoundedKafkaReader:
     def __init__(self, cluster: BrokerCluster, topic: str) -> None:
         self.cluster = cluster
         self.topic = topic
+        self._retry_rng = cluster.simulator.random.stream(
+            f"broker/retry/reader-{cluster.register_client()}"
+        )
 
     def read_values(self) -> list[Any]:
         """Fetch all record values currently in the topic (fast path).
 
         Charges the same consumer fetch costs as :meth:`read_records` but
-        skips building :class:`ConsumerRecord` objects.
+        skips building :class:`ConsumerRecord` objects.  Under an attached
+        chaos schedule the per-partition fetches are guarded and retried
+        with the cluster's default policy, like every other client.
         """
+        from repro.broker.retry import run_with_retries
+
         topic = self.cluster.topic(self.topic)
         values: list[Any] = []
-        for partition in topic.partitions:
-            values.extend(partition.read_values(0))
+        for index, partition in enumerate(topic.partitions):
+
+            def attempt(index: int = index, partition=partition) -> list[Any]:
+                self.cluster.guard_request(self.topic, index)
+                return partition.read_values(0)
+
+            if self.cluster.default_retry_policy is not None:
+                values.extend(
+                    run_with_retries(
+                        self.cluster.simulator,
+                        self.cluster.default_retry_policy,
+                        self._retry_rng,
+                        attempt,
+                    )
+                )
+            else:
+                values.extend(attempt())
         costs = self.cluster.costs
         self.cluster.simulator.charge(
             costs.request_overhead + costs.fetch_per_record * len(values)

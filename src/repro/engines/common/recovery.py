@@ -9,8 +9,9 @@ dimension.  This module makes that guarantee executable:
   together with the input offset (Chandy-Lamport in spirit, aligned to
   record boundaries in practice — how both Flink's barriers and Spark's
   micro-batch boundaries behave in this bounded setting);
-* a :class:`FailureInjector` kills the job once at a configurable point in
-  the input, charging a recovery delay (failure detection + redeployment);
+* a :class:`FailureInjector` kills the job at one (or, for chaos
+  experiments, several) configurable points in the input, charging a
+  recovery delay (failure detection + redeployment) per crash;
 * :class:`RecoveringPump` re-runs the pipeline from the last checkpoint,
   restoring operator state.  With a **transactional sink** (the default)
   output produced after the last checkpoint is discarded on failure and
@@ -34,20 +35,37 @@ from repro.simtime import Simulator
 
 @dataclass(frozen=True)
 class FailureInjector:
-    """Kill the job once, after a fraction of the input was processed.
+    """Kill the job at configured fractions of the input.
 
-    ``recovery_delay`` covers failure detection, restart and state
-    redistribution; engines charge it when the failure fires.
+    ``at_fraction`` is the classic single crash point; ``at_fractions``
+    adds further crash points for chaos experiments (each fires once, in
+    input order — the job crashes, recovers from the last checkpoint,
+    replays, and crashes again at the next point).  ``recovery_delay``
+    covers failure detection, restart and state redistribution; engines
+    charge it per failure as it fires.
     """
 
-    at_fraction: float
+    at_fraction: float | None = None
     recovery_delay: float = 1.0
+    at_fractions: tuple[float, ...] = ()
 
     def __post_init__(self) -> None:
-        if not 0.0 <= self.at_fraction <= 1.0:
-            raise ValueError(f"at_fraction must be in [0, 1], got {self.at_fraction}")
+        for fraction in self.fractions():
+            if not 0.0 <= fraction <= 1.0:
+                raise ValueError(f"fractions must be in [0, 1], got {fraction}")
         if self.recovery_delay < 0:
             raise ValueError(f"recovery_delay must be >= 0, got {self.recovery_delay}")
+
+    def fractions(self) -> tuple[float, ...]:
+        """All configured crash fractions, sorted and deduplicated."""
+        combined = set(self.at_fractions)
+        if self.at_fraction is not None:
+            combined.add(self.at_fraction)
+        return tuple(sorted(combined))
+
+    def positions(self, total: int) -> list[int]:
+        """Distinct input positions at which failures fire, ascending."""
+        return sorted({int(fraction * total) for fraction in self.fractions()})
 
 
 @dataclass(frozen=True)
@@ -175,10 +193,9 @@ class RecoveringPump:
         base_duration = 0.0
         failures = 0
         reprocessed = 0
-        fail_at = (
-            int(self.failure.at_fraction * total) if self.failure is not None else None
+        pending_failures = (
+            self.failure.positions(total) if self.failure is not None else []
         )
-        failed_already = False
         first_emit: float | None = None
         last_emit: float | None = None
 
@@ -188,12 +205,9 @@ class RecoveringPump:
         while position < total:
             end = min(position + self.checkpoint_interval, total)
             # failure fires mid-epoch: reprocess from the last checkpoint
-            if (
-                not failed_already
-                and fail_at is not None
-                and position <= fail_at < end
-            ):
+            if pending_failures and position <= pending_failures[0] < end:
                 # process up to the failure point, then lose the epoch
+                fail_at = pending_failures.pop(0)
                 doomed = list(records[position:fail_at])
                 cost, outputs = self._process(doomed, metrics)
                 base_duration += cost
@@ -203,7 +217,6 @@ class RecoveringPump:
                     records_out += len(outputs)
                     first_emit = first_emit if first_emit is not None else self.simulator.now()
                     last_emit = self.simulator.now()
-                failed_already = True
                 failures += 1
                 reprocessed += len(doomed)
                 pending.clear()

@@ -181,6 +181,74 @@ class TestConsumerGroups:
             consumer.subscribe(["missing"])
 
 
+class TestRebalanceMidConsumption:
+    """A member leaving mid-consumption hands its partitions over cleanly."""
+
+    def _drain(self, consumer):
+        """Poll until empty; returns {partition: [offsets]} consumed."""
+        seen: dict[int, list[int]] = {}
+        while True:
+            records = consumer.poll(max_records=100)
+            if not records:
+                return seen
+            for r in records:
+                seen.setdefault(r.partition, []).append(r.offset)
+
+    def test_survivor_resumes_from_committed_offsets(self, cluster):
+        cluster.create_topic("multi", TopicConfig(num_partitions=4))
+        with Producer(cluster) as producer:
+            for i in range(80):
+                producer.send("multi", i, partition=i % 4)
+        group = ConsumerGroupCoordinator("g1")
+        a = Consumer(cluster, group=group)
+        a.subscribe(["multi"])
+        b = Consumer(cluster, group=group)
+        b.subscribe(["multi"])
+        # Both consume part of their share and commit; then b leaves.
+        seen_a = {}
+        for r in a.poll(max_records=10):
+            seen_a.setdefault(r.partition, []).append(r.offset)
+        a.commit()
+        seen_b = {}
+        for r in b.poll(max_records=10):
+            seen_b.setdefault(r.partition, []).append(r.offset)
+        b.commit()
+        b.close()
+        # a now owns all four partitions and picks up b's exactly where
+        # b committed them.
+        assert len(a.assignment()) == 4
+        for tp, offset in group.committed.items():
+            assert a.position(tp) == offset
+        rest = self._drain(a)
+        consumed: dict[int, list[int]] = {}
+        for part in (seen_a, seen_b, rest):
+            for partition, offsets in part.items():
+                consumed.setdefault(partition, []).extend(offsets)
+        # Union of what a and b consumed: every offset exactly once.
+        assert sorted(consumed) == [0, 1, 2, 3]
+        for offsets in consumed.values():
+            assert offsets == list(range(20))  # no gaps, no duplicates
+
+    def test_uncommitted_records_are_redelivered_not_lost(self, cluster):
+        cluster.create_topic("multi", TopicConfig(num_partitions=2))
+        with Producer(cluster) as producer:
+            for i in range(20):
+                producer.send("multi", i, partition=i % 2)
+        group = ConsumerGroupCoordinator("g1")
+        a = Consumer(cluster, group=group)
+        a.subscribe(["multi"])
+        b = Consumer(cluster, group=group)
+        b.subscribe(["multi"])
+        # b consumes without committing, then crashes out of the group.
+        uncommitted = b.poll(max_records=4)
+        assert uncommitted
+        b.close()
+        rest = self._drain(a)
+        # At-least-once: b's uncommitted offsets come back to a (no gaps).
+        for partition, offsets in rest.items():
+            assert offsets == list(range(10))
+
+
 class TestLifecycle:
     def test_poll_after_close_raises(self, cluster):
         consumer = Consumer(cluster)

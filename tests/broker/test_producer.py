@@ -3,7 +3,8 @@
 import pytest
 
 from repro.broker import BrokerCluster, Producer, TopicConfig
-from repro.broker.errors import ProducerClosedError
+from repro.broker.errors import ProducerClosedError, TimestampTypeError
+from repro.broker.records import TimestampType
 from repro.simtime import Simulator
 
 
@@ -50,6 +51,26 @@ class TestProducerBasics:
         with Producer(cluster) as producer:
             producer.send("t", "a")
         assert cluster.topic("t").total_records() == 1
+
+    def test_context_manager_closes_on_exception(self, cluster):
+        with pytest.raises(RuntimeError):
+            with Producer(cluster) as producer:
+                producer.send("t", "a")
+                raise RuntimeError("boom")
+        # the buffered record was still flushed on the way out
+        assert cluster.topic("t").total_records() == 1
+        with pytest.raises(ProducerClosedError):
+            producer.send("t", "b")
+
+    def test_send_values_requires_log_append_time(self, cluster):
+        cluster.create_topic(
+            "ct", TopicConfig(timestamp_type=TimestampType.CREATE_TIME)
+        )
+        with Producer(cluster) as producer:
+            with pytest.raises(TimestampTypeError) as excinfo:
+                producer.send_values("ct", ["a"])
+        assert "ct" in str(excinfo.value)
+        assert "LogAppendTime" in str(excinfo.value)
 
     def test_send_after_close_raises(self, cluster):
         producer = Producer(cluster)

@@ -1,0 +1,154 @@
+"""Tests for repro.broker.retry and idempotent produce."""
+
+import pytest
+
+from repro.broker import (
+    BrokerCluster,
+    DeliveryTimeoutError,
+    FaultPlan,
+    Producer,
+    RetryPolicy,
+)
+from repro.broker.errors import BrokerUnavailableError, RequestTimedOutError
+from repro.broker.retry import run_with_retries
+from repro.simtime import Simulator
+
+
+@pytest.fixture
+def sim():
+    return Simulator(seed=1)
+
+
+@pytest.fixture
+def cluster(sim):
+    c = BrokerCluster(sim)
+    c.create_topic("t")
+    return c
+
+
+class TestRetryPolicy:
+    def test_backoff_grows_and_caps(self, sim):
+        policy = RetryPolicy(
+            backoff_initial=0.1, backoff_max=0.5, multiplier=2.0, jitter=0.0
+        )
+        rng = sim.random.stream("x")
+        delays = [policy.backoff(i, rng) for i in range(1, 6)]
+        assert delays == [0.1, 0.2, 0.4, 0.5, 0.5]
+
+    def test_jitter_is_deterministic_under_a_seed(self, sim):
+        policy = RetryPolicy(jitter=0.2)
+        a = [policy.backoff(i, Simulator(seed=5).random.stream("r")) for i in (1, 2, 3)]
+        b = [policy.backoff(i, Simulator(seed=5).random.stream("r")) for i in (1, 2, 3)]
+        assert a == b
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_retries=-1)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff_initial=1.0, backoff_max=0.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=1.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(delivery_timeout=0.0)
+
+
+class TestRunWithRetries:
+    def test_charges_backoff_in_simulated_time(self, sim):
+        attempts = []
+
+        def flaky():
+            attempts.append(sim.now())
+            if len(attempts) < 4:
+                raise RequestTimedOutError("t", 0)
+            return "ok"
+
+        policy = RetryPolicy(backoff_initial=0.1, multiplier=2.0, jitter=0.0)
+        result = run_with_retries(sim, policy, sim.random.stream("r"), flaky)
+        assert result == "ok"
+        assert sim.now() == pytest.approx(0.1 + 0.2 + 0.4)
+
+    def test_exhaustion_raises_delivery_timeout(self, sim):
+        def always_down():
+            raise BrokerUnavailableError("t", 0, 0)
+
+        policy = RetryPolicy(max_retries=3, jitter=0.0)
+        with pytest.raises(DeliveryTimeoutError) as excinfo:
+            run_with_retries(sim, policy, sim.random.stream("r"), always_down)
+        assert excinfo.value.attempts == 4
+        assert isinstance(excinfo.value.__cause__, BrokerUnavailableError)
+
+    def test_delivery_timeout_bounds_total_delay(self, sim):
+        def always_down():
+            raise BrokerUnavailableError("t", 0, 0)
+
+        policy = RetryPolicy(
+            max_retries=1000, backoff_initial=0.5, backoff_max=0.5,
+            jitter=0.0, delivery_timeout=2.0,
+        )
+        with pytest.raises(DeliveryTimeoutError):
+            run_with_retries(sim, policy, sim.random.stream("r"), always_down)
+        assert sim.now() <= 2.0
+
+    def test_non_retriable_errors_propagate(self, sim):
+        def boom():
+            raise ValueError("not transient")
+
+        with pytest.raises(ValueError):
+            run_with_retries(sim, RetryPolicy(), sim.random.stream("r"), boom)
+
+
+class TestIdempotentProduce:
+    def test_producer_ids_are_unique(self, cluster):
+        a = Producer(cluster)
+        b = Producer(cluster)
+        assert a.producer_id != b.producer_id
+
+    def test_duplicate_batch_is_deduplicated(self, cluster):
+        log = cluster.topic("t").partition(0)
+        assert log.register_producer_batch(producer_id=0, base_sequence=0, count=5)
+        assert not log.register_producer_batch(producer_id=0, base_sequence=0, count=5)
+        assert log.register_producer_batch(producer_id=0, base_sequence=5, count=5)
+
+    def test_sequences_are_per_producer(self, cluster):
+        log = cluster.topic("t").partition(0)
+        assert log.register_producer_batch(producer_id=0, base_sequence=0, count=5)
+        assert log.register_producer_batch(producer_id=1, base_sequence=0, count=5)
+
+    def test_lost_ack_without_idempotence_duplicates(self, cluster):
+        cluster.attach_chaos(
+            FaultPlan(seed=11, timeout_rate=0.4), idempotence=False
+        )
+        with Producer(cluster, batch_size=10, idempotent=False) as producer:
+            for i in range(100):
+                producer.send("t", i)
+        total = cluster.topic("t").total_records()
+        assert total > 100  # replays landed twice: at-least-once
+        assert producer.duplicates_avoided == 0
+
+    def test_lost_ack_with_idempotence_is_exactly_once(self, cluster):
+        cluster.attach_chaos(FaultPlan(seed=11, timeout_rate=0.4))
+        with Producer(cluster, batch_size=10, idempotent=True) as producer:
+            for i in range(100):
+                producer.send("t", i)
+        values = [r.value for r in cluster.topic("t").partition(0).iter_all()]
+        assert values == list(range(100))
+        assert producer.duplicates_avoided > 0
+
+    def test_retries_param_builds_policy(self, cluster):
+        producer = Producer(cluster, retries=3, delivery_timeout=9.0)
+        assert producer.retry_policy is not None
+        assert producer.retry_policy.max_retries == 3
+        assert producer.retry_policy.delivery_timeout == 9.0
+
+    def test_cluster_defaults_apply_after_attach_chaos(self, cluster):
+        cluster.attach_chaos(FaultPlan(seed=1))
+        producer = Producer(cluster)
+        assert producer.retry_policy is not None
+        assert producer.idempotent
+
+    def test_explicit_settings_override_cluster_defaults(self, cluster):
+        cluster.attach_chaos(FaultPlan(seed=1))
+        policy = RetryPolicy(max_retries=1)
+        producer = Producer(cluster, retry_policy=policy, idempotent=False)
+        assert producer.retry_policy is policy
+        assert not producer.idempotent

@@ -159,6 +159,54 @@ class TestExactlyOnce:
         assert outputs == [v for v in records if v % 7 == 0]
 
 
+class TestMultipleFailures:
+    def test_at_fractions_validation(self):
+        with pytest.raises(ValueError):
+            FailureInjector(at_fractions=(0.2, 1.5))
+
+    def test_fractions_union_is_sorted_and_deduped(self):
+        injector = FailureInjector(at_fraction=0.5, at_fractions=(0.9, 0.2, 0.5))
+        assert injector.fractions() == (0.2, 0.5, 0.9)
+
+    def test_multiple_failures_still_exactly_once(self):
+        records = list(range(1000))
+        clean, clean_out = run_pump(records)
+        failed, failed_out = run_pump(
+            records,
+            failure=FailureInjector(
+                at_fractions=(0.2, 0.5, 0.8), recovery_delay=0.25
+            ),
+        )
+        assert failed.failures == 3
+        assert failed_out == clean_out
+        assert failed.result.duration > clean.result.duration
+
+    def test_multiple_failures_at_least_once_duplicates(self):
+        records = list(range(1000))
+        report, outputs = run_pump(
+            records,
+            exactly_once=False,
+            failure=FailureInjector(at_fractions=(0.35, 0.65), recovery_delay=0.1),
+            interval=100,
+        )
+        assert report.failures == 2
+        assert report.duplicates_possible
+        assert len(outputs) > len(records)
+        assert set(outputs) == set(records)
+
+    def test_single_fraction_behaviour_unchanged(self):
+        records = list(range(500))
+        via_scalar, out_scalar = run_pump(
+            records, failure=FailureInjector(at_fraction=0.4, recovery_delay=0.2)
+        )
+        via_tuple, out_tuple = run_pump(
+            records, failure=FailureInjector(at_fractions=(0.4,), recovery_delay=0.2)
+        )
+        assert out_scalar == out_tuple
+        assert via_scalar.result.duration == pytest.approx(via_tuple.result.duration)
+        assert via_scalar.failures == via_tuple.failures == 1
+
+
 class TestAtLeastOnce:
     def test_failure_produces_duplicates(self):
         records = list(range(1000))

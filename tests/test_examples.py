@@ -55,6 +55,13 @@ class TestExamples:
         assert "outputs identical to the failure-free run? True" in out
         assert "duplicates" in out
 
+    def test_chaos_pipeline(self, capsys):
+        run_example("chaos_pipeline.py")
+        out = capsys.readouterr().out
+        assert "leadership moved" in out
+        assert "(nothing lost)" in out
+        assert "output count identical to clean run? True" in out
+
     def test_nexmark_auctions(self, capsys):
         run_example("nexmark_auctions.py")
         out = capsys.readouterr().out
