@@ -1,0 +1,256 @@
+"""Host-performance benchmarks for the execution fast path.
+
+Unlike everything else in ``benchmarks/`` (which measures *simulated*
+time), this harness measures **host wall-clock**: how many records per
+second the simulator itself pushes through the pump, and how long a
+full-scale (1,000,001-record) Figure-5 campaign takes on the machine
+running it.  The motivation mirrors StreamBench/PDSP-Bench: harness
+overhead must be negligible relative to the system under test — here the
+"harness" is the Python host process, and the "system" is the simulated
+pipeline.
+
+Two kinds of measurement:
+
+* **Pump microbenchmarks** — the same stage pipeline is pumped twice,
+  once through the vectorized batch path (``StreamPump.vectorized=True``,
+  the production default) and once through the per-record reference loop
+  (``vectorized=False``); outputs are asserted identical and the speedup
+  is reported.  The ``identity-op`` scenario is the headline: a
+  pass-through operator measures pure host dispatch overhead, which is
+  exactly what the batch protocol eliminates.
+* **End-to-end** — a native-Flink identity run over the full Figure-5
+  path (ingest -> engine -> output topic -> result calculator), timed
+  phase by phase.  Workload generation is reported separately: it is not
+  part of the paper's pipeline (the AOL file pre-exists on disk).
+
+Results are written to ``BENCH_pump.json`` at the repository root; each
+scenario records records/sec for both paths and the speedup.  CI's
+perf-smoke job gates on the *speedup* (a machine-independent ratio)
+against ``benchmarks/perf/baseline.json`` — absolute throughput is
+recorded for trend-watching but not gated, because runner hardware
+varies.
+
+Run directly for the full-scale campaign::
+
+    PYTHONPATH=src python benchmarks/perf/pump_bench.py --records 1000001
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import random
+import time
+from typing import Any, Callable
+
+from repro.benchmark.config import BenchmarkConfig
+from repro.benchmark.harness import StreamBenchHarness
+from repro.benchmark.queries import SAMPLE_FRACTION, get_query
+from repro.dataflow.functions import (
+    FilterFunction,
+    IdentityFunction,
+    MapFunction,
+    StreamFunction,
+    compose,
+)
+from repro.engines.common.costs import RunVariance, StageCosts
+from repro.engines.common.pump import StreamPump
+from repro.engines.common.stages import PhysicalStage, StageKind
+from repro.simtime import Simulator
+from repro.workloads.aol import GREP_NEEDLE, generate_records
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+BENCH_PATH = REPO_ROOT / "BENCH_pump.json"
+BASELINE_PATH = pathlib.Path(__file__).resolve().parent / "baseline.json"
+
+#: Headline scenario for the CI gate (pure dispatch overhead).
+HEADLINE_SCENARIO = "identity-op"
+
+
+def _project(line: str) -> str:
+    return line.split("\t")[0]
+
+
+def _grep(line: str) -> bool:
+    return GREP_NEEDLE in line
+
+
+def _scenario_functions() -> dict[str, Callable[[], StreamFunction]]:
+    """Operator factories, one per microbenchmark scenario.
+
+    Fresh functions per run so stateful/RNG scenarios start identically;
+    the sample filter gets its own fixed-seed RNG for the same reason.
+    """
+    return {
+        # Pass-through operator: measures pure per-record dispatch cost.
+        "identity-op": lambda: IdentityFunction(),
+        "grep": lambda: FilterFunction(_grep, name="Grep", cost_weight=0.4),
+        "projection": lambda: MapFunction(_project, name="Projection", cost_weight=4.6),
+        "sample": lambda: FilterFunction(
+            _sample_predicate(), name="Sample", cost_weight=0.3
+        ),
+        # A fused three-part chain, as Flink operator chaining produces.
+        "chained": lambda: compose(
+            [
+                FilterFunction(_sample_predicate(), name="Sample"),
+                MapFunction(_project, name="Projection"),
+                IdentityFunction(),
+            ]
+        ),
+    }
+
+
+def _sample_predicate() -> Callable[[Any], bool]:
+    rng = random.Random(42)
+    return lambda _line: rng.random() < SAMPLE_FRACTION
+
+
+def _build_stages(function: StreamFunction) -> list[PhysicalStage]:
+    """A minimal source -> operator -> sink pipeline around ``function``."""
+    return [
+        PhysicalStage("source", StageKind.SOURCE, StageCosts(per_record_in=1e-7)),
+        PhysicalStage(
+            "op", StageKind.OPERATOR, StageCosts(per_weight=1e-7), function=function
+        ),
+        PhysicalStage("sink", StageKind.SINK, StageCosts(per_record_out=1e-7)),
+    ]
+
+
+def _time_pump(
+    make_function: Callable[[], StreamFunction],
+    records: list[str],
+    vectorized: bool,
+    repeats: int,
+) -> tuple[float, int, int]:
+    """Best-of-``repeats`` pump wall-clock; returns (seconds, in, out)."""
+    best = float("inf")
+    records_out = 0
+    for _ in range(repeats):
+        function = make_function()
+        function.open()
+        pump = StreamPump(
+            simulator=Simulator(seed=7),
+            stages=_build_stages(function),
+            variance=RunVariance(),
+            rng=random.Random(7),
+        )
+        pump.vectorized = vectorized
+        started = time.perf_counter()
+        result = pump.run(records)
+        best = min(best, time.perf_counter() - started)
+        records_out = result.records_out
+        function.close()
+    return best, len(records), records_out
+
+
+def run_microbenchmark(num_records: int = 200_000, repeats: int = 3) -> dict[str, Any]:
+    """Pump both execution paths over every scenario; returns the results.
+
+    Each scenario's output record count must agree between the paths (the
+    equivalence *test* suite proves bit-identity; this is the cheap sanity
+    check that the two timed code paths did the same work).
+    """
+    records = generate_records(num_records)
+    scenarios: dict[str, Any] = {}
+    for name, make_function in _scenario_functions().items():
+        tuple_seconds, n_in, out_tuple = _time_pump(
+            make_function, records, vectorized=False, repeats=repeats
+        )
+        batch_seconds, _, out_batch = _time_pump(
+            make_function, records, vectorized=True, repeats=repeats
+        )
+        if out_tuple != out_batch:
+            raise AssertionError(
+                f"{name}: batch path emitted {out_batch} records, "
+                f"reference path {out_tuple}"
+            )
+        scenarios[name] = {
+            "records": n_in,
+            "records_out": out_batch,
+            "tuple_records_per_sec": round(n_in / tuple_seconds),
+            "batch_records_per_sec": round(n_in / batch_seconds),
+            "speedup": round(tuple_seconds / batch_seconds, 2),
+        }
+    return {
+        "num_records": num_records,
+        "repeats": repeats,
+        "headline": HEADLINE_SCENARIO,
+        "headline_speedup": scenarios[HEADLINE_SCENARIO]["speedup"],
+        "scenarios": scenarios,
+    }
+
+
+def run_end_to_end(num_records: int = 1_000_001) -> dict[str, Any]:
+    """Time one native-Flink identity campaign phase by phase (host clock)."""
+    phases: dict[str, float] = {}
+    started = time.perf_counter()
+    config = BenchmarkConfig(records=num_records, runs=1)
+    harness = StreamBenchHarness(config)
+    _ = harness.workload.records
+    phases["workload_generation"] = time.perf_counter() - started
+
+    mark = time.perf_counter()
+    harness.ingest()
+    phases["ingest"] = time.perf_counter() - mark
+
+    mark = time.perf_counter()
+    job, measurement = harness._execute_once(
+        "flink",
+        get_query("identity"),
+        "native",
+        1,
+        harness.simulator.random.stream("perf/run"),
+        harness.simulator.random.stream("perf/data"),
+    )
+    phases["execute_and_measure"] = time.perf_counter() - mark
+
+    pipeline_seconds = phases["ingest"] + phases["execute_and_measure"]
+    return {
+        "system": "flink",
+        "query": "identity",
+        "records": num_records,
+        "records_out": job.records_out,
+        "phases_seconds": {k: round(v, 3) for k, v in phases.items()},
+        "pipeline_seconds": round(pipeline_seconds, 3),
+        "pipeline_records_per_sec": round(num_records / pipeline_seconds),
+        "simulated_execution_time": round(measurement.execution_time, 3),
+    }
+
+
+def write_bench(payload: dict[str, Any], path: pathlib.Path = BENCH_PATH) -> None:
+    """Persist one benchmark payload as the repo's ``BENCH_pump.json``."""
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--records",
+        type=int,
+        default=1_000_001,
+        help="end-to-end scale (default: the paper's 1,000,001)",
+    )
+    parser.add_argument(
+        "--micro-records",
+        type=int,
+        default=200_000,
+        help="microbenchmark input size (default 200,000)",
+    )
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--skip-end-to-end", action="store_true")
+    args = parser.parse_args()
+
+    payload: dict[str, Any] = {
+        "benchmark": "pump",
+        "microbenchmark": run_microbenchmark(args.micro_records, args.repeats),
+    }
+    if not args.skip_end_to_end:
+        payload["end_to_end"] = run_end_to_end(args.records)
+    write_bench(payload)
+    print(json.dumps(payload, indent=2, sort_keys=True))
+    print(f"\nwritten to {BENCH_PATH}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+"""Perf-smoke gate: the batch fast path must stay fast.
+
+Runs the pump microbenchmark at a reduced scale (``REPRO_PERF_RECORDS``,
+default 100,000) and gates on **speedup ratios** — batch path vs the
+per-record reference loop on the *same* machine — which are comparable
+across hardware, unlike absolute records/sec.  Two checks:
+
+* the headline ``identity-op`` scenario (pure dispatch overhead, the cost
+  the batch protocol exists to eliminate) must keep its ≥5× speedup;
+* no scenario may regress more than 30% below the checked-in baseline
+  ratios in ``baseline.json``.
+
+The measured numbers are written to ``BENCH_pump.json`` at the repo root;
+CI uploads it as an artifact for trend-watching.
+
+Not part of the tier-1 suite (host-timing asserts don't belong in a
+functional gate); CI runs it as a dedicated perf-smoke job::
+
+    PYTHONPATH=src python -m pytest -q benchmarks/perf/test_pump_perf.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+
+import pytest
+
+from pump_bench import (
+    BASELINE_PATH,
+    HEADLINE_SCENARIO,
+    run_microbenchmark,
+    write_bench,
+)
+
+RECORDS = int(os.environ.get("REPRO_PERF_RECORDS", "100000"))
+#: The ISSUE's acceptance floor for the headline scenario.
+MIN_HEADLINE_SPEEDUP = float(os.environ.get("REPRO_PERF_MIN_HEADLINE", "5.0"))
+#: ">30% regression vs baseline fails" — i.e. measured >= 0.7 * baseline.
+REGRESSION_FLOOR = 0.7
+
+
+@pytest.fixture(scope="module")
+def micro() -> dict:
+    result = run_microbenchmark(num_records=RECORDS, repeats=3)
+    write_bench({"benchmark": "pump", "microbenchmark": result})
+    return result
+
+
+def test_headline_speedup(micro: dict) -> None:
+    """The dispatch-bound scenario keeps the promised ≥5× speedup."""
+    speedup = micro["scenarios"][HEADLINE_SCENARIO]["speedup"]
+    assert speedup >= MIN_HEADLINE_SPEEDUP, (
+        f"{HEADLINE_SCENARIO}: batch path only {speedup:.2f}x faster than the "
+        f"per-record reference loop (floor: {MIN_HEADLINE_SPEEDUP}x)"
+    )
+
+
+def test_no_regression_vs_baseline(micro: dict) -> None:
+    """Every scenario stays within 30% of its checked-in baseline ratio."""
+    baseline = json.loads(pathlib.Path(BASELINE_PATH).read_text())["speedups"]
+    failures = []
+    for name, expected in baseline.items():
+        measured = micro["scenarios"][name]["speedup"]
+        floor = REGRESSION_FLOOR * expected
+        if measured < floor:
+            failures.append(
+                f"{name}: {measured:.2f}x < {floor:.2f}x "
+                f"(baseline {expected:.2f}x, -30% allowed)"
+            )
+    assert not failures, "speedup regressions:\n" + "\n".join(failures)
+
+
+def test_batch_path_is_the_default() -> None:
+    """Production pumps must use the fast path out of the box."""
+    from repro.engines.common.pump import StreamPump
+
+    assert StreamPump.vectorized is True

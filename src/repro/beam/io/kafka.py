@@ -21,7 +21,7 @@ from repro.broker import BrokerCluster
 from repro.engines.common.io import BoundedKafkaReader
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class KafkaRecord:
     """A record as produced by the Read transform (with metadata)."""
 
@@ -61,14 +61,7 @@ class KafkaRead(PTransform):
         """Materialise the topic as KafkaRecords (used by runners)."""
         reader = BoundedKafkaReader(self.cluster, self.topic)
         return [
-            KafkaRecord(
-                topic=r.topic,
-                partition=r.partition,
-                offset=r.offset,
-                timestamp=r.timestamp,
-                key=r.key,
-                value=r.value,
-            )
+            KafkaRecord(r.topic, r.partition, r.offset, r.timestamp, r.key, r.value)
             for r in reader.read_records()
         ]
 

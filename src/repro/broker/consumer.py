@@ -212,8 +212,13 @@ class Consumer:
             records = self._fetch(tp, budget)
             if records:
                 self._positions[tp] = records[-1].offset + 1
-                fetched.extend(records)
                 budget -= len(records)
+                if fetched:
+                    fetched.extend(records)
+                else:
+                    # Adopt the first partition's (freshly built) batch —
+                    # the common single-partition poll then copies nothing.
+                    fetched = records
         costs = self.cluster.costs
         self.cluster.simulator.charge(
             costs.request_overhead + costs.fetch_per_record * len(fetched)

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Any, Callable
+from typing import Any, Callable, Sequence
 
 from repro.broker.broker import BrokerCluster
 from repro.broker.errors import ProducerClosedError, TimestampTypeError
@@ -132,14 +132,19 @@ class Producer:
         if len(batch) >= self.batch_size:
             self._flush_batch(batch_key)
 
-    def send_values(self, topic: str, values: list[Any], partition: int = 0) -> None:
+    def send_values(
+        self, topic: str, values: Sequence[Any], partition: int = 0
+    ) -> None:
         """Bulk fast path: send keyless values to one partition and flush.
 
         Equivalent to calling :meth:`send` per value followed by
         :meth:`flush`, including the charged costs, but without building
-        per-record envelopes.  Only valid for ``LogAppendTime`` topics —
-        a ``CreateTime`` topic raises :class:`TimestampTypeError` (use
-        :meth:`send`, which preserves producer timestamps, instead).
+        per-record envelopes or copying ``values`` (the log copies them
+        into its own column storage on append; the caller's sequence is
+        only read, never retained — so full-scale ingestion holds one copy
+        of the workload, not two).  Only valid for ``LogAppendTime``
+        topics — a ``CreateTime`` topic raises :class:`TimestampTypeError`
+        (use :meth:`send`, which preserves producer timestamps, instead).
         """
         if self._closed:
             raise ProducerClosedError("producer is closed")
@@ -152,9 +157,8 @@ class Producer:
                 required=TimestampType.LOG_APPEND_TIME.value,
                 actual=log.timestamp_type.value,
             )
-        frozen = list(values)
         self._append_guarded(
-            topic, partition, len(frozen), lambda log: log.append_batch(frozen)
+            topic, partition, len(values), lambda log: log.append_batch(values)
         )
 
     def flush(self) -> None:

@@ -20,7 +20,7 @@ class TimestampType(enum.Enum):
     LOG_APPEND_TIME = "LogAppendTime"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ProducerRecord:
     """A record as handed to a producer: destination plus key/value.
 
@@ -36,9 +36,13 @@ class ProducerRecord:
     timestamp: float | None = None
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ConsumerRecord:
-    """A record as returned from a fetch: position plus key/value/timestamp."""
+    """A record as returned from a fetch: position plus key/value/timestamp.
+
+    Benchmark runs materialise millions of these; ``slots=True`` keeps each
+    instance to a fixed-size struct (no per-record ``__dict__``).
+    """
 
     topic: str
     partition: int

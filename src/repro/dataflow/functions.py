@@ -6,6 +6,19 @@ filter — the three shapes every StreamBench query in the paper is built
 from — are provided as concrete classes, along with :func:`compose` which
 fuses a chain of functions into one (the mechanism behind Flink-style
 operator chaining).
+
+**Batch protocol.**  :meth:`StreamFunction.process_batch` transforms a whole
+chunk of records in one call; the pump's hot loop goes through it so that
+host-side dispatch overhead is paid per chunk, not per record.  The three
+built-in shapes override it with bulk list operations; user subclasses that
+only implement :meth:`StreamFunction.process` inherit a fallback that loops
+over ``process`` and is output-identical to per-record execution.  The
+contract every override must keep: each function sees the same input values
+in the same order as per-record execution would deliver, so stateful and
+RNG-drawing functions behave identically.  (Only the interleaving of calls
+*across* the parts of one fused chain changes — from value-major to
+part-major — which is observable only if two parts of the same chain share
+one RNG; no function in this repository does.)
 """
 
 from __future__ import annotations
@@ -36,6 +49,22 @@ class StreamFunction:
     def process(self, value: Any) -> Iterable[Any]:
         """Return the outputs for one input record."""
         raise NotImplementedError
+
+    def process_batch(self, values: Sequence[Any]) -> list[Any]:
+        """Return the concatenated outputs for a chunk of records.
+
+        The fallback loops over :meth:`process` in input order, so any
+        subclass is batch-capable for free; the built-in map/flat-map/filter
+        shapes override it with bulk list operations.  Overrides must return
+        a fresh list and must call the underlying per-record logic in input
+        order (see the module docstring for the exact contract).
+        """
+        out: list[Any] = []
+        extend = out.extend
+        process = self.process
+        for value in values:
+            extend(process(value))
+        return out
 
     def open(self) -> None:
         """Lifecycle hook: called once before the first record."""
@@ -77,6 +106,9 @@ class IdentityFunction(StreamFunction):
     def process(self, value: Any) -> Iterable[Any]:
         return (value,)
 
+    def process_batch(self, values: Sequence[Any]) -> list[Any]:
+        return list(values)
+
 
 class MapFunction(StreamFunction):
     """Apply ``fn`` to each record, emitting exactly one output."""
@@ -98,6 +130,10 @@ class MapFunction(StreamFunction):
     def process(self, value: Any) -> Iterable[Any]:
         return (self.fn(value),)
 
+    def process_batch(self, values: Sequence[Any]) -> list[Any]:
+        fn = self.fn
+        return [fn(value) for value in values]
+
 
 class FlatMapFunction(StreamFunction):
     """Apply ``fn`` to each record, emitting zero or more outputs."""
@@ -118,6 +154,14 @@ class FlatMapFunction(StreamFunction):
 
     def process(self, value: Any) -> Iterable[Any]:
         return self.fn(value)
+
+    def process_batch(self, values: Sequence[Any]) -> list[Any]:
+        out: list[Any] = []
+        extend = out.extend
+        fn = self.fn
+        for value in values:
+            extend(fn(value))
+        return out
 
 
 class FilterFunction(StreamFunction):
@@ -141,6 +185,10 @@ class FilterFunction(StreamFunction):
         if self.predicate(value):
             return (value,)
         return ()
+
+    def process_batch(self, values: Sequence[Any]) -> list[Any]:
+        predicate = self.predicate
+        return [value for value in values if predicate(value)]
 
 
 class ComposedFunction(StreamFunction):
@@ -172,6 +220,20 @@ class ComposedFunction(StreamFunction):
             current = next_values
         return current
 
+    def process_batch(self, values: Sequence[Any]) -> list[Any]:
+        """Run the chunk through each part's batch path in turn.
+
+        Each part still sees exactly the input stream it would see record by
+        record (parts preserve output order), so results are identical; the
+        chunk just moves through the chain part-major instead of value-major.
+        """
+        current = list(values)
+        for part in self.parts:
+            if not current:
+                break
+            current = part.process_batch(current)
+        return current
+
     def open(self) -> None:
         for part in self.parts:
             part.open()
@@ -186,10 +248,9 @@ class ComposedFunction(StreamFunction):
         for index, part in enumerate(self.parts):
             current = list(part.finish())
             for later in self.parts[index + 1 :]:
-                next_values: list[Any] = []
-                for value in current:
-                    next_values.extend(later.process(value))
-                current = next_values
+                if not current:
+                    break
+                current = later.process_batch(current)
             drained.extend(current)
         return drained
 

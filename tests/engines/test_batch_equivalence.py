@@ -1,0 +1,193 @@
+"""The batch fast path is observationally identical to per-record execution.
+
+The vectorized execution path (``StreamPump.vectorized = True``, the
+production default) must be a pure host-side optimisation: for every
+system × query × API combination the simulated world — run durations,
+broker-timestamp measurements, output topic contents, cost totals, operator
+metrics — has to be **bit-identical** to the per-record reference loop.
+This suite runs the full benchmark matrix both ways under one fixed seed
+and compares everything.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.benchmark.config import BenchmarkConfig
+from repro.benchmark.harness import StreamBenchHarness
+from repro.benchmark.queries import get_query
+from repro.dataflow.functions import (
+    FilterFunction,
+    FlatMapFunction,
+    IdentityFunction,
+    MapFunction,
+    StreamFunction,
+    compose,
+)
+from repro.engines.common.costs import RunVariance, StageCosts
+from repro.engines.common.pump import StreamPump
+from repro.engines.common.stages import PhysicalStage, StageKind
+from repro.simtime import Simulator
+
+SYSTEMS = ("flink", "spark", "apex")
+QUERIES = ("identity", "sample", "projection", "grep")
+KINDS = ("native", "beam")
+PARALLELISMS = (1, 2)
+
+
+def _campaign(vectorized: bool) -> tuple[list, dict, float]:
+    """Run the full matrix one way; return (runs, outputs, final sim time).
+
+    ``outputs`` maps each (system, query, kind, parallelism) setup to the
+    output-topic values of its last executed run, read straight from the
+    partition log's column storage (no consumer, so no extra clock charges
+    that could mask a divergence).
+    """
+    config = BenchmarkConfig(
+        records=2_000,
+        runs=2,
+        parallelisms=PARALLELISMS,
+        systems=SYSTEMS,
+        queries=QUERIES,
+        kinds=KINDS,
+    )
+    harness = StreamBenchHarness(config)
+    outputs: dict[tuple, list] = {}
+    original = harness._execute_once
+
+    def capturing_execute(system, spec, kind, parallelism, rng, data_rng):
+        job, measurement = original(system, spec, kind, parallelism, rng, data_rng)
+        log = harness.broker.topic(config.output_topic).partition(0)
+        outputs[(system, spec.name, kind, parallelism)] = log.read_values(0)
+        return job, measurement
+
+    harness._execute_once = capturing_execute
+    report = harness.run_matrix()
+    return report.runs, outputs, harness.simulator.now()
+
+
+@pytest.fixture(scope="module")
+def campaigns():
+    vectorized = _campaign(vectorized=True)
+    mp = pytest.MonkeyPatch()
+    try:
+        mp.setattr(StreamPump, "vectorized", False)
+        reference = _campaign(vectorized=False)
+    finally:
+        mp.undo()
+    return vectorized, reference
+
+
+class TestFullMatrixEquivalence:
+    def test_run_records_bit_identical(self, campaigns):
+        """Durations, measurements and counts agree for all 96 runs."""
+        (vec_runs, _, _), (ref_runs, _, _) = campaigns
+        assert len(vec_runs) == len(SYSTEMS) * len(QUERIES) * len(KINDS) * len(
+            PARALLELISMS
+        ) * 2
+        assert vec_runs == ref_runs  # frozen dataclasses: exact field equality
+
+    def test_output_topics_bit_identical(self, campaigns):
+        """Every setup's output records match value for value, in order."""
+        (_, vec_out, _), (_, ref_out, _) = campaigns
+        assert vec_out.keys() == ref_out.keys()
+        for setup, values in vec_out.items():
+            assert values == ref_out[setup], f"outputs diverge for {setup}"
+
+    def test_simulated_clock_bit_identical(self, campaigns):
+        """Total simulated time of the whole campaign is exactly equal.
+
+        This subsumes every cost charge along the way: a single extra or
+        reordered charge anywhere in either path would skew the final clock.
+        """
+        (_, _, vec_now), (_, _, ref_now) = campaigns
+        assert vec_now == ref_now
+
+
+class _StatefulDedup(StreamFunction):
+    """A user subclass with state and no process_batch override."""
+
+    name = "Dedup"
+
+    def __init__(self) -> None:
+        self.seen: set = set()
+
+    def process(self, value):
+        if value in self.seen:
+            return ()
+        self.seen.add(value)
+        return (value,)
+
+
+class _RngSampler(StreamFunction):
+    """A user subclass drawing per-record randomness (order-sensitive)."""
+
+    name = "RngSampler"
+    rng_draws_per_record = 1.0
+
+    def __init__(self, rng: random.Random) -> None:
+        self.rng = rng
+
+    def process(self, value):
+        return (value,) if self.rng.random() < 0.5 else ()
+
+
+def _pump_once(function: StreamFunction, records: list, vectorized: bool):
+    pump = StreamPump(
+        simulator=Simulator(seed=11),
+        stages=[
+            PhysicalStage("source", StageKind.SOURCE, StageCosts(per_record_in=1e-6)),
+            PhysicalStage(
+                "op",
+                StageKind.OPERATOR,
+                StageCosts(per_weight=1e-6, per_rng_draw=1e-6),
+                function=function,
+            ),
+            PhysicalStage("sink", StageKind.SINK, StageCosts(per_record_out=1e-6)),
+        ],
+        variance=RunVariance(),
+        rng=random.Random(11),
+        chunk_size=7,  # deliberately awkward: chunks straddle everything
+    )
+    pump.vectorized = vectorized
+    outputs: list = []
+    pump.emit = outputs.extend
+    result = pump.run(records)
+    return result, outputs
+
+
+@pytest.mark.parametrize(
+    "make_function",
+    [
+        pytest.param(lambda: IdentityFunction(), id="identity"),
+        pytest.param(lambda: MapFunction(str.upper), id="map"),
+        pytest.param(lambda: FilterFunction(lambda v: "3" in v), id="filter"),
+        pytest.param(
+            lambda: FlatMapFunction(lambda v: v.split("-")), id="flatmap"
+        ),
+        pytest.param(
+            lambda: compose(
+                [
+                    FlatMapFunction(lambda v: v.split("-")),
+                    FilterFunction(lambda v: v != "x"),
+                    MapFunction(str.upper),
+                ]
+            ),
+            id="composed",
+        ),
+        pytest.param(lambda: _StatefulDedup(), id="stateful-fallback"),
+        pytest.param(lambda: _RngSampler(random.Random(5)), id="rng-fallback"),
+    ],
+)
+def test_function_shapes_equivalent(make_function):
+    """Each function shape produces identical outputs, costs and metrics."""
+    records = [f"r{i}-x-{i % 13}" for i in range(100)]
+    vec_result, vec_out = _pump_once(make_function(), records, vectorized=True)
+    ref_result, ref_out = _pump_once(make_function(), records, vectorized=False)
+    assert vec_out == ref_out
+    assert vec_result.records_out == ref_result.records_out
+    assert vec_result.base_duration == ref_result.base_duration
+    assert vec_result.duration == ref_result.duration
+    assert vec_result.metrics == ref_result.metrics
