@@ -22,6 +22,11 @@ Two kinds of measurement:
   path (ingest -> engine -> output topic -> result calculator), timed
   phase by phase.  Workload generation is reported separately: it is not
   part of the paper's pipeline (the AOL file pre-exists on disk).
+* **Matrix scale** — the full 48-cell Figure-5 grid executed serially and
+  through the parallel :class:`~repro.benchmark.parallel.MatrixRunner`
+  (per-field report equality asserted), plus the workload cache's
+  generate/store/load timings.  These record how long a campaign takes to
+  *start and fan out* on the host, complementing the per-pump numbers.
 
 Results are written to ``BENCH_pump.json`` at the repository root; each
 scenario records records/sec for both paths and the speedup.  CI's
@@ -39,8 +44,11 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import pathlib
 import random
+import shutil
+import tempfile
 import time
 from typing import Any, Callable
 
@@ -218,6 +226,89 @@ def run_end_to_end(num_records: int = 1_000_001) -> dict[str, Any]:
     }
 
 
+def run_workload_cache_bench(num_records: int = 200_000, repeats: int = 3) -> dict[str, Any]:
+    """Time the three workload paths: generate, store to disk, warm load.
+
+    The on-disk cache exists because generation dominates campaign start-up
+    (~6 s at full scale); a warm load is a single read + splitlines.  The
+    reported ``load_speedup`` (generate / load) is machine-independent
+    enough to gate on.  Cache files live in a throwaway directory under the
+    repo's ``.cache/`` and are removed afterwards.
+    """
+    from repro.workloads.aol import iter_record_chunks
+    from repro.workloads.cache import WorkloadCache
+
+    cache_root = REPO_ROOT / ".cache"
+    cache_root.mkdir(exist_ok=True)
+    tmp = pathlib.Path(tempfile.mkdtemp(prefix="bench-workloads-", dir=cache_root))
+    try:
+        cache = WorkloadCache(tmp, min_records=0)
+        started = time.perf_counter()
+        reference = generate_records(num_records)
+        generate_seconds = time.perf_counter() - started
+
+        mark = time.perf_counter()
+        cache.store(2006, num_records, iter_record_chunks(num_records))
+        store_seconds = time.perf_counter() - mark
+
+        load_seconds = float("inf")
+        for _ in range(repeats):
+            mark = time.perf_counter()
+            loaded = cache.load(2006, num_records)
+            load_seconds = min(load_seconds, time.perf_counter() - mark)
+        if loaded != reference:
+            raise AssertionError("cache round-trip diverged from generation")
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+    return {
+        "records": num_records,
+        "generate_seconds": round(generate_seconds, 3),
+        "store_seconds": round(store_seconds, 3),
+        "load_seconds": round(load_seconds, 4),
+        "load_speedup": round(generate_seconds / load_seconds, 2),
+    }
+
+
+def run_matrix_scale(
+    num_records: int = 20_000, runs: int = 2, workers: int | None = None
+) -> dict[str, Any]:
+    """Full Figure-5 grid, serial vs parallel, timed on the host clock.
+
+    Both paths run the same per-cell isolated worlds, so the reports are
+    asserted equal per field before any timing is reported — a speedup on
+    a divergent result would be meaningless.  ``cpu_count`` is recorded so
+    a reader can judge the speedup in context (on a 1-core container the
+    parallel path is expected to *lose* by the process fan-out overhead).
+    """
+    from repro.benchmark.parallel import MatrixRunner, default_workers
+
+    config = BenchmarkConfig(records=num_records, runs=runs)
+    workers = workers if workers is not None else max(2, default_workers())
+
+    started = time.perf_counter()
+    serial = MatrixRunner(config).run(parallel=False)
+    serial_seconds = time.perf_counter() - started
+
+    mark = time.perf_counter()
+    parallel = MatrixRunner(config).run(parallel=True, workers=workers)
+    parallel_seconds = time.perf_counter() - mark
+
+    if serial != parallel:
+        raise AssertionError("parallel matrix report diverged from serial")
+    cells = len(MatrixRunner(config).cells())
+    return {
+        "records": num_records,
+        "runs_per_cell": runs,
+        "cells": cells,
+        "cpu_count": os.cpu_count(),
+        "workers": workers,
+        "serial_seconds": round(serial_seconds, 3),
+        "parallel_seconds": round(parallel_seconds, 3),
+        "speedup": round(serial_seconds / parallel_seconds, 2),
+        "reports_identical": True,
+    }
+
+
 def write_bench(payload: dict[str, Any], path: pathlib.Path = BENCH_PATH) -> None:
     """Persist one benchmark payload as the repo's ``BENCH_pump.json``."""
     path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
@@ -239,12 +330,38 @@ def main() -> None:
     )
     parser.add_argument("--repeats", type=int, default=3)
     parser.add_argument("--skip-end-to-end", action="store_true")
+    parser.add_argument(
+        "--cache-records",
+        type=int,
+        default=200_000,
+        help="workload-cache benchmark scale (default 200,000)",
+    )
+    parser.add_argument("--skip-cache", action="store_true")
+    parser.add_argument(
+        "--matrix-records",
+        type=int,
+        default=20_000,
+        help="per-cell scale for the matrix serial-vs-parallel timing",
+    )
+    parser.add_argument(
+        "--matrix-workers",
+        type=int,
+        default=None,
+        help="worker processes for the parallel matrix (default: cpu_count-1, min 2)",
+    )
+    parser.add_argument("--skip-matrix", action="store_true")
     args = parser.parse_args()
 
     payload: dict[str, Any] = {
         "benchmark": "pump",
         "microbenchmark": run_microbenchmark(args.micro_records, args.repeats),
     }
+    if not args.skip_cache:
+        payload["workload_cache"] = run_workload_cache_bench(args.cache_records)
+    if not args.skip_matrix:
+        payload["matrix"] = run_matrix_scale(
+            args.matrix_records, workers=args.matrix_workers
+        )
     if not args.skip_end_to_end:
         payload["end_to_end"] = run_end_to_end(args.records)
     write_bench(payload)

@@ -3,15 +3,21 @@
 Runs the pump microbenchmark at a reduced scale (``REPRO_PERF_RECORDS``,
 default 100,000) and gates on **speedup ratios** — batch path vs the
 per-record reference loop on the *same* machine — which are comparable
-across hardware, unlike absolute records/sec.  Two checks:
+across hardware, unlike absolute records/sec.  Checks:
 
 * the headline ``identity-op`` scenario (pure dispatch overhead, the cost
   the batch protocol exists to eliminate) must keep its ≥5× speedup;
 * no scenario may regress more than 30% below the checked-in baseline
-  ratios in ``baseline.json``.
+  ratios in ``baseline.json``;
+* a warm workload-cache load must stay ≥5× faster than regenerating the
+  same workload (the cache's reason to exist);
+* on hosts with ≥4 cores, the parallel matrix runner must keep its
+  wall-clock speedup over the serial grid (skipped on smaller hosts,
+  where process fan-out cannot win); the serial-vs-parallel *identity*
+  check still runs everywhere at a tiny scale.
 
-The measured numbers are written to ``BENCH_pump.json`` at the repo root;
-CI uploads it as an artifact for trend-watching.
+The measured numbers are merged into ``BENCH_pump.json`` at the repo
+root; CI uploads it as an artifact for trend-watching.
 
 Not part of the tier-1 suite (host-timing asserts don't belong in a
 functional gate); CI runs it as a dedicated perf-smoke job::
@@ -30,21 +36,44 @@ import pytest
 from pump_bench import (
     BASELINE_PATH,
     HEADLINE_SCENARIO,
+    run_matrix_scale,
     run_microbenchmark,
+    run_workload_cache_bench,
     write_bench,
 )
 
 RECORDS = int(os.environ.get("REPRO_PERF_RECORDS", "100000"))
+#: Workload-cache benchmark scale (large enough that generation dominates).
+CACHE_RECORDS = int(os.environ.get("REPRO_PERF_CACHE_RECORDS", "200000"))
+#: Per-cell scale for the timed serial-vs-parallel matrix comparison.
+MATRIX_RECORDS = int(os.environ.get("REPRO_PERF_MATRIX_RECORDS", "20000"))
 #: The ISSUE's acceptance floor for the headline scenario.
 MIN_HEADLINE_SPEEDUP = float(os.environ.get("REPRO_PERF_MIN_HEADLINE", "5.0"))
+#: Warm cache load vs regeneration — the ISSUE's acceptance floor.
+MIN_CACHE_LOAD_SPEEDUP = float(os.environ.get("REPRO_PERF_MIN_CACHE_LOAD", "5.0"))
 #: ">30% regression vs baseline fails" — i.e. measured >= 0.7 * baseline.
 REGRESSION_FLOOR = 0.7
 
 
 @pytest.fixture(scope="module")
-def micro() -> dict:
+def payload() -> dict:
+    """Collects every section; written as one BENCH_pump.json at teardown."""
+    data: dict = {"benchmark": "pump"}
+    yield data
+    write_bench(data)
+
+
+@pytest.fixture(scope="module")
+def micro(payload: dict) -> dict:
     result = run_microbenchmark(num_records=RECORDS, repeats=3)
-    write_bench({"benchmark": "pump", "microbenchmark": result})
+    payload["microbenchmark"] = result
+    return result
+
+
+@pytest.fixture(scope="module")
+def cache_bench(payload: dict) -> dict:
+    result = run_workload_cache_bench(num_records=CACHE_RECORDS)
+    payload["workload_cache"] = result
     return result
 
 
@@ -70,6 +99,46 @@ def test_no_regression_vs_baseline(micro: dict) -> None:
                 f"(baseline {expected:.2f}x, -30% allowed)"
             )
     assert not failures, "speedup regressions:\n" + "\n".join(failures)
+
+
+def test_workload_cache_load_speedup(cache_bench: dict) -> None:
+    """A warm cache load beats regenerating the workload by ≥5×."""
+    speedup = cache_bench["load_speedup"]
+    assert speedup >= MIN_CACHE_LOAD_SPEEDUP, (
+        f"warm cache load only {speedup:.2f}x faster than generation "
+        f"(floor: {MIN_CACHE_LOAD_SPEEDUP}x; "
+        f"generate {cache_bench['generate_seconds']}s, "
+        f"load {cache_bench['load_seconds']}s)"
+    )
+
+
+def test_matrix_parallel_identity_smoke(payload: dict) -> None:
+    """Serial and parallel grids agree per field (runs on any host).
+
+    ``run_matrix_scale`` raises if the reports diverge; the tiny scale
+    keeps this a functional smoke, not a timing assertion.
+    """
+    result = run_matrix_scale(num_records=1_000, runs=1, workers=2)
+    assert result["reports_identical"] is True
+    payload.setdefault("matrix_smoke", result)
+
+
+@pytest.mark.skipif(
+    (os.cpu_count() or 1) < 4,
+    reason="parallel fan-out cannot beat serial below 4 cores",
+)
+def test_matrix_parallel_speedup(payload: dict) -> None:
+    """On a multi-core host the parallel grid keeps its wall-clock win."""
+    result = run_matrix_scale(num_records=MATRIX_RECORDS, runs=2)
+    payload["matrix"] = result
+    baseline = json.loads(pathlib.Path(BASELINE_PATH).read_text())
+    expected = baseline["matrix_parallel_speedup"]
+    floor = REGRESSION_FLOOR * expected
+    assert result["speedup"] >= floor, (
+        f"parallel matrix only {result['speedup']:.2f}x vs serial "
+        f"(floor {floor:.2f}x from baseline {expected:.2f}x, "
+        f"{result['cpu_count']} cores, {result['workers']} workers)"
+    )
 
 
 def test_batch_path_is_the_default() -> None:

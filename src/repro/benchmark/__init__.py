@@ -17,6 +17,7 @@ paper's evaluation from the results.
 
 from repro.benchmark.config import BenchmarkConfig
 from repro.benchmark.harness import BenchmarkReport, RunRecord, StreamBenchHarness
+from repro.benchmark.parallel import CellSpec, MatrixRunner, default_workers
 from repro.benchmark.predictor import Prediction, QueryProfile, SlowdownPredictor
 from repro.benchmark.queries import QUERIES, QuerySpec, get_query, stateless_queries
 from repro.benchmark.result_calculator import ExecutionMeasurement, ResultCalculator
@@ -27,6 +28,9 @@ __all__ = [
     "StreamBenchHarness",
     "BenchmarkReport",
     "RunRecord",
+    "CellSpec",
+    "MatrixRunner",
+    "default_workers",
     "QUERIES",
     "QuerySpec",
     "get_query",

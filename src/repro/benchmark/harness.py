@@ -48,9 +48,15 @@ from repro.workloads.aol import AolWorkload, FULL_SCALE_RECORDS
 from repro.yarn import YarnCluster
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class RunRecord:
-    """One benchmark run's outcome."""
+    """One benchmark run's outcome.
+
+    ``slots=True``: campaigns create one per run of every grid cell and
+    parallel execution pickles them across process boundaries, so the
+    per-instance footprint matters (the broker's record types made the
+    same move in PR 2).
+    """
 
     system: str
     query: str
@@ -120,7 +126,7 @@ class BenchmarkReport:
         raise KeyError((system, query, kind, parallelism))
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class FaultRunRecord:
     """One end-to-end fault-tolerance run: Figure 5 under injected faults.
 
@@ -205,6 +211,10 @@ class StreamBenchHarness:
         self.config = config or BenchmarkConfig()
         self.simulator = Simulator(seed=self.config.seed)
         self.broker = BrokerCluster(self.simulator, num_nodes=3)
+        #: The declarative plan and policy are kept so ``run_matrix`` can
+        #: attach the same chaos to each cell's isolated world.
+        self._chaos_plan = chaos
+        self._retry_policy = retry_policy
         self.chaos = (
             self.broker.attach_chaos(chaos, retry_policy=retry_policy)
             if chaos is not None
@@ -257,23 +267,42 @@ class StreamBenchHarness:
     # ------------------------------------------------------------------
     # phase 2 + 3: execution and measurement
     # ------------------------------------------------------------------
-    def run_matrix(self) -> BenchmarkReport:
-        """Run every configured combination; returns the full report."""
-        report = BenchmarkReport(config=self.config, sender_report=self.ingest())
-        for system in self.config.systems:
-            for query_name in self.config.queries:
-                for kind in self.config.kinds:
-                    for parallelism in self.config.parallelisms:
-                        report.runs.extend(
-                            self.run_setup(system, query_name, kind, parallelism)
-                        )
-        return report
+    def run_matrix(
+        self, parallel: bool | None = None, workers: int | None = None
+    ) -> BenchmarkReport:
+        """Run every configured combination; returns the full report.
+
+        Each grid cell executes in its own isolated world (fresh simulator,
+        broker and chaos — see :mod:`repro.benchmark.parallel`), so the
+        matrix can fan out over worker processes: ``parallel=True`` runs
+        cells on a process pool of ``workers`` (default
+        ``os.cpu_count() - 1``) and merges results in grid order,
+        **bit-identical** to the serial ``parallel=False`` path.  Both
+        arguments default to the config's ``parallel`` / ``workers``.
+
+        Per-setup durations are unaffected by the isolation (they derive
+        from per-label RNG streams keyed by the campaign seed alone); only
+        the float tail of run 1's broker-timestamp ``measured`` field
+        differs from composing :meth:`run_setup` calls on one shared
+        world, where every cell starts at a different absolute clock.
+        """
+        from repro.benchmark.parallel import MatrixRunner
+
+        use_parallel = self.config.parallel if parallel is None else parallel
+        runner = MatrixRunner(
+            self.config,
+            chaos=self._chaos_plan,
+            retry_policy=self._retry_policy,
+            workers=workers if workers is not None else self.config.workers,
+        )
+        return runner.run(parallel=use_parallel, sender_report=self.ingest())
 
     def run_setup(
         self, system: str, query_name: str, kind: str, parallelism: int
     ) -> list[RunRecord]:
         """Run the configured number of runs for one setup."""
-        self.ingest()
+        if not self._ingested:
+            self.ingest()
         spec = get_query(query_name)
         label = f"{self.config.noise_label}/{system}/{query_name}/{kind}/p{parallelism}"
         rng = self.simulator.random.stream(f"runs/{label}")

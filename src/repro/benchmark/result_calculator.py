@@ -17,7 +17,7 @@ from repro.broker.records import TimestampType
 from repro.broker.retry import RetryPolicy, run_with_retries
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ExecutionMeasurement:
     """Broker-derived measurement of one query execution."""
 

@@ -14,7 +14,7 @@ from typing import Sequence
 from repro.broker import AdminClient, BrokerCluster, Producer, RetryPolicy
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SenderReport:
     """Summary of one ingestion phase."""
 

@@ -5,11 +5,14 @@ from repro.workloads.aol import (
     AolRecord,
     AolWorkload,
     FULL_SCALE_RECORDS,
+    GENERATOR_VERSION,
     GREP_NEEDLE,
     expected_grep_matches,
     generate_records,
+    iter_record_chunks,
     parse_record,
 )
+from repro.workloads.cache import WorkloadCache, ensure_disk_cached, load_workload
 
 __all__ = [
     "nexmark",
@@ -17,8 +20,13 @@ __all__ = [
     "AolRecord",
     "AolWorkload",
     "FULL_SCALE_RECORDS",
+    "GENERATOR_VERSION",
     "GREP_NEEDLE",
+    "WorkloadCache",
+    "ensure_disk_cached",
     "expected_grep_matches",
     "generate_records",
+    "iter_record_chunks",
+    "load_workload",
     "parse_record",
 ]

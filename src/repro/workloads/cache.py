@@ -1,0 +1,301 @@
+"""Versioned on-disk cache for generated workloads.
+
+Generating the paper's 1,000,001-record AOL workload costs several seconds
+of host time — roughly three times the execution phase it feeds — and a
+parallel campaign would pay it once per worker process on top of once per
+invocation.  This module makes generation a once-per-machine cost:
+
+* an **in-process memo** shares one materialised list between every
+  workload/harness with the same key, so forked worker processes inherit
+  it for free;
+* a **versioned on-disk cache** persists the generated lines in a compact
+  line format, keyed by ``(generator version, seed, record count)`` — the
+  version comes from :data:`repro.workloads.aol.GENERATOR_VERSION`, so a
+  changed generator never serves stale bytes;
+* entries are written **atomically** (temp file + ``os.replace`` in the
+  cache directory) and carry a checksum over the payload: a truncated,
+  corrupted or hand-edited entry is detected on load, removed, and
+  regenerated.
+
+Layout of an entry (one file)::
+
+    repro-aol-cache\tversion=1\tseed=2006\trecords=1000001\tchecksum=<32 hex>
+    <line 1>
+    <line 2>
+    ...
+
+The checksum field has a fixed width so the header can be written first
+and patched in place after the payload streamed through the hash — one
+pass, no double materialisation.
+
+Environment knobs: ``REPRO_WORKLOAD_CACHE=0`` disables the disk tier,
+``REPRO_WORKLOAD_CACHE_DIR`` overrides the directory (default:
+``.cache/workloads`` at the repository root), and
+``REPRO_WORKLOAD_CACHE_MIN`` overrides the record count below which
+workloads stay memory-only (default 100,000 — tiny test workloads never
+touch the disk).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pathlib
+import tempfile
+from typing import Iterable
+
+from repro.workloads import aol
+
+#: Set to ``0`` to disable the on-disk tier entirely.
+CACHE_ENV = "REPRO_WORKLOAD_CACHE"
+#: Overrides the cache directory.
+CACHE_DIR_ENV = "REPRO_WORKLOAD_CACHE_DIR"
+#: Overrides the minimum record count for the disk tier.
+CACHE_MIN_ENV = "REPRO_WORKLOAD_CACHE_MIN"
+
+#: Workloads smaller than this stay in the in-process memo only.
+DEFAULT_MIN_RECORDS = 100_000
+
+_MAGIC = "repro-aol-cache"
+#: blake2b is the fastest hash in the standard library; 16 bytes is ample
+#: for corruption (not adversarial) detection.
+_DIGEST_SIZE = 16
+_CHECKSUM_WIDTH = _DIGEST_SIZE * 2
+
+_DEFAULT_DIR = pathlib.Path(__file__).resolve().parents[3] / ".cache" / "workloads"
+
+
+def disk_cache_enabled() -> bool:
+    """Whether the on-disk tier is enabled (``REPRO_WORKLOAD_CACHE`` != 0)."""
+    return os.environ.get(CACHE_ENV, "1") not in ("0", "")
+
+
+def _header(seed: int, num_records: int, checksum: str) -> bytes:
+    return (
+        f"{_MAGIC}\tversion={aol.GENERATOR_VERSION}\tseed={seed}"
+        f"\trecords={num_records}\tchecksum={checksum}\n"
+    ).encode("ascii")
+
+
+class WorkloadCache:
+    """The on-disk tier: load/store generated workloads atomically.
+
+    ``directory`` defaults to ``$REPRO_WORKLOAD_CACHE_DIR`` or
+    ``.cache/workloads`` under the repository root; ``min_records``
+    (default ``$REPRO_WORKLOAD_CACHE_MIN`` or 100,000) is the smallest
+    workload :func:`load_workload` will persist.
+    """
+
+    def __init__(
+        self,
+        directory: str | os.PathLike[str] | None = None,
+        min_records: int | None = None,
+    ) -> None:
+        if directory is None:
+            directory = os.environ.get(CACHE_DIR_ENV) or _DEFAULT_DIR
+        self.directory = pathlib.Path(directory)
+        if min_records is None:
+            min_records = int(os.environ.get(CACHE_MIN_ENV, DEFAULT_MIN_RECORDS))
+        self.min_records = min_records
+
+    def entry_path(self, seed: int, num_records: int) -> pathlib.Path:
+        """Where the entry for ``(generator version, seed, count)`` lives."""
+        return self.directory / (
+            f"aol-v{aol.GENERATOR_VERSION}-seed{seed}-n{num_records}.txt"
+        )
+
+    # ------------------------------------------------------------------
+    def load(self, seed: int, num_records: int) -> list[str] | None:
+        """Return the cached lines, or ``None`` on miss.
+
+        A present-but-invalid entry (wrong header, bad checksum, wrong
+        line count — i.e. corrupted or produced by a different generator)
+        counts as a miss and is deleted so the caller's regeneration can
+        replace it.
+        """
+        path = self.entry_path(seed, num_records)
+        try:
+            data = path.read_bytes()
+        except OSError:
+            return None
+        lines = self._parse(data, seed, num_records)
+        if lines is None:
+            # Corrupt or stale: drop it; the caller regenerates.
+            try:
+                path.unlink()
+            except OSError:
+                pass
+        return lines
+
+    def _parse(self, data: bytes, seed: int, num_records: int) -> list[str] | None:
+        newline = data.find(b"\n")
+        if newline < 0:
+            return None
+        # One zero-copy view of the payload: hashed and decoded without
+        # duplicating the multi-megabyte slice.
+        payload = memoryview(data)[newline + 1 :]
+        expected_checksum = hashlib.blake2b(
+            payload, digest_size=_DIGEST_SIZE
+        ).hexdigest()
+        if data[: newline + 1] != _header(seed, num_records, expected_checksum):
+            return None
+        if not len(payload):
+            return [] if num_records == 0 else None
+        lines = str(payload, "utf-8").split("\n")
+        if lines[-1] != "":
+            return None
+        lines.pop()
+        if len(lines) != num_records:
+            return None
+        return lines
+
+    # ------------------------------------------------------------------
+    def store(
+        self, seed: int, num_records: int, chunks: Iterable[list[str]]
+    ) -> pathlib.Path:
+        """Persist ``chunks`` (e.g. :func:`repro.workloads.aol.iter_record_chunks`).
+
+        Single streaming pass: the header is written with a placeholder
+        checksum, the payload streams through the hash, and the checksum
+        is patched in place before the atomic ``os.replace`` publishes the
+        entry.  A crash mid-write leaves only a ``*.tmp`` file behind,
+        never a half-valid entry.
+        """
+        path = self.entry_path(seed, num_records)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        digest = hashlib.blake2b(digest_size=_DIGEST_SIZE)
+        placeholder = _header(seed, num_records, "0" * _CHECKSUM_WIDTH)
+        checksum_offset = placeholder.index(b"checksum=") + len(b"checksum=")
+        fd, tmp_name = tempfile.mkstemp(
+            dir=self.directory, prefix=path.name, suffix=".tmp"
+        )
+        written = 0
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(placeholder)
+                for chunk in chunks:
+                    if not chunk:
+                        continue
+                    written += len(chunk)
+                    payload = ("\n".join(chunk) + "\n").encode("utf-8")
+                    digest.update(payload)
+                    handle.write(payload)
+                if written != num_records:
+                    raise ValueError(
+                        f"generator produced {written} records, "
+                        f"expected {num_records}"
+                    )
+                handle.seek(checksum_offset)
+                handle.write(digest.hexdigest().encode("ascii"))
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        return path
+
+
+# ----------------------------------------------------------------------
+# The in-process memo tier plus orchestration.
+# ----------------------------------------------------------------------
+
+#: (generator version, seed, num_records) -> materialised lines.  Bounded:
+#: a workload list is large, so only a handful are kept alive.
+_MEMO: dict[tuple[int, int, int], list[str]] = {}
+_MEMO_MAX_ENTRIES = 4
+
+
+def clear_memo() -> None:
+    """Drop the in-process memo (tests and benchmarks use this)."""
+    _MEMO.clear()
+
+
+def _generate_through_cache(
+    cache: WorkloadCache, seed: int, num_records: int
+) -> list[str]:
+    """Generate, streaming chunks into the disk cache along the way."""
+    lines: list[str] = []
+
+    def collecting_chunks() -> Iterable[list[str]]:
+        for chunk in aol.iter_record_chunks(num_records, seed):
+            lines.extend(chunk)
+            yield chunk
+
+    try:
+        cache.store(seed, num_records, collecting_chunks())
+    except OSError:
+        # An unwritable cache directory must never fail the campaign; the
+        # generated lines are complete either way.
+        if len(lines) != num_records:
+            return aol.generate_records(num_records, seed)
+    return lines
+
+
+def load_workload(
+    num_records: int, seed: int = 2006, cache: WorkloadCache | None = None
+) -> list[str]:
+    """The workload lines for ``(num_records, seed)``, cheapest tier first.
+
+    Memo hit → shared list (zero cost).  Disk hit → one sequential read,
+    checksum-verified.  Miss → generate once, streaming into the disk
+    cache when the workload is large enough (``cache.min_records``) and
+    the disk tier is enabled.  Passing an explicit ``cache`` forces the
+    disk tier regardless of size (tests use this).
+
+    The returned list is shared between callers: treat it as immutable.
+    """
+    key = (aol.GENERATOR_VERSION, seed, num_records)
+    hit = _MEMO.get(key)
+    if hit is not None:
+        return hit
+    use_disk = cache is not None or disk_cache_enabled()
+    effective = cache or WorkloadCache()
+    if cache is None and num_records < effective.min_records:
+        use_disk = False
+    if use_disk:
+        lines = effective.load(seed, num_records)
+        if lines is None:
+            lines = _generate_through_cache(effective, seed, num_records)
+    else:
+        lines = aol.generate_records(num_records, seed)
+    if len(_MEMO) >= _MEMO_MAX_ENTRIES:
+        _MEMO.pop(next(iter(_MEMO)))
+    _MEMO[key] = lines
+    return lines
+
+
+def ensure_disk_cached(
+    num_records: int, seed: int = 2006, cache: WorkloadCache | None = None
+) -> pathlib.Path | None:
+    """Pre-seed the disk cache (parallel campaigns call this before
+    fanning out, so workers load instead of regenerating).
+
+    Returns the entry path, or ``None`` when the workload is below the
+    disk threshold or the disk tier is disabled.
+    """
+    effective = cache or WorkloadCache()
+    if cache is None and (
+        not disk_cache_enabled() or num_records < effective.min_records
+    ):
+        return None
+    path = effective.entry_path(seed, num_records)
+    if effective.load(seed, num_records) is not None:
+        return path
+    key = (aol.GENERATOR_VERSION, seed, num_records)
+    memoised = _MEMO.get(key)
+    if memoised is not None:
+        effective.store(
+            seed,
+            num_records,
+            (
+                memoised[start : start + aol.DEFAULT_CHUNK_SIZE]
+                for start in range(0, num_records, aol.DEFAULT_CHUNK_SIZE)
+            ),
+        )
+    else:
+        _generate_through_cache(effective, seed, num_records)
+    return path

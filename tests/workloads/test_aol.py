@@ -1,5 +1,7 @@
 """Tests for the synthetic AOL workload."""
 
+import hashlib
+
 import pytest
 from hypothesis import given, settings, strategies as st
 
@@ -7,9 +9,11 @@ from repro.workloads.aol import (
     AolWorkload,
     FULL_SCALE_GREP_MATCHES,
     FULL_SCALE_RECORDS,
+    GENERATOR_VERSION,
     GREP_NEEDLE,
     expected_grep_matches,
     generate_records,
+    iter_record_chunks,
     parse_record,
 )
 
@@ -70,6 +74,45 @@ class TestGeneration:
         assert len(record.query_time) == len("2006-03-01 07:17:12")
 
 
+class TestChunkedGeneration:
+    """The bulk generator is the same byte stream, chunked."""
+
+    #: SHA-256 of "\n".join(lines) for generator version 1.  A change here
+    #: means the generated workload changed: bump GENERATOR_VERSION (the
+    #: disk cache keys entries by it) and re-derive these pins.
+    GOLDEN_SHA256 = {
+        (2_000, 2006): "db0f5a6ed7d719c49f86bfe186dc9c2c180b19c84b983b8a02eb7c3f4cddb3d5",
+        (2_000, 7): "679fa7b341046657bfc6e08a9b296c43c1c7f62335131baa674899295dbf477c",
+        (10_000, 2006): "974a53809244cbd4bdef380a4f7f586c0b45f8ba9857a1444d0e6176a7abe04b",
+    }
+
+    def test_generated_bytes_pinned(self):
+        assert GENERATOR_VERSION == 1
+        for (n, seed), expected in self.GOLDEN_SHA256.items():
+            digest = hashlib.sha256(
+                "\n".join(generate_records(n, seed)).encode("utf-8")
+            ).hexdigest()
+            assert digest == expected, (n, seed)
+
+    @pytest.mark.parametrize("chunk_size", [1, 7, 999, 5_000, 100_000])
+    def test_chunks_concatenate_to_flat_generation(self, chunk_size):
+        chunks = list(iter_record_chunks(5_000, seed=13, chunk_size=chunk_size))
+        assert all(len(c) <= chunk_size for c in chunks)
+        flat = [line for chunk in chunks for line in chunk]
+        assert flat == generate_records(5_000, seed=13)
+
+    def test_zero_records_yields_nothing(self):
+        assert list(iter_record_chunks(0)) == []
+
+    def test_invalid_chunk_size(self):
+        with pytest.raises(ValueError):
+            list(iter_record_chunks(10, chunk_size=0))
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            list(iter_record_chunks(-1))
+
+
 class TestWorkloadWrapper:
     def test_lazy_and_cached(self):
         workload = AolWorkload(100)
@@ -83,6 +126,30 @@ class TestWorkloadWrapper:
 
     def test_verify_passes(self):
         AolWorkload(2_000).verify()
+
+    def test_verify_samples_whole_stream(self):
+        """A malformed record far beyond the first 100 lines is caught."""
+        workload = AolWorkload(5_000)
+        lines = list(workload.records)
+        lines[4_999] = "no tabs at all"
+        workload._records = lines
+        with pytest.raises(ValueError):
+            workload.verify()
+
+    def test_verify_stride_covers_interior(self):
+        workload = AolWorkload(5_000)
+        lines = list(workload.records)
+        lines[2_500] = "broken\tline"
+        workload._records = lines
+        with pytest.raises(ValueError):
+            workload.verify(sample_stride=1)
+
+    def test_verify_empty_workload(self):
+        AolWorkload(0).verify()
+
+    def test_verify_rejects_bad_stride(self):
+        with pytest.raises(ValueError):
+            AolWorkload(100).verify(sample_stride=0)
 
 
 class TestProperties:

@@ -1,0 +1,168 @@
+"""Tests for the versioned on-disk workload cache."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads import aol
+from repro.workloads.cache import (
+    WorkloadCache,
+    clear_memo,
+    ensure_disk_cached,
+    load_workload,
+)
+
+
+@pytest.fixture(autouse=True)
+def fresh_memo():
+    """Each test sees an empty in-process memo."""
+    clear_memo()
+    yield
+    clear_memo()
+
+
+@pytest.fixture
+def cache(tmp_path):
+    """A disk cache in a temp directory with no size threshold."""
+    return WorkloadCache(tmp_path / "workloads", min_records=0)
+
+
+class TestRoundTrip:
+    def test_load_equals_generation(self, cache):
+        lines = load_workload(3_000, seed=11, cache=cache)
+        assert lines == aol.generate_records(3_000, seed=11)
+        clear_memo()
+        assert load_workload(3_000, seed=11, cache=cache) == lines
+
+    def test_entry_created_atomically(self, cache):
+        load_workload(2_000, seed=11, cache=cache)
+        entries = list(cache.directory.iterdir())
+        assert [e.name for e in entries] == [cache.entry_path(11, 2_000).name]
+        assert not any(e.name.endswith(".tmp") for e in entries)
+
+    def test_empty_workload(self, cache):
+        assert load_workload(0, seed=3, cache=cache) == []
+        clear_memo()
+        assert load_workload(0, seed=3, cache=cache) == []
+
+    def test_keys_are_independent(self, cache):
+        a = load_workload(1_000, seed=1, cache=cache)
+        b = load_workload(1_000, seed=2, cache=cache)
+        c = load_workload(1_500, seed=1, cache=cache)
+        assert a != b
+        assert len(c) == 1_500
+        assert len(list(cache.directory.iterdir())) == 3
+
+    def test_memo_shares_one_list(self, cache):
+        first = load_workload(1_000, seed=1, cache=cache)
+        assert load_workload(1_000, seed=1, cache=cache) is first
+
+
+class TestCorruptionAndStaleness:
+    def test_corrupted_payload_detected_and_regenerated(self, cache):
+        reference = load_workload(2_000, seed=9, cache=cache)
+        path = cache.entry_path(9, 2_000)
+        data = bytearray(path.read_bytes())
+        data[len(data) // 2] ^= 0xFF
+        path.write_bytes(bytes(data))
+        clear_memo()
+
+        assert cache.load(9, 2_000) is None
+        assert not path.exists()  # the bad entry was dropped
+        regenerated = load_workload(2_000, seed=9, cache=cache)
+        assert regenerated == reference
+        assert path.exists()  # ... and replaced by a valid one
+        clear_memo()
+        assert cache.load(9, 2_000) == reference
+
+    def test_truncated_entry_is_a_miss(self, cache):
+        load_workload(2_000, seed=9, cache=cache)
+        path = cache.entry_path(9, 2_000)
+        path.write_bytes(path.read_bytes()[: len(path.read_bytes()) // 2])
+        clear_memo()
+        assert cache.load(9, 2_000) is None
+
+    def test_stale_generator_version_is_a_miss(self, cache, monkeypatch):
+        load_workload(2_000, seed=9, cache=cache)
+        stale_path = cache.entry_path(9, 2_000)
+        monkeypatch.setattr(aol, "GENERATOR_VERSION", aol.GENERATOR_VERSION + 1)
+        # The new version keys a different path, so the old entry is
+        # simply never consulted again.
+        assert cache.entry_path(9, 2_000) != stale_path
+        assert cache.load(9, 2_000) is None
+
+    def test_edited_header_is_a_miss(self, cache):
+        load_workload(2_000, seed=9, cache=cache)
+        path = cache.entry_path(9, 2_000)
+        data = path.read_bytes()
+        path.write_bytes(data.replace(b"records=2000", b"records=2001", 1))
+        clear_memo()
+        assert cache.load(9, 2_000) is None
+
+    def test_store_rejects_wrong_record_count(self, cache):
+        with pytest.raises(ValueError):
+            cache.store(1, 10, iter([["only", "three", "lines"]]))
+        assert not any(
+            e.name.endswith(".tmp") for e in cache.directory.iterdir()
+        )
+
+
+class TestTiering:
+    def test_small_workloads_stay_memory_only(self, tmp_path, monkeypatch):
+        directory = tmp_path / "disk"
+        monkeypatch.setenv("REPRO_WORKLOAD_CACHE_DIR", str(directory))
+        lines = load_workload(500, seed=4)  # default threshold is 100k
+        assert lines == aol.generate_records(500, seed=4)
+        assert not directory.exists()
+
+    def test_disk_tier_can_be_disabled(self, tmp_path, monkeypatch):
+        directory = tmp_path / "disk"
+        monkeypatch.setenv("REPRO_WORKLOAD_CACHE_DIR", str(directory))
+        monkeypatch.setenv("REPRO_WORKLOAD_CACHE_MIN", "100")
+        monkeypatch.setenv("REPRO_WORKLOAD_CACHE", "0")
+        load_workload(500, seed=4)
+        assert not directory.exists()
+
+    def test_threshold_env_engages_disk(self, tmp_path, monkeypatch):
+        directory = tmp_path / "disk"
+        monkeypatch.setenv("REPRO_WORKLOAD_CACHE_DIR", str(directory))
+        monkeypatch.setenv("REPRO_WORKLOAD_CACHE_MIN", "100")
+        load_workload(500, seed=4)
+        assert directory.exists()
+        assert WorkloadCache().load(4, 500) == aol.generate_records(500, seed=4)
+
+    def test_ensure_disk_cached(self, cache):
+        assert ensure_disk_cached(1_000, seed=6, cache=cache) == cache.entry_path(
+            6, 1_000
+        )
+        # Idempotent, and serves the pre-seeded entry afterwards.
+        assert ensure_disk_cached(1_000, seed=6, cache=cache).exists()
+        assert cache.load(6, 1_000) == aol.generate_records(1_000, seed=6)
+
+    def test_ensure_disk_cached_respects_threshold(self, tmp_path, monkeypatch):
+        directory = tmp_path / "disk"
+        monkeypatch.setenv("REPRO_WORKLOAD_CACHE_DIR", str(directory))
+        assert ensure_disk_cached(500, seed=4) is None
+        assert not directory.exists()
+
+    def test_unwritable_directory_degrades_gracefully(self, tmp_path):
+        blocked = tmp_path / "blocked"
+        blocked.write_text("a file, not a directory")
+        cache = WorkloadCache(blocked / "sub", min_records=0)
+        lines = load_workload(800, seed=2, cache=cache)
+        assert lines == aol.generate_records(800, seed=2)
+
+
+class TestWorkloadIntegration:
+    def test_aol_workload_uses_memo(self):
+        a = aol.AolWorkload(1_200, seed=8)
+        b = aol.AolWorkload(1_200, seed=8)
+        assert a.records is b.records
+
+    def test_harness_workloads_share_one_list(self):
+        from repro.benchmark import BenchmarkConfig, StreamBenchHarness
+
+        config = BenchmarkConfig(records=1_200, runs=1)
+        first = StreamBenchHarness(config)
+        second = StreamBenchHarness(config)
+        assert first.workload.records is second.workload.records
