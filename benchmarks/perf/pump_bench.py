@@ -11,13 +11,16 @@ pipeline.
 
 Two kinds of measurement:
 
-* **Pump microbenchmarks** — the same stage pipeline is pumped twice,
-  once through the vectorized batch path (``StreamPump.vectorized=True``,
-  the production default) and once through the per-record reference loop
-  (``vectorized=False``); outputs are asserted identical and the speedup
-  is reported.  The ``identity-op`` scenario is the headline: a
-  pass-through operator measures pure host dispatch overhead, which is
-  exactly what the batch protocol eliminates.
+* **Pump microbenchmarks** — the same stage pipeline is pumped through
+  all three execution tiers: the per-record reference loop (``tuple``,
+  ``vectorized=False``), the chunk-at-a-time batch path (``batch``,
+  ``vectorized=True`` with kernels off), and the compiled-kernel path
+  (``kernel``, the production default — see
+  ``repro.dataflow.kernels``); outputs are asserted identical and both
+  speedups over the tuple path are reported.  The ``identity-op``
+  scenario is the headline: a pass-through operator measures pure host
+  dispatch overhead, which is exactly what the batch protocol and the
+  kernels eliminate.
 * **End-to-end** — a native-Flink identity run over the full Figure-5
   path (ingest -> engine -> output topic -> result calculator), timed
   phase by phase.  Workload generation is reported separately: it is not
@@ -29,11 +32,13 @@ Two kinds of measurement:
   *start and fan out* on the host, complementing the per-pump numbers.
 
 Results are written to ``BENCH_pump.json`` at the repository root; each
-scenario records records/sec for both paths and the speedup.  CI's
-perf-smoke job gates on the *speedup* (a machine-independent ratio)
-against ``benchmarks/perf/baseline.json`` — absolute throughput is
-recorded for trend-watching but not gated, because runner hardware
-varies.
+scenario records records/sec for all three paths plus ``speedup``
+(kernel over tuple, the headline ratio) and ``batch_speedup`` (batch
+over tuple).  CI's perf-smoke job gates on the *speedups*
+(machine-independent ratios) against ``benchmarks/perf/baseline.json``
+and on the absolute per-query kernel floors from the issue — absolute
+throughput is recorded for trend-watching but not gated, because runner
+hardware varies.
 
 Run directly for the full-scale campaign::
 
@@ -62,6 +67,7 @@ from repro.dataflow.functions import (
     StreamFunction,
     compose,
 )
+from repro.dataflow.kernels import KernelSpec
 from repro.engines.common.costs import RunVariance, StageCosts
 from repro.engines.common.pump import StreamPump
 from repro.engines.common.stages import PhysicalStage, StageKind
@@ -89,29 +95,49 @@ def _scenario_functions() -> dict[str, Callable[[], StreamFunction]]:
 
     Fresh functions per run so stateful/RNG scenarios start identically;
     the sample filter gets its own fixed-seed RNG for the same reason.
+    Each function declares its :class:`KernelSpec` exactly as the real
+    StreamBench queries do, so the ``kernel`` tier exercises the same
+    compiled kernels production runs use.
     """
     return {
         # Pass-through operator: measures pure per-record dispatch cost.
         "identity-op": lambda: IdentityFunction(),
-        "grep": lambda: FilterFunction(_grep, name="Grep", cost_weight=0.4),
-        "projection": lambda: MapFunction(_project, name="Projection", cost_weight=4.6),
-        "sample": lambda: FilterFunction(
-            _sample_predicate(), name="Sample", cost_weight=0.3
+        "grep": lambda: FilterFunction(
+            _grep,
+            name="Grep",
+            cost_weight=0.4,
+            kernel_spec=KernelSpec.contains(GREP_NEEDLE),
         ),
+        "projection": lambda: MapFunction(
+            _project,
+            name="Projection",
+            cost_weight=4.6,
+            kernel_spec=KernelSpec.column(0, "\t"),
+        ),
+        "sample": lambda: _sample_function(),
         # A fused three-part chain, as Flink operator chaining produces.
         "chained": lambda: compose(
             [
-                FilterFunction(_sample_predicate(), name="Sample"),
-                MapFunction(_project, name="Projection"),
+                _sample_function(),
+                MapFunction(
+                    _project,
+                    name="Projection",
+                    kernel_spec=KernelSpec.column(0, "\t"),
+                ),
                 IdentityFunction(),
             ]
         ),
     }
 
 
-def _sample_predicate() -> Callable[[Any], bool]:
+def _sample_function() -> FilterFunction:
     rng = random.Random(42)
-    return lambda _line: rng.random() < SAMPLE_FRACTION
+    return FilterFunction(
+        lambda _line: rng.random() < SAMPLE_FRACTION,
+        name="Sample",
+        cost_weight=0.3,
+        kernel_spec=KernelSpec.bernoulli(SAMPLE_FRACTION, rng),
+    )
 
 
 def _build_stages(function: StreamFunction) -> list[PhysicalStage]:
@@ -125,64 +151,83 @@ def _build_stages(function: StreamFunction) -> list[PhysicalStage]:
     ]
 
 
-def _time_pump(
+#: Execution tiers timed by the microbenchmark, as (vectorized, use_kernels).
+TIERS: dict[str, tuple[bool, bool]] = {
+    "tuple": (False, False),
+    "batch": (True, False),
+    "kernel": (True, True),
+}
+
+
+def _time_pump_once(
     make_function: Callable[[], StreamFunction],
     records: list[str],
-    vectorized: bool,
-    repeats: int,
-) -> tuple[float, int, int]:
-    """Best-of-``repeats`` pump wall-clock; returns (seconds, in, out)."""
-    best = float("inf")
-    records_out = 0
-    for _ in range(repeats):
-        function = make_function()
-        function.open()
-        pump = StreamPump(
-            simulator=Simulator(seed=7),
-            stages=_build_stages(function),
-            variance=RunVariance(),
-            rng=random.Random(7),
-        )
-        pump.vectorized = vectorized
-        started = time.perf_counter()
-        result = pump.run(records)
-        best = min(best, time.perf_counter() - started)
-        records_out = result.records_out
-        function.close()
-    return best, len(records), records_out
+    tier: str,
+) -> tuple[float, int]:
+    """One timed pump run on ``tier``; returns (seconds, records_out)."""
+    vectorized, use_kernels = TIERS[tier]
+    function = make_function()
+    function.open()
+    pump = StreamPump(
+        simulator=Simulator(seed=7),
+        stages=_build_stages(function),
+        variance=RunVariance(),
+        rng=random.Random(7),
+    )
+    pump.vectorized = vectorized
+    pump.use_kernels = use_kernels
+    started = time.perf_counter()
+    result = pump.run(records)
+    seconds = time.perf_counter() - started
+    function.close()
+    return seconds, result.records_out
 
 
 def run_microbenchmark(num_records: int = 200_000, repeats: int = 3) -> dict[str, Any]:
-    """Pump both execution paths over every scenario; returns the results.
+    """Pump all three execution tiers over every scenario; returns results.
 
-    Each scenario's output record count must agree between the paths (the
-    equivalence *test* suite proves bit-identity; this is the cheap sanity
-    check that the two timed code paths did the same work).
+    Each scenario's output record count must agree across the tiers (the
+    equivalence *test* suites prove bit-identity; this is the cheap sanity
+    check that the timed code paths did the same work).
+
+    Timing is *interleaved and rotated*: every repeat times all three
+    tiers back to back in a per-repeat rotated order, and each tier keeps
+    its best repeat.  On thermally-throttled hosts a tier-major loop
+    systematically flatters whichever tier runs first on a cool CPU, and
+    a fixed within-repeat order flatters whichever tier follows the
+    lightest predecessor; rotation exposes every tier to every position.
+    The first kernel repeat also pays the one-off workload-slab build
+    (shared by identity of the records list), so best-of-N reflects the
+    warm steady state a campaign actually runs in.
     """
     records = generate_records(num_records)
     scenarios: dict[str, Any] = {}
+    tier_names = list(TIERS)
     for name, make_function in _scenario_functions().items():
-        tuple_seconds, n_in, out_tuple = _time_pump(
-            make_function, records, vectorized=False, repeats=repeats
-        )
-        batch_seconds, _, out_batch = _time_pump(
-            make_function, records, vectorized=True, repeats=repeats
-        )
-        if out_tuple != out_batch:
-            raise AssertionError(
-                f"{name}: batch path emitted {out_batch} records, "
-                f"reference path {out_tuple}"
-            )
+        seconds: dict[str, float] = {tier: float("inf") for tier in TIERS}
+        outs: dict[str, int] = {}
+        n_in = len(records)
+        for rep in range(repeats):
+            shift = rep % len(tier_names)
+            for tier in tier_names[shift:] + tier_names[:shift]:
+                elapsed, outs[tier] = _time_pump_once(make_function, records, tier)
+                seconds[tier] = min(seconds[tier], elapsed)
+        if len(set(outs.values())) != 1:
+            raise AssertionError(f"{name}: tiers emitted different counts: {outs}")
         scenarios[name] = {
             "records": n_in,
-            "records_out": out_batch,
-            "tuple_records_per_sec": round(n_in / tuple_seconds),
-            "batch_records_per_sec": round(n_in / batch_seconds),
-            "speedup": round(tuple_seconds / batch_seconds, 2),
+            "records_out": outs["kernel"],
+            "tuple_records_per_sec": round(n_in / seconds["tuple"]),
+            "batch_records_per_sec": round(n_in / seconds["batch"]),
+            "kernel_records_per_sec": round(n_in / seconds["kernel"]),
+            "batch_speedup": round(seconds["tuple"] / seconds["batch"], 2),
+            # The headline ratio: compiled kernels vs the tuple reference.
+            "speedup": round(seconds["tuple"] / seconds["kernel"], 2),
         }
     return {
         "num_records": num_records,
         "repeats": repeats,
+        "tiers": list(TIERS),
         "headline": HEADLINE_SCENARIO,
         "headline_speedup": scenarios[HEADLINE_SCENARIO]["speedup"],
         "scenarios": scenarios,
@@ -276,9 +321,11 @@ def run_matrix_scale(
 
     Both paths run the same per-cell isolated worlds, so the reports are
     asserted equal per field before any timing is reported — a speedup on
-    a divergent result would be meaningless.  ``cpu_count`` is recorded so
-    a reader can judge the speedup in context (on a 1-core container the
-    parallel path is expected to *lose* by the process fan-out overhead).
+    a divergent result would be meaningless.  ``effective_workers`` is the
+    parallelism the host can actually deliver (``min(workers,
+    cpu_count)``); on a single-CPU host a wall-clock "speedup" would just
+    measure process fan-out overhead against itself, so it is reported as
+    ``null`` with a note instead of a meaningless ``1.0``.
     """
     from repro.benchmark.parallel import MatrixRunner, default_workers
 
@@ -296,17 +343,26 @@ def run_matrix_scale(
     if serial != parallel:
         raise AssertionError("parallel matrix report diverged from serial")
     cells = len(MatrixRunner(config).cells())
-    return {
+    cpu_count = os.cpu_count() or 1
+    result: dict[str, Any] = {
         "records": num_records,
         "runs_per_cell": runs,
         "cells": cells,
-        "cpu_count": os.cpu_count(),
+        "cpu_count": cpu_count,
         "workers": workers,
+        "effective_workers": min(workers, cpu_count),
         "serial_seconds": round(serial_seconds, 3),
         "parallel_seconds": round(parallel_seconds, 3),
         "speedup": round(serial_seconds / parallel_seconds, 2),
         "reports_identical": True,
     }
+    if cpu_count == 1:
+        result["speedup"] = None
+        result["speedup_note"] = (
+            "single-CPU host: worker processes cannot run concurrently, "
+            "so serial/parallel wall-clock is not a speedup measurement"
+        )
+    return result
 
 
 def write_bench(payload: dict[str, Any], path: pathlib.Path = BENCH_PATH) -> None:

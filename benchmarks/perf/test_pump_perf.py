@@ -1,14 +1,23 @@
-"""Perf-smoke gate: the batch fast path must stay fast.
+"""Perf-smoke gate: the batch and kernel fast paths must stay fast.
 
 Runs the pump microbenchmark at a reduced scale (``REPRO_PERF_RECORDS``,
-default 100,000) and gates on **speedup ratios** — batch path vs the
+default 100,000) and gates on **speedup ratios** — each fast tier vs the
 per-record reference loop on the *same* machine — which are comparable
 across hardware, unlike absolute records/sec.  Checks:
 
 * the headline ``identity-op`` scenario (pure dispatch overhead, the cost
-  the batch protocol exists to eliminate) must keep its ≥5× speedup;
+  the fast tiers exist to eliminate) must keep its ≥5× speedup;
+* every per-query compiled kernel keeps its absolute floor from the
+  ISSUE — ≥3× over the tuple path for ``projection``, ``grep`` and
+  ``sample``, ≥5× for the fused ``chained`` pipeline.  The committed
+  ``BENCH_pump.json`` (measured at the full 200k microbenchmark scale)
+  meets the floors outright; the CI gate applies a tolerance factor
+  (``REPRO_PERF_FLOOR_TOLERANCE``, default 0.75) because CI runners are
+  noisy and run a reduced scale;
 * no scenario may regress more than 30% below the checked-in baseline
-  ratios in ``baseline.json``;
+  ratios in ``baseline.json`` — for *both* ratio families (kernel/tuple
+  in ``speedups``, batch/tuple in ``batch_speedups``), so a regression
+  in either fast tier is caught even while the other holds;
 * a warm workload-cache load must stay ≥5× faster than regenerating the
   same workload (the cache's reason to exist);
 * on hosts with ≥4 cores, the parallel matrix runner must keep its
@@ -53,6 +62,11 @@ MIN_HEADLINE_SPEEDUP = float(os.environ.get("REPRO_PERF_MIN_HEADLINE", "5.0"))
 MIN_CACHE_LOAD_SPEEDUP = float(os.environ.get("REPRO_PERF_MIN_CACHE_LOAD", "5.0"))
 #: ">30% regression vs baseline fails" — i.e. measured >= 0.7 * baseline.
 REGRESSION_FLOOR = 0.7
+#: Per-query kernel-tier floors (kernel vs tuple) from the ISSUE, measured
+#: at the full 200k scale in the committed BENCH_pump.json.
+KERNEL_FLOORS = {"grep": 3.0, "projection": 3.0, "sample": 3.0, "chained": 5.0}
+#: CI noise / reduced-scale allowance on the absolute kernel floors.
+FLOOR_TOLERANCE = float(os.environ.get("REPRO_PERF_FLOOR_TOLERANCE", "0.75"))
 
 
 @pytest.fixture(scope="module")
@@ -81,23 +95,39 @@ def test_headline_speedup(micro: dict) -> None:
     """The dispatch-bound scenario keeps the promised ≥5× speedup."""
     speedup = micro["scenarios"][HEADLINE_SCENARIO]["speedup"]
     assert speedup >= MIN_HEADLINE_SPEEDUP, (
-        f"{HEADLINE_SCENARIO}: batch path only {speedup:.2f}x faster than the "
+        f"{HEADLINE_SCENARIO}: kernel path only {speedup:.2f}x faster than the "
         f"per-record reference loop (floor: {MIN_HEADLINE_SPEEDUP}x)"
     )
 
 
-def test_no_regression_vs_baseline(micro: dict) -> None:
-    """Every scenario stays within 30% of its checked-in baseline ratio."""
-    baseline = json.loads(pathlib.Path(BASELINE_PATH).read_text())["speedups"]
+def test_per_query_kernel_floors(micro: dict) -> None:
+    """Each compiled query kernel keeps its absolute speedup floor."""
     failures = []
-    for name, expected in baseline.items():
+    for name, floor in KERNEL_FLOORS.items():
+        gate = floor * FLOOR_TOLERANCE
         measured = micro["scenarios"][name]["speedup"]
-        floor = REGRESSION_FLOOR * expected
-        if measured < floor:
+        if measured < gate:
             failures.append(
-                f"{name}: {measured:.2f}x < {floor:.2f}x "
-                f"(baseline {expected:.2f}x, -30% allowed)"
+                f"{name}: kernel only {measured:.2f}x over the tuple path "
+                f"(gate {gate:.2f}x = {floor:.1f}x floor × "
+                f"{FLOOR_TOLERANCE} tolerance)"
             )
+    assert not failures, "kernel floor violations:\n" + "\n".join(failures)
+
+
+def test_no_regression_vs_baseline(micro: dict) -> None:
+    """Both ratio families stay within 30% of their checked-in baselines."""
+    baseline = json.loads(pathlib.Path(BASELINE_PATH).read_text())
+    failures = []
+    for family, key in (("speedups", "speedup"), ("batch_speedups", "batch_speedup")):
+        for name, expected in baseline[family].items():
+            measured = micro["scenarios"][name][key]
+            floor = REGRESSION_FLOOR * expected
+            if measured < floor:
+                failures.append(
+                    f"{name} [{key}]: {measured:.2f}x < {floor:.2f}x "
+                    f"(baseline {expected:.2f}x, -30% allowed)"
+                )
     assert not failures, "speedup regressions:\n" + "\n".join(failures)
 
 
@@ -146,3 +176,10 @@ def test_batch_path_is_the_default() -> None:
     from repro.engines.common.pump import StreamPump
 
     assert StreamPump.vectorized is True
+
+
+def test_kernel_path_is_the_default() -> None:
+    """Compiled kernels are the production tier, not an opt-in."""
+    from repro.engines.common.pump import StreamPump
+
+    assert StreamPump.use_kernels is True

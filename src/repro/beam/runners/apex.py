@@ -33,6 +33,7 @@ from repro.beam.runners.util import (
 )
 from repro.beam.transforms.core import Create
 from repro.dataflow.functions import FlatMapFunction, MapFunction
+from repro.dataflow.kernels import KernelSpec
 from repro.engines.apex.config import ApexCostModel
 from repro.engines.apex.dag import DAG
 from repro.engines.apex.launcher import ApexLauncher
@@ -145,7 +146,12 @@ class ApexRunner(PipelineRunner):
         # The KafkaIO read translation (the Flat Map of the Flink plan has
         # its Apex counterpart as a pass-through operator).
         flat_map = dag.add_operator(
-            "readTranslation", FunctionOperator(FlatMapFunction(lambda r: (r,), name="Flat Map"))
+            "readTranslation",
+            FunctionOperator(
+                FlatMapFunction(
+                    lambda r: (r,), name="Flat Map", kernel_spec=KernelSpec.identity()
+                )
+            ),
         )
         flat_map.extra_costs = {"extra_cost_in": over.pardo_wrap_in}
         previous = source_op

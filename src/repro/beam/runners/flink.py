@@ -32,6 +32,7 @@ from repro.beam.runners.util import (
 )
 from repro.beam.transforms.core import Create
 from repro.dataflow.functions import FlatMapFunction
+from repro.dataflow.kernels import KernelSpec
 from repro.engines.flink.cluster import FlinkCluster
 from repro.engines.flink.datastream import StreamExecutionEnvironment
 from repro.engines.flink.functions import (
@@ -142,7 +143,11 @@ class FlinkRunner(PipelineRunner):
 
         # The KafkaIO read translation: the Flat Map of Figure 13.
         stream = stream._append(
-            FlatMapFunction(lambda record: (record,), name="Flat Map"),
+            FlatMapFunction(
+                lambda record: (record,),
+                name="Flat Map",
+                kernel_spec=KernelSpec.identity(),
+            ),
             name=f"{shape.source.full_label}/Flat Map",
             chainable=self.fuse_pardos,
             extra={"extra_cost_in": over.pardo_wrap_in, "plan_label": "Flat Map"},

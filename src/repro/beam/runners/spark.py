@@ -35,6 +35,7 @@ from repro.beam.runners.util import (
 )
 from repro.beam.transforms.core import Create
 from repro.dataflow.functions import MapFunction
+from repro.dataflow.kernels import KernelSpec
 from repro.engines.spark.cluster import SparkCluster
 from repro.engines.spark.config import SparkConf
 from repro.engines.spark.context import SparkContext
@@ -142,7 +143,12 @@ class SparkRunner(PipelineRunner):
             write = shape.write.transform
             assert isinstance(write, KafkaWrite)
             stream = stream._append(
-                MapFunction(extract_kv_value, name="KV values", cost_weight=0.2),
+                MapFunction(
+                    extract_kv_value,
+                    name="KV values",
+                    cost_weight=0.2,
+                    kernel_spec=KernelSpec.kv_value(),
+                ),
                 name=f"{shape.write.full_label}/Values",
             )
             stream.write_to_kafka(write.cluster, write.topic)

@@ -21,6 +21,10 @@ class DoFnAdapter(StreamFunction):
         self.name = name or dofn.default_label()
         self.cost_weight = dofn.cost_weight
         self.rng_draws_per_record = dofn.rng_draws_per_record
+        # The DoFn's semantics declaration carries across translation: the
+        # compiled kernel replaces only the host-side invocation; the
+        # simulated Beam wrapping cost is charged by the stage regardless.
+        self.kernel_spec = getattr(dofn, "kernel_spec", None)
 
     def process(self, value: Any) -> Iterable[Any]:
         results = self.dofn.process(value)

@@ -55,6 +55,12 @@ class DoFn:
     cost_weight: float = 1.0
     rng_draws_per_record: float = 0.0
     stateful: bool = False
+    #: Optional exact-semantics declaration (see
+    #: :class:`repro.dataflow.kernels.KernelSpec`): lets the engines'
+    #: pump execute the translated DoFn through a compiled batch kernel.
+    #: Host-side only — the simulated wrapped-invocation cost of the Beam
+    #: path is priced by the cost model regardless of execution tier.
+    kernel_spec: Any = None
     #: Materialised side-input views, assigned per instance by the runner
     #: before :meth:`setup`; this class-level default stays empty.
     side_inputs: dict[str, Any] = {}
@@ -83,6 +89,7 @@ class _CallableWrapperDoFn(DoFn):
         mode: str,
         cost_weight: float = 1.0,
         rng_draws_per_record: float = 0.0,
+        kernel_spec: Any = None,
     ) -> None:
         if mode not in ("map", "flat_map", "filter"):
             raise ValueError(f"unknown wrapper mode: {mode}")
@@ -90,6 +97,7 @@ class _CallableWrapperDoFn(DoFn):
         self._mode = mode
         self.cost_weight = cost_weight
         self.rng_draws_per_record = rng_draws_per_record
+        self.kernel_spec = kernel_spec
 
     def process(self, element: Any) -> Iterable[Any]:
         if self._mode == "map":
@@ -145,9 +153,10 @@ def Map(
     label: str | None = None,
     cost_weight: float = 1.0,
     rng_draws_per_record: float = 0.0,
+    kernel_spec: Any = None,
 ) -> ParDo:
     """1:1 element transform (a ParDo composite, as in the SDK)."""
-    dofn = _CallableWrapperDoFn(fn, "map", cost_weight, rng_draws_per_record)
+    dofn = _CallableWrapperDoFn(fn, "map", cost_weight, rng_draws_per_record, kernel_spec)
     return ParDo(dofn, label or f"Map({getattr(fn, '__name__', '<callable>')})")
 
 
@@ -156,9 +165,12 @@ def FlatMap(
     label: str | None = None,
     cost_weight: float = 1.0,
     rng_draws_per_record: float = 0.0,
+    kernel_spec: Any = None,
 ) -> ParDo:
     """1:N element transform."""
-    dofn = _CallableWrapperDoFn(fn, "flat_map", cost_weight, rng_draws_per_record)
+    dofn = _CallableWrapperDoFn(
+        fn, "flat_map", cost_weight, rng_draws_per_record, kernel_spec
+    )
     return ParDo(dofn, label or f"FlatMap({getattr(fn, '__name__', '<callable>')})")
 
 
@@ -167,20 +179,29 @@ def Filter(
     label: str | None = None,
     cost_weight: float = 1.0,
     rng_draws_per_record: float = 0.0,
+    kernel_spec: Any = None,
 ) -> ParDo:
     """Keep elements for which ``fn`` is true."""
-    dofn = _CallableWrapperDoFn(fn, "filter", cost_weight, rng_draws_per_record)
+    dofn = _CallableWrapperDoFn(
+        fn, "filter", cost_weight, rng_draws_per_record, kernel_spec
+    )
     return ParDo(dofn, label or f"Filter({getattr(fn, '__name__', '<callable>')})")
 
 
 def Values(label: str = "Values") -> ParDo:
     """Extract the value of each KV pair (``Values.create()`` in the SDK)."""
-    return Map(lambda kv: kv[1], label=label, cost_weight=0.2)
+    from repro.dataflow.kernels import KernelSpec
+
+    return Map(lambda kv: kv[1], label=label, cost_weight=0.2,
+               kernel_spec=KernelSpec.item(1))
 
 
 def Keys(label: str = "Keys") -> ParDo:
     """Extract the key of each KV pair."""
-    return Map(lambda kv: kv[0], label=label, cost_weight=0.2)
+    from repro.dataflow.kernels import KernelSpec
+
+    return Map(lambda kv: kv[0], label=label, cost_weight=0.2,
+               kernel_spec=KernelSpec.item(0))
 
 
 def KvSwap(label: str = "KvSwap") -> ParDo:

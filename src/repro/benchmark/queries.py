@@ -27,6 +27,7 @@ from typing import Any, Callable, Iterable
 
 import repro.beam as beam
 from repro.dataflow.functions import FilterFunction, MapFunction, StreamFunction
+from repro.dataflow.kernels import KernelSpec
 from repro.workloads.aol import GREP_NEEDLE
 
 #: Fraction of records the sample query keeps (paper: "about 40%").
@@ -72,6 +73,7 @@ def _sample_function(rng: random.Random) -> StreamFunction:
         name="Sample",
         cost_weight=0.3,
         rng_draws_per_record=1.0,
+        kernel_spec=KernelSpec.bernoulli(SAMPLE_FRACTION, rng),
     )
 
 
@@ -81,6 +83,7 @@ def _sample_beam(rng: random.Random) -> beam.PTransform:
         label="Sample",
         cost_weight=0.3,
         rng_draws_per_record=1.0,
+        kernel_spec=KernelSpec.bernoulli(SAMPLE_FRACTION, rng),
     )
 
 
@@ -89,11 +92,21 @@ def _project(line: str) -> str:
 
 
 def _projection_function(rng: random.Random) -> StreamFunction:
-    return MapFunction(_project, name="Projection", cost_weight=4.6)
+    return MapFunction(
+        _project,
+        name="Projection",
+        cost_weight=4.6,
+        kernel_spec=KernelSpec.column(PROJECTION_COLUMN, "\t"),
+    )
 
 
 def _projection_beam(rng: random.Random) -> beam.PTransform:
-    return beam.Map(_project, label="Projection", cost_weight=4.6)
+    return beam.Map(
+        _project,
+        label="Projection",
+        cost_weight=4.6,
+        kernel_spec=KernelSpec.column(PROJECTION_COLUMN, "\t"),
+    )
 
 
 def _grep_match(line: str) -> bool:
@@ -101,11 +114,21 @@ def _grep_match(line: str) -> bool:
 
 
 def _grep_function(rng: random.Random) -> StreamFunction:
-    return FilterFunction(_grep_match, name="Grep", cost_weight=0.4)
+    return FilterFunction(
+        _grep_match,
+        name="Grep",
+        cost_weight=0.4,
+        kernel_spec=KernelSpec.contains(GREP_NEEDLE),
+    )
 
 
 def _grep_beam(rng: random.Random) -> beam.PTransform:
-    return beam.Filter(_grep_match, label="Grep", cost_weight=0.4)
+    return beam.Filter(
+        _grep_match,
+        label="Grep",
+        cost_weight=0.4,
+        kernel_spec=KernelSpec.contains(GREP_NEEDLE),
+    )
 
 
 # ---------------------------------------------------------------------------

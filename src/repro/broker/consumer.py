@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+from array import array
 from dataclasses import dataclass
 
 from repro.broker.broker import BrokerCluster
@@ -93,6 +94,12 @@ class Consumer:
     out transient broker faults with backoff charged in simulated time.  A
     fetch has no broker-side effect, so retrying it can never duplicate or
     skip records — the position only advances on success.
+
+    ``retry_rng`` lets a caller that already owns a seeded retry stream
+    (e.g. :class:`~repro.engines.common.io.BoundedKafkaReader`) hand it
+    over instead of registering a new client with the cluster — keeping
+    both the client-id sequence and the chaos draw streams exactly as they
+    were when that caller fetched directly.
     """
 
     def __init__(
@@ -100,6 +107,7 @@ class Consumer:
         cluster: BrokerCluster,
         group: ConsumerGroupCoordinator | None = None,
         retry_policy: RetryPolicy | None = None,
+        retry_rng=None,
     ) -> None:
         self.cluster = cluster
         self.subscription: set[str] = set()
@@ -112,8 +120,12 @@ class Consumer:
         self.retry_policy = (
             retry_policy if retry_policy is not None else cluster.default_retry_policy
         )
-        self._retry_rng = cluster.simulator.random.stream(
-            f"broker/retry/consumer-{cluster.register_client()}"
+        self._retry_rng = (
+            retry_rng
+            if retry_rng is not None
+            else cluster.simulator.random.stream(
+                f"broker/retry/consumer-{cluster.register_client()}"
+            )
         )
         self.retries_performed = 0
 
@@ -226,6 +238,64 @@ class Consumer:
         self.records_fetched += len(fetched)
         return fetched
 
+    def poll_values(
+        self, max_records: int | None = None, with_timestamps: bool = False
+    ):
+        """Bulk poll without materializing :class:`ConsumerRecord` objects.
+
+        Returns a list of bare values — or, ``with_timestamps``, a
+        ``(values, timestamps)`` pair where ``timestamps`` is a compact
+        ``array('d')`` slab aligned with ``values``.  ``max_records=None``
+        drains every assigned partition in one request.  Charges, retry
+        draws and position advancement are identical to :meth:`poll` for
+        the same fetched count: one request overhead per call plus the
+        per-record fetch cost.  This is the pump's ingest fast path — the
+        per-record object layer exists only for callers that need offsets
+        and keys.
+        """
+        self._ensure_open()
+        if max_records is not None and max_records < 1:
+            raise ValueError(f"max_records must be >= 1, got {max_records}")
+        # Zero-copy is safe only for an uncapped single-partition drain
+        # from offset 0: the returned list is the log's live column, and
+        # nothing below may extend or reorder it.
+        zero_copy = (
+            max_records is None
+            and not with_timestamps
+            and len(self._assignment) == 1
+            and self._positions.get(self._assignment[0]) == 0
+        )
+        values: list = []
+        timestamps = array("d") if with_timestamps else None
+        budget = max_records
+        for tp in self._assignment:
+            if budget is not None and budget <= 0:
+                break
+            chunk, stamps = self._fetch_values(
+                tp, budget, with_timestamps, copy=not zero_copy
+            )
+            if chunk:
+                self._positions[tp] += len(chunk)
+                if budget is not None:
+                    budget -= len(chunk)
+                if values:
+                    values.extend(chunk)
+                else:
+                    values = chunk  # adopt the first partition's batch
+                if timestamps is not None:
+                    if len(timestamps):
+                        timestamps.extend(stamps)
+                    else:
+                        timestamps = stamps
+        costs = self.cluster.costs
+        self.cluster.simulator.charge(
+            costs.request_overhead + costs.fetch_per_record * len(values)
+        )
+        self.records_fetched += len(values)
+        if with_timestamps:
+            return values, timestamps
+        return values
+
     def close(self) -> None:
         """Leave the group (if any) and mark the consumer closed."""
         if self._closed:
@@ -248,6 +318,39 @@ class Consumer:
             self.cluster.guard_request(tp.topic, tp.partition)
             log = self.cluster.topic(tp.topic).partition(tp.partition)
             return log.read(self._positions[tp], budget)
+
+        if self.retry_policy is None:
+            return attempt()
+        return run_with_retries(
+            self.cluster.simulator,
+            self.retry_policy,
+            self._retry_rng,
+            attempt,
+            on_retry=self._count_retry,
+        )
+
+    def _fetch_values(
+        self,
+        tp: TopicPartition,
+        budget: int | None,
+        with_timestamps: bool,
+        copy: bool = True,
+    ):
+        """One guarded values(+timestamps) fetch, with retries.
+
+        Both column slices are read inside a single attempt so a retry can
+        never observe a log grown between the value and timestamp reads.
+        """
+
+        def attempt():
+            self.cluster.guard_request(tp.topic, tp.partition)
+            log = self.cluster.topic(tp.topic).partition(tp.partition)
+            position = self._positions[tp]
+            chunk = log.read_values(position, budget, copy=copy)
+            stamps = (
+                log.read_timestamps(position, len(chunk)) if with_timestamps else None
+            )
+            return chunk, stamps
 
         if self.retry_policy is None:
             return attempt()

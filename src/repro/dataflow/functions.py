@@ -25,6 +25,8 @@ from __future__ import annotations
 
 from typing import Any, Callable, Iterable, Sequence
 
+from repro.dataflow.kernels import KernelSpec
+
 
 class StreamFunction:
     """Base class: transform one record into zero or more records.
@@ -45,6 +47,12 @@ class StreamFunction:
     #: coin flip).  Engines price randomness separately because the cost of
     #: a per-element RNG call differs hugely between native and Beam paths.
     rng_draws_per_record = 0.0
+    #: Optional declaration of the function's exact per-record semantics
+    #: (see :class:`repro.dataflow.kernels.KernelSpec`).  When present, the
+    #: pump may execute the function through a compiled batch kernel
+    #: instead of ``process_batch`` — a promise that must hold exactly; the
+    #: kernel-equivalence suite enforces it for every spec in the repo.
+    kernel_spec: KernelSpec | None = None
 
     def process(self, value: Any) -> Iterable[Any]:
         """Return the outputs for one input record."""
@@ -102,6 +110,7 @@ class IdentityFunction(StreamFunction):
     """Pass every record through unchanged (the paper's identity query)."""
 
     name = "Identity"
+    kernel_spec = KernelSpec.identity()
 
     def process(self, value: Any) -> Iterable[Any]:
         return (value,)
@@ -121,11 +130,13 @@ class MapFunction(StreamFunction):
         name: str = "Map",
         cost_weight: float = 1.0,
         rng_draws_per_record: float = 0.0,
+        kernel_spec: KernelSpec | None = None,
     ) -> None:
         self.fn = fn
         self.name = name
         self.cost_weight = cost_weight
         self.rng_draws_per_record = rng_draws_per_record
+        self.kernel_spec = kernel_spec
 
     def process(self, value: Any) -> Iterable[Any]:
         return (self.fn(value),)
@@ -146,11 +157,13 @@ class FlatMapFunction(StreamFunction):
         name: str = "Flat Map",
         cost_weight: float = 1.0,
         rng_draws_per_record: float = 0.0,
+        kernel_spec: KernelSpec | None = None,
     ) -> None:
         self.fn = fn
         self.name = name
         self.cost_weight = cost_weight
         self.rng_draws_per_record = rng_draws_per_record
+        self.kernel_spec = kernel_spec
 
     def process(self, value: Any) -> Iterable[Any]:
         return self.fn(value)
@@ -175,11 +188,13 @@ class FilterFunction(StreamFunction):
         name: str = "Filter",
         cost_weight: float = 1.0,
         rng_draws_per_record: float = 0.0,
+        kernel_spec: KernelSpec | None = None,
     ) -> None:
         self.predicate = predicate
         self.name = name
         self.cost_weight = cost_weight
         self.rng_draws_per_record = rng_draws_per_record
+        self.kernel_spec = kernel_spec
 
     def process(self, value: Any) -> Iterable[Any]:
         if self.predicate(value):

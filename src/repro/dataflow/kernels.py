@@ -1,0 +1,713 @@
+"""Compiled batch kernels: the closure-free third execution tier.
+
+The pump executes operators at one of three tiers (see
+``docs/architecture.md``, *Execution tiers*):
+
+1. **reference** — the per-record loop (``StreamPump.vectorized = False``),
+2. **batch** — chunk-at-a-time ``process_batch`` (still one Python
+   callable invocation per record for map/filter closures),
+3. **kernel** — this module: the logical shape of a function, declared as
+   a :class:`KernelSpec`, is compiled into a fused batch kernel that
+   processes a whole chunk without entering a per-record closure.
+
+A kernel is a *host-side* optimisation only: it must produce bit-identical
+outputs to the reference loop (the simulated clock depends only on record
+counts, which are unchanged).  Every kernel therefore carries exact cheap
+guards and falls back to a plain comprehension — and the pump falls back
+to ``process_batch`` — whenever the data or the function shape is not
+provably uniform.
+
+Kernel shapes (mirroring the StreamBench queries on the Figure-5 path):
+
+- ``contains`` (grep): a whole-chunk scan.  The chunk is joined into one
+  newline-separated blob and scanned for the needle's first two bytes as
+  aligned ``uint16`` lanes (two phases cover every offset); the remaining
+  needle bytes are verified by sparse gathers at the candidate positions.
+  Exactness guards: the blob must be ASCII and contain exactly ``n - 1``
+  newlines (i.e. no line embeds one), and a match can never span lines
+  because the needle contains no newline.
+- ``column`` (projection): ``v.partition(sep)[0]`` per line — exact by
+  construction for column 0 (``partition`` and ``split`` agree on the
+  prefix before the first separator, including separator-free lines).
+- **workload slabs**: a run over a large immutable records list scans a
+  shared :class:`WorkloadSlab` — the list joined and encoded once, with a
+  line-start offset column — instead of re-joining every chunk.  Grep
+  becomes one vectorized scan per run emitting the *original* record
+  objects; projection becomes one fixed-width NumPy gather per run when
+  every line has the separator at the same verified offset.  Slabs cache
+  per list identity (the broker's column lists and the workload cache
+  both hand out one long-lived list), so the join/encode cost amortizes
+  across runs and matrix cells.  Kernel-side slab state lives only
+  between :meth:`Kernel.flush` calls — nothing computed from a slab
+  outlives the run that computed it.
+- ``bernoulli`` (sample): a pre-drawn Bernoulli mask.  The seeded
+  ``random.Random`` state is transplanted into a NumPy ``RandomState``
+  (both are MT19937 with the same double recipe), the whole chunk's mask
+  is drawn in one call, and the state is transplanted back on
+  :meth:`Kernel.flush` — the Python RNG observes the exact same stream,
+  draw for draw, as the reference loop.  A kernel adopts its ``rng``
+  between flushes, so two live kernels must not share one ``rng`` object
+  (no query in this repo does).
+- ``identity``: zero-copy passthrough (chunks are private slices).
+- ``item`` / ``kv_value``: closure-free generated comprehensions.
+- chains (``ComposedFunction``): consecutive comprehension-shaped parts
+  are fused into one generated comprehension (filters short-circuit
+  before maps, preserving draw order and side-effect counts); bulk-shaped
+  parts run as their dedicated kernels in sequence.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from itertools import compress
+from typing import Any, Callable, Sequence
+
+try:  # numpy accelerates the bulk kernels; everything degrades without it
+    import numpy as _np
+except ImportError:  # pragma: no cover - the reference container has numpy
+    _np = None
+
+_NL = 10  # ord("\n")
+_MIN_BULK = 32  # below this, comprehension fallbacks win
+
+#: Smallest records list worth turning into a shared slab: below this the
+#: join/encode build cost exceeds what per-chunk kernels would spend.
+SLAB_MIN_RECORDS = 4096
+
+
+# ---------------------------------------------------------------------------
+# Workload slabs
+
+
+class WorkloadSlab:
+    """An immutable records list, joined and encoded once for bulk scans.
+
+    ``text`` is the newline-joined blob, ``data`` its ASCII encoding,
+    ``arr`` a zero-copy ``uint8`` view and ``starts`` the byte offset of
+    every line (one entry per record — the build fails if any record
+    embeds a newline, so offsets are unambiguous).  Because the blob is
+    ASCII, byte offsets equal character offsets and slices of ``text``
+    are bit-identical to the original records.
+    """
+
+    __slots__ = ("records", "text", "data", "arr", "starts", "size")
+
+    def __init__(self, records, text, data, arr, starts) -> None:
+        self.records = records
+        self.text = text
+        self.data = data
+        self.arr = arr
+        self.starts = starts
+        self.size = len(data)
+
+
+def _build_slab(records: list) -> WorkloadSlab | None:
+    try:
+        text = "\n".join(records)
+    except TypeError:  # non-str records: no slab, kernels fall back
+        return None
+    if not text.isascii():
+        return None
+    data = text.encode("ascii")
+    arr = _np.frombuffer(data, _np.uint8)
+    newlines = _np.flatnonzero(arr == _NL)
+    if len(newlines) != len(records) - 1:
+        return None  # some record embeds a newline: offsets are ambiguous
+    starts = _np.empty(len(records), _np.int64)
+    starts[0] = 0
+    starts[1:] = newlines + 1
+    return WorkloadSlab(records, text, data, arr, starts)
+
+
+class ChunkView:
+    """A zero-copy window over a slab's records list (one pump chunk).
+
+    Stands in for ``records[start:stop]`` on the slab path, so the pump
+    does not copy every record reference into per-chunk lists just to
+    tell slab-aware kernels a length and an offset.  Implements the
+    small sequence surface kernels touch: ``len``, truthiness,
+    iteration, and indexing (hit extraction).  Iteration and slicing
+    materialize a plain list slice — the rare fallback paths pay the
+    copy the common path avoids.
+    """
+
+    __slots__ = ("_records", "_start", "_stop")
+
+    def __init__(self, records: Sequence[Any], start: int, stop: int) -> None:
+        self._records = records
+        self._start = start
+        self._stop = stop
+
+    def __len__(self) -> int:
+        return self._stop - self._start
+
+    def __iter__(self):
+        return iter(self._records[self._start : self._stop])
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            start, stop, step = index.indices(len(self))
+            return self._records[self._start + start : self._start + stop : step]
+        if index < 0:
+            index += len(self)
+        if not 0 <= index < len(self):
+            raise IndexError("chunk view index out of range")
+        return self._records[self._start + index]
+
+
+#: Slab memo keyed by list identity: ``id -> (records, slab_or_None, len)``.
+#: The strong reference to ``records`` makes the id stable (no reuse while
+#: cached); the stored length detects list growth between runs.  Failed
+#: builds memoize ``None`` so ineligible workloads are not re-joined every
+#: run.  Entries beyond the cap evict oldest-first.
+_SLAB_CACHE: dict[int, tuple[list, WorkloadSlab | None, int]] = {}
+_SLAB_CACHE_MAX = 2
+
+
+def slab_for(records: Any) -> WorkloadSlab | None:
+    """The shared slab for ``records``, building and caching on first use.
+
+    Only plain lists of at least :data:`SLAB_MIN_RECORDS` records qualify.
+    Callers must treat cached lists as immutable (the repo-wide contract
+    for workload and broker column lists); in-place element replacement is
+    not detectable.
+    """
+    if _np is None or type(records) is not list or len(records) < SLAB_MIN_RECORDS:
+        return None
+    key = id(records)
+    entry = _SLAB_CACHE.get(key)
+    if entry is not None and entry[0] is records and entry[2] == len(records):
+        return entry[1]
+    slab = _build_slab(records)
+    while len(_SLAB_CACHE) >= _SLAB_CACHE_MAX:
+        _SLAB_CACHE.pop(next(iter(_SLAB_CACHE)))
+    _SLAB_CACHE[key] = (records, slab, len(records))
+    return slab
+
+
+# ---------------------------------------------------------------------------
+# Specs
+
+
+@dataclass(frozen=True)
+class KernelSpec:
+    """A declarative promise about what a :class:`StreamFunction` computes.
+
+    Attaching a spec to a function asserts that its per-record semantics
+    are exactly the named shape; the equivalence suite enforces this for
+    every spec shipped in the repo.  ``kind`` is one of ``contains``,
+    ``bernoulli``, ``column``, ``identity``, ``item``, ``kv_value``.
+    """
+
+    kind: str
+    needle: str | None = None
+    fraction: float | None = None
+    rng: Any = None
+    index: int | None = None
+    sep: str | None = None
+
+    @classmethod
+    def contains(cls, needle: str) -> "KernelSpec":
+        """``filter(lambda v: needle in v)``."""
+        return cls("contains", needle=needle)
+
+    @classmethod
+    def bernoulli(cls, fraction: float, rng: random.Random) -> "KernelSpec":
+        """``filter(lambda v: rng.random() < fraction)`` — one draw/record."""
+        return cls("bernoulli", fraction=fraction, rng=rng)
+
+    @classmethod
+    def column(cls, index: int, sep: str = "\t") -> "KernelSpec":
+        """``map(lambda v: v.split(sep)[index])``."""
+        return cls("column", index=index, sep=sep)
+
+    @classmethod
+    def identity(cls) -> "KernelSpec":
+        """``map(lambda v: v)`` / flat-map to a singleton of itself."""
+        return cls("identity")
+
+    @classmethod
+    def item(cls, index: int) -> "KernelSpec":
+        """``map(lambda v: v[index])``."""
+        return cls("item", index=index)
+
+    @classmethod
+    def kv_value(cls) -> "KernelSpec":
+        """``map(extract_kv_value)``: ``v[1]`` for 2-tuples, else ``v``."""
+        return cls("kv_value")
+
+
+# ---------------------------------------------------------------------------
+# Kernels
+
+
+class Kernel:
+    """A compiled chunk-at-a-time operator: ``list -> list``."""
+
+    #: Whether :meth:`call_slab` beats :meth:`__call__` for this kernel.
+    #: The pump uses the slab path only for chunks that are untransformed
+    #: slices of the slab's records list.
+    supports_slab: bool = False
+
+    def __call__(self, values: Sequence[Any]) -> list:
+        raise NotImplementedError
+
+    def call_slab(
+        self, slab: WorkloadSlab, base: int, values: Sequence[Any]
+    ) -> list:
+        """Process ``values`` == ``slab.records[base:base + len(values)]``."""
+        return self(values)
+
+    def flush(self) -> None:
+        """Return adopted state (RNG, slab run caches) to its owner.
+
+        Idempotent.  The pump flushes at end of run (and after every
+        chunk on the recovery path), so per-run slab scans never outlive
+        the run and external observers always see true RNG state.
+        """
+
+    def describe(self) -> str:
+        return type(self).__name__
+
+
+class IdentityKernel(Kernel):
+    """Zero-copy passthrough (the pump's chunks are private slices).
+
+    :class:`ChunkView` chunks also pass through unchanged, so a leading
+    identity stage does not break a downstream kernel's slab path (the
+    pump tracks slab eligibility by object identity).
+    """
+
+    def __call__(self, values: Sequence[Any]) -> list:
+        if isinstance(values, (list, ChunkView)):
+            return values
+        return list(values)
+
+    def describe(self) -> str:
+        return "identity[zero-copy]"
+
+
+class GrepKernel(Kernel):
+    """``contains`` as a two-phase ``uint16`` lane scan with gather verify.
+
+    The first two needle bytes are compared as aligned little-endian
+    ``uint16`` lanes at both phases (covering every byte offset); the
+    remaining needle bytes are checked by sparse gathers at the candidate
+    positions only.  With a slab, the whole records list is scanned once
+    per run and matches are served per chunk as the *original* record
+    objects.
+    """
+
+    def __init__(self, needle: str) -> None:
+        self.needle = needle
+        self._bulk = (
+            _np is not None
+            and len(needle) >= 2
+            and needle.isascii()
+            and "\n" not in needle
+        )
+        if self._bulk:
+            encoded = needle.encode("ascii")
+            self._word = int.from_bytes(encoded[:2], "little")
+            self._tail = _np.frombuffer(encoded[2:], _np.uint8)
+            self._u2 = _np.dtype("<u2")
+        self.supports_slab = self._bulk
+        self._slab: WorkloadSlab | None = None
+        self._indices = None  # sorted matching line indices of the slab
+
+    def _scan(self, data: bytes, size: int):
+        """Sorted byte positions of every needle occurrence in ``data``."""
+        word = self._word
+        candidates = []
+        for phase in range(2):
+            count = (size - phase) // 2
+            if count <= 0:
+                continue
+            lanes = _np.frombuffer(data, self._u2, count, phase)
+            pos = _np.flatnonzero(lanes == word)
+            if len(pos):
+                candidates.append(pos * 2 + phase)
+        if not candidates:
+            return None
+        pos = candidates[0] if len(candidates) == 1 else _np.concatenate(candidates)
+        tail = self._tail
+        if len(tail):
+            pos = pos[pos <= size - (len(tail) + 2)]
+            if len(pos):
+                arr = _np.frombuffer(data, _np.uint8)
+                ok = arr[pos + 2] == tail[0]
+                for j in range(1, len(tail)):
+                    ok &= arr[pos + 2 + j] == tail[j]
+                pos = pos[ok]
+        if not len(pos):
+            return None
+        pos.sort()
+        return pos
+
+    def __call__(self, values: Sequence[Any]) -> list:
+        needle = self.needle
+        if not self._bulk or len(values) < _MIN_BULK:
+            return [v for v in values if needle in v]
+        try:
+            blob = "\n".join(values)
+        except TypeError:  # non-str values: the reference semantics decide
+            return [v for v in values if needle in v]
+        if not blob.isascii():
+            return [v for v in values if needle in v]
+        data = blob.encode("ascii")
+        arr = _np.frombuffer(data, _np.uint8)
+        if int(_np.count_nonzero(arr == _NL)) != len(values) - 1:
+            # some line embeds a newline: blob offsets are ambiguous
+            return [v for v in values if needle in v]
+        positions = self._scan(data, len(data))
+        if positions is None:
+            return []
+        # A match never spans lines (the needle contains no newline), so
+        # each hit lies inside exactly one line of the blob.
+        out: list = []
+        find, rfind = blob.find, blob.rfind
+        line_end = -1
+        for p in positions.tolist():
+            if p < line_end:
+                continue  # another hit in a line already emitted
+            start = rfind("\n", 0, p) + 1
+            line_end = find("\n", p)
+            if line_end == -1:
+                line_end = len(blob)
+            out.append(blob[start:line_end])
+        return out
+
+    def call_slab(
+        self, slab: WorkloadSlab, base: int, values: Sequence[Any]
+    ) -> list:
+        if self._slab is not slab:
+            # One scan per run; flush() drops it before anything outside
+            # the run can observe the slab again.
+            self._slab = slab
+            positions = self._scan(slab.data, slab.size)
+            if positions is None:
+                self._indices = _np.empty(0, _np.int64)
+            else:
+                self._indices = _np.unique(
+                    slab.starts.searchsorted(positions, "right") - 1
+                )
+        indices = self._indices
+        lo = int(indices.searchsorted(base))
+        hi = int(indices.searchsorted(base + len(values)))
+        return [values[i - base] for i in indices[lo:hi].tolist()]
+
+    def flush(self) -> None:
+        self._slab = None
+        self._indices = None
+
+    def describe(self) -> str:
+        return f"grep[u2-scan {self.needle!r}]" if self._bulk else (
+            f"grep[comprehension {self.needle!r}]"
+        )
+
+
+class SampleKernel(Kernel):
+    """``bernoulli`` as a pre-drawn mask from the transplanted MT19937.
+
+    ``random.Random`` and ``numpy.random.RandomState`` share the MT19937
+    core and the same 53-bit double recipe, so moving the 624-word state
+    across produces the *identical* stream.  The state lives in NumPy
+    between :meth:`flush` calls; the pump flushes at end of run (and after
+    every chunk on the recovery path) so that any outside observer of the
+    Python ``rng`` — checkpoints, subsequent runs — sees the true state.
+    """
+
+    def __init__(self, fraction: float, rng: random.Random) -> None:
+        self.fraction = fraction
+        self.rng = rng
+        self._bulk = _np is not None
+        self._state = None
+        self._gauss = None
+
+    def __call__(self, values: Sequence[Any]) -> list:
+        if not self._bulk:
+            rng_random = self.rng.random
+            fraction = self.fraction
+            return [v for v in values if rng_random() < fraction]
+        if not values:
+            return []
+        state = self._state
+        if state is None:
+            py_state = self.rng.getstate()
+            if py_state[0] != 3:  # unknown state version: stay per-record
+                self._bulk = False
+                return self(values)
+            state = _np.random.RandomState()
+            state.set_state(
+                ("MT19937", _np.array(py_state[1][:-1], dtype=_np.uint32),
+                 py_state[1][-1])
+            )
+            self._state = state
+            self._gauss = py_state[2]
+        mask = state.random_sample(len(values)) < self.fraction
+        return list(compress(values, mask.tolist()))
+
+    def flush(self) -> None:
+        state = self._state
+        if state is None:
+            return
+        self._state = None
+        _, keys, pos, _, _ = state.get_state()
+        self.rng.setstate((3, tuple(keys.tolist()) + (int(pos),), self._gauss))
+
+    def describe(self) -> str:
+        return f"sample[mask p={self.fraction}]" if self._bulk else (
+            f"sample[comprehension p={self.fraction}]"
+        )
+
+
+class ColumnKernel(Kernel):
+    """``column`` as closure-free prefix extraction.
+
+    Per chunk, column 0 is ``v.partition(sep)[0]`` — exact by construction
+    (``partition`` and ``split`` agree on the prefix before the first
+    separator, including separator-free lines).  With a slab, the column
+    width is learned from the first line and *proved* uniform for every
+    line vectorized (separator at the learned offset, none earlier, line
+    long enough); the whole column then materializes as one fixed-width
+    NumPy gather + ``tolist`` per run.  Any failed proof falls back to the
+    per-chunk path, and non-str values fall through to the reference
+    ``v.split(sep)[index]`` semantics.
+    """
+
+    def __init__(self, index: int, sep: str) -> None:
+        self.index = index
+        self.sep = sep
+        self._fast = index == 0 and isinstance(sep, str) and len(sep) == 1
+        self.supports_slab = bool(
+            self._fast and _np is not None and ord(sep) < 128
+        )
+        self._slab: WorkloadSlab | None = None
+        self._column: list | None = None
+
+    def __call__(self, values: Sequence[Any]) -> list:
+        sep = self.sep
+        if self._fast:
+            try:
+                return [v.partition(sep)[0] for v in values]
+            except (TypeError, AttributeError):
+                pass  # non-str values: the reference semantics decide
+        return [v.split(sep)[self.index] for v in values]
+
+    def call_slab(
+        self, slab: WorkloadSlab, base: int, values: Sequence[Any]
+    ) -> list:
+        if self._slab is not slab:
+            self._slab = slab
+            self._column = self._project_slab(slab)
+        column = self._column
+        if column is None:  # non-uniform width: per-chunk path for this run
+            return self(values)
+        return column[base : base + len(values)]
+
+    def _project_slab(self, slab: WorkloadSlab) -> list | None:
+        """The full column, or ``None`` when uniform width cannot be proved."""
+        starts = slab.starts
+        n = len(starts)
+        size = slab.size
+        first_end = int(starts[1]) - 1 if n > 1 else size
+        width = slab.text.find(self.sep, 0, first_end)
+        if width < 0:
+            return None
+        lengths = _np.empty(n, _np.int64)
+        lengths[:-1] = starts[1:] - starts[:-1] - 1  # newline excluded
+        lengths[-1] = size - starts[-1]
+        # Every line must own the byte at offset ``width`` (no read past a
+        # short line into its neighbour), carry the separator exactly
+        # there, and nowhere earlier.
+        if not bool((lengths > width).all()):
+            return None
+        sep_byte = ord(self.sep)
+        # Narrow indices halve gather traffic when offsets fit in int32.
+        idx_dtype = _np.int32 if size < 2**31 - (width + 1) else _np.int64
+        s_idx = starts.astype(idx_dtype) if idx_dtype is not _np.int64 else starts
+        gathered = slab.arr[s_idx[:, None] + _np.arange(width + 1, dtype=idx_dtype)]
+        if not bool((gathered[:, width] == sep_byte).all()):
+            return None
+        if width == 0:
+            return [""] * n
+        if bool((gathered[:, :width] == sep_byte).any()):
+            return None
+        # Materialize the column strings in one C pass: overwrite the
+        # separator column with newlines, decode, split.  A prefix can
+        # never contain a newline (the slab has exactly one per boundary),
+        # so the split is exact; the final piece after the last newline is
+        # the empty trailer, popped off.
+        gathered[:, width] = _NL
+        column = gathered.tobytes().decode("ascii").split("\n")
+        column.pop()
+        return column
+
+    def flush(self) -> None:
+        self._slab = None
+        self._column = None
+
+    def describe(self) -> str:
+        return f"column[{self.index} sep={self.sep!r}]"
+
+
+class FusedKernel(Kernel):
+    """A generated single-comprehension kernel (closure-free)."""
+
+    def __init__(self, fn: Callable, args: tuple, source: str) -> None:
+        self._fn = fn
+        self._args = args
+        self.source = source
+
+    def __call__(self, values: Sequence[Any]) -> list:
+        return self._fn(values, *self._args)
+
+    def describe(self) -> str:
+        return f"fused[{self.source.splitlines()[1].strip()}]"
+
+
+class ChainKernel(Kernel):
+    """Sequential composition of kernels (a compiled ``ComposedFunction``)."""
+
+    def __init__(self, ops: list) -> None:
+        self.ops = ops
+
+    def __call__(self, values: Sequence[Any]) -> list:
+        for op in self.ops:
+            values = op(values)
+            if not values:
+                return values if isinstance(values, list) else list(values)
+        return values if isinstance(values, list) else list(values)
+
+    def flush(self) -> None:
+        for op in self.ops:
+            op.flush()
+
+    def describe(self) -> str:
+        return " → ".join(op.describe() for op in self.ops)
+
+
+# ---------------------------------------------------------------------------
+# Fused-comprehension codegen
+
+# Comprehension fragments per spec kind: (role, template, args).  Filter
+# templates always test the raw loop variable (fusion breaks a segment at
+# a filter-after-map); map templates nest into each other textually.
+_FUSE_CACHE: dict = {}
+
+
+def _fragment(spec: KernelSpec):
+    if spec.kind == "contains":
+        return ("filter", "{0} in {v}", (spec.needle,))
+    if spec.kind == "bernoulli":
+        # A bound-method draw per surviving record, in record order —
+        # identical stream to the reference loop.
+        return ("filter", "{0}() < {1}", (spec.rng.random, spec.fraction))
+    if spec.kind == "column":
+        return ("map", "{v}.split({0})[%d]" % spec.index, (spec.sep,))
+    if spec.kind == "item":
+        return ("map", "{v}[%d]" % spec.index, ())
+    if spec.kind == "kv_value":
+        return (
+            "map",
+            "({v}[1] if isinstance({v}, tuple) and len({v}) == 2 else {v})",
+            (),
+        )
+    raise ValueError(f"spec kind {spec.kind!r} has no comprehension fragment")
+
+
+def _fuse(frags: list) -> FusedKernel:
+    """Generate one comprehension for filters-then-maps fragments."""
+    names: list[str] = []
+    args: list = []
+    conds: list[str] = []
+    expr = "v"
+    for role, template, frag_args in frags:
+        frag_names = []
+        for value in frag_args:
+            frag_names.append(f"_a{len(args)}")
+            args.append(value)
+        names.extend(frag_names)
+        rendered = template.format(*frag_names, v=expr)
+        if role == "filter":
+            conds.append(rendered)
+        else:
+            expr = rendered
+    key = tuple((role, template, len(frag_args)) for role, template, frag_args in frags)
+    fn = _FUSE_CACHE.get(key)
+    params = "".join(f", {name}" for name in names)
+    suffix = f" if {' and '.join(conds)}" if conds else ""
+    source = (
+        f"def _fused(values{params}):\n"
+        f"    return [{expr} for v in values{suffix}]"
+    )
+    if fn is None:
+        namespace: dict = {}
+        exec(compile(source, "<repro.dataflow.kernels>", "exec"), namespace)
+        fn = _FUSE_CACHE[key] = namespace["_fused"]
+    return FusedKernel(fn, tuple(args), source)
+
+
+# ---------------------------------------------------------------------------
+# Compilation
+
+
+_BULK_KINDS = {
+    "contains": lambda spec: GrepKernel(spec.needle),
+    "bernoulli": lambda spec: SampleKernel(spec.fraction, spec.rng),
+    "column": lambda spec: ColumnKernel(spec.index, spec.sep),
+}
+
+
+def _build_chain(specs: list) -> Kernel:
+    ops: list[Kernel] = []
+    pending: list = []  # comprehension fragments awaiting fusion
+    pending_mapped = False
+
+    def flush_pending() -> None:
+        nonlocal pending_mapped
+        if pending:
+            ops.append(_fuse(pending))
+            pending.clear()
+        pending_mapped = False
+
+    for spec in specs:
+        if spec.kind == "identity":
+            continue  # a no-op in any position
+        builder = _BULK_KINDS.get(spec.kind)
+        if builder is not None:
+            flush_pending()
+            ops.append(builder(spec))
+            continue
+        role, template, frag_args = _fragment(spec)
+        if role == "filter" and pending_mapped:
+            flush_pending()  # filters must test the raw loop variable
+        pending.append((role, template, frag_args))
+        if role == "map":
+            pending_mapped = True
+    flush_pending()
+    if not ops:
+        return IdentityKernel()
+    if len(ops) == 1:
+        return ops[0]
+    return ChainKernel(ops)
+
+
+def compile_function(function: Any) -> Kernel | None:
+    """Compile a :class:`StreamFunction` into a kernel, or ``None``.
+
+    ``ComposedFunction`` chains compile only when *every* part declares a
+    spec; anything unspecced keeps the ``process_batch`` tier.
+    """
+    from repro.dataflow.functions import ComposedFunction
+
+    if isinstance(function, ComposedFunction):
+        specs = [getattr(part, "kernel_spec", None) for part in function.parts]
+        if not specs or any(spec is None for spec in specs):
+            return None
+        return _build_chain(specs)
+    spec = getattr(function, "kernel_spec", None)
+    if spec is None:
+        return None
+    return _build_chain([spec])

@@ -34,36 +34,19 @@ class BoundedKafkaReader:
     def read_values(self) -> list[Any]:
         """Fetch all record values currently in the topic (fast path).
 
-        Charges the same consumer fetch costs as :meth:`read_records` but
-        skips building :class:`ConsumerRecord` objects.  Under an attached
-        chaos schedule the per-partition fetches are guarded and retried
-        with the cluster's default policy, like every other client.
+        Delegates to :meth:`Consumer.poll_values` — one unbounded bulk
+        poll over all partitions, skipping :class:`ConsumerRecord`
+        allocation entirely.  The reader's own retry stream is handed to
+        the consumer, so charges, guard order and chaos retry draws are
+        exactly those of the direct per-partition fetches this replaced.
         """
-        from repro.broker.retry import run_with_retries
-
         topic = self.cluster.topic(self.topic)
-        values: list[Any] = []
-        for index, partition in enumerate(topic.partitions):
-
-            def attempt(index: int = index, partition=partition) -> list[Any]:
-                self.cluster.guard_request(self.topic, index)
-                return partition.read_values(0)
-
-            if self.cluster.default_retry_policy is not None:
-                values.extend(
-                    run_with_retries(
-                        self.cluster.simulator,
-                        self.cluster.default_retry_policy,
-                        self._retry_rng,
-                        attempt,
-                    )
-                )
-            else:
-                values.extend(attempt())
-        costs = self.cluster.costs
-        self.cluster.simulator.charge(
-            costs.request_overhead + costs.fetch_per_record * len(values)
+        consumer = Consumer(self.cluster, retry_rng=self._retry_rng)
+        consumer.assign(
+            [TopicPartition(self.topic, p) for p in range(topic.num_partitions)]
         )
+        values = consumer.poll_values()
+        consumer.close()
         return values
 
     def read_records(self) -> list[Any]:

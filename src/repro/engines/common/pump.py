@@ -57,21 +57,29 @@ class StreamPump:
     task launch).  Tuple-at-a-time engines leave it ``None``; chunking then
     exists purely as simulation granularity and does not affect totals.
 
-    **Execution fast path.**  Each chunk runs through the stages via
-    :meth:`StreamFunction.process_batch`, so host-side dispatch cost is per
-    chunk, not per record.  This changes nothing observable: the chunk
-    boundaries, per-chunk cost charges, emission timestamps, and the
-    determinism contract (exactly three variance draws per run) are
-    identical to per-record execution.  The class attribute ``vectorized``
-    selects the path; flipping it to ``False`` re-enables the per-record
-    reference loop, which the equivalence test suite and the host-perf
-    baseline (``benchmarks/perf/``) use to prove bit-identical behaviour
-    and to measure the speedup.
+    **Execution tiers.**  Each chunk runs through the stages at one of
+    three host-side tiers, fastest available first: a **compiled kernel**
+    (``repro.dataflow.kernels``; used when the stage's function declares a
+    :class:`~repro.dataflow.kernels.KernelSpec` and ``use_kernels`` is on),
+    the chunk-at-a-time **batch** path (:meth:`StreamFunction.process_batch`,
+    when ``vectorized`` is on), or the per-record **reference loop**.  Tier
+    choice changes nothing observable: the chunk boundaries, per-chunk cost
+    charges, emission timestamps, and the determinism contract (exactly
+    three variance draws per run) are identical in all three — the
+    equivalence suites (``tests/engines/test_batch_equivalence.py``,
+    ``tests/engines/test_kernel_equivalence.py``) and the host-perf
+    baseline (``benchmarks/perf/``) prove bit-identical behaviour and
+    measure the speedups.  Kernels may adopt RNG state for bulk drawing;
+    :meth:`run` returns it at the end of the run (and the recovery path
+    after every chunk) via the kernels' ``flush`` hooks.
     """
 
     #: Use the batch fast path (class-level switch; the reference
     #: per-record loop stays available for equivalence and perf baselines).
     vectorized: bool = True
+    #: Execute spec-declaring functions through compiled kernels (the
+    #: third tier; only consulted when ``vectorized`` is also on).
+    use_kernels: bool = True
 
     def __init__(
         self,
@@ -133,34 +141,54 @@ class StreamPump:
         injected = total == 0
         processed = 0
 
-        for batch in self._batches(records):
-            if self.micro_batch_records is not None and batch:
-                overhead = self.per_batch_overhead
-                base_duration += overhead
-                self.simulator.charge(overhead * factor)
-            for start in range(0, len(batch), chunk_size):
-                chunk = batch[start : start + chunk_size]
-                chunk_cost, outputs = self._process_chunk(chunk, metrics)
-                base_duration += chunk_cost
-                self.simulator.charge(chunk_cost * factor)
-                processed += len(chunk)
-                if not injected and processed >= inject_at * total:
-                    self.simulator.charge(additive)
-                    injected = True
-                if outputs:
-                    if self.emit is not None:
-                        self.emit(outputs)
-                    records_out += len(outputs)
-                    if first_emit is None:
-                        first_emit = self.simulator.now()
-                    last_emit = self.simulator.now()
-            if self.on_batch_end is not None:
-                self.on_batch_end()
+        slab = self._workload_slab(records)
+        if slab is not None:
+            from repro.dataflow.kernels import ChunkView
+        try:
+            for batch in self._batches(records):
+                if self.micro_batch_records is not None and batch:
+                    overhead = self.per_batch_overhead
+                    base_duration += overhead
+                    self.simulator.charge(overhead * factor)
+                for start in range(0, len(batch), chunk_size):
+                    if slab is None:
+                        chunk = batch[start : start + chunk_size]
+                    else:
+                        # Slab path: hand kernels a zero-copy window — the
+                        # slab already owns the record references.
+                        chunk = ChunkView(
+                            batch, start, min(start + chunk_size, len(batch))
+                        )
+                    # _run_stages directly (not _process_chunk): within one
+                    # run, kernel state flushes once at the end, not per
+                    # chunk — nothing observes the adopted RNG mid-run.
+                    # ``processed`` is the chunk's offset into ``records``,
+                    # which slab-aware kernels need to serve per-run scans.
+                    chunk_cost, outputs = self._run_stages(
+                        chunk, metrics, 0, slab, processed
+                    )
+                    base_duration += chunk_cost
+                    self.simulator.charge(chunk_cost * factor)
+                    processed += len(chunk)
+                    if not injected and processed >= inject_at * total:
+                        self.simulator.charge(additive)
+                        injected = True
+                    if outputs:
+                        if self.emit is not None:
+                            self.emit(outputs)
+                        records_out += len(outputs)
+                        if first_emit is None:
+                            first_emit = self.simulator.now()
+                        last_emit = self.simulator.now()
+                if self.on_batch_end is not None:
+                    self.on_batch_end()
 
-        # End of the bounded input: drain buffering functions (grouping,
-        # windowed aggregation) and cascade their trailing output through
-        # the remaining stages.
-        drain_cost, drain_outputs = self.drain(metrics)
+            # End of the bounded input: drain buffering functions (grouping,
+            # windowed aggregation) and cascade their trailing output through
+            # the remaining stages.
+            drain_cost, drain_outputs = self.drain(metrics)
+        finally:
+            self._flush_kernels()
         if drain_cost:
             base_duration += drain_cost
             self.simulator.charge(drain_cost * factor)
@@ -222,39 +250,98 @@ class StreamPump:
         """
         cost = 0.0
         collected: list[Any] = []
-        for index, stage in enumerate(self.stages):
-            if stage.function is None:
-                continue
-            values = list(stage.function.finish())
-            if not values:
-                continue
-            emit_cost = stage.costs.charge(records_in=0, records_out=len(values))
-            metrics.operator(stage.name).record(0, len(values), emit_cost)
-            cost += emit_cost
-            tail_cost, outputs = self._run_stages(values, metrics, index + 1)
-            cost += tail_cost
-            collected.extend(outputs)
+        try:
+            for index, stage in enumerate(self.stages):
+                if stage.function is None:
+                    continue
+                values = list(stage.function.finish())
+                if not values:
+                    continue
+                emit_cost = stage.costs.charge(records_in=0, records_out=len(values))
+                metrics.operator(stage.name).record(0, len(values), emit_cost)
+                cost += emit_cost
+                tail_cost, outputs = self._run_stages(values, metrics, index + 1)
+                cost += tail_cost
+                collected.extend(outputs)
+        finally:
+            # Callers that drain outside run() (the recovery path) must
+            # also observe true RNG state afterwards.
+            self._flush_kernels()
         return cost, collected
 
     def _process_chunk(
         self, chunk: Sequence[Any], metrics: JobMetrics
     ) -> tuple[float, list[Any]]:
-        """Run one chunk through every stage; return (cost, sink records)."""
-        return self._run_stages(chunk, metrics, 0)
+        """Run one chunk through every stage; return (cost, sink records).
+
+        Unlike :meth:`run`'s inner loop this flushes adopted kernel state
+        after every call: external chunk-steppers (checkpointing recovery)
+        interleave chunk processing with state observation — snapshots,
+        replays — which must see the true Python RNG state.
+        """
+        try:
+            return self._run_stages(chunk, metrics, 0)
+        finally:
+            self._flush_kernels()
+
+    def _flush_kernels(self) -> None:
+        """Return state adopted by any compiled kernel (RNG) to its owner."""
+        for stage in self.stages:
+            kernel = stage.cached_kernel()
+            if kernel is not None:
+                kernel.flush()
+
+    def _workload_slab(self, records: Sequence[Any]):
+        """The shared slab for this run's records, if any kernel wants one.
+
+        Only consulted on the kernel tier.  The slab build amortizes
+        across runs (and matrix cells) because broker column lists and
+        the workload cache hand the pump the same list object each time.
+        """
+        if not (self.use_kernels and self.vectorized):
+            return None
+        for stage in self.stages:
+            if stage.kind is StageKind.OPERATOR:
+                kernel = stage.compiled_kernel()
+                if kernel is not None and kernel.supports_slab:
+                    from repro.dataflow.kernels import slab_for
+
+                    return slab_for(records)
+        return None
 
     def _run_stages(
-        self, values: Sequence[Any], metrics: JobMetrics, start: int
+        self,
+        values: Sequence[Any],
+        metrics: JobMetrics,
+        start: int,
+        slab=None,
+        base: int = 0,
     ) -> tuple[float, list[Any]]:
+        use_kernels = self.use_kernels and self.vectorized
         cost = 0.0
+        # ``values`` is an untransformed slice of the slab's records list
+        # until the first stage that returns a different list; slab-aware
+        # kernels may use the precomputed slab only while that holds.
+        pristine = slab is not None
         for stage in self.stages[start:]:
             n_in = len(values)
             if stage.kind is StageKind.OPERATOR:
                 assert stage.function is not None
-                if self.vectorized:
+                kernel = stage.compiled_kernel() if use_kernels else None
+                if kernel is not None:
+                    if pristine and kernel.supports_slab:
+                        outputs = kernel.call_slab(slab, base, values)
+                    else:
+                        outputs = kernel(values)
+                    pristine = pristine and outputs is values
+                    values = outputs
+                elif self.vectorized:
+                    pristine = False
                     values = stage.function.process_batch(values)
                 else:
                     # Reference per-record loop: kept for the equivalence
                     # suite and the perf baseline, not used in production.
+                    pristine = False
                     next_values: list[Any] = []
                     extend = next_values.extend
                     process = stage.function.process

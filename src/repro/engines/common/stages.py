@@ -38,6 +38,13 @@ class PhysicalStage:
     #: Free-form annotations (e.g. which Beam transform produced the stage);
     #: used by plan rendering and the ablation benchmarks.
     tags: dict[str, str] = field(default_factory=dict)
+    #: Lazily compiled kernel, cached as a 1-tuple so "compiled to None"
+    #: (no kernel available) is distinguishable from "never compiled".
+    #: Cached on the stage so pumps recreated over the same stages (the
+    #: recovery path builds one per checkpoint epoch) reuse the kernel.
+    _kernel: tuple | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         if self.kind is StageKind.OPERATOR and self.function is None:
@@ -57,3 +64,24 @@ class PhysicalStage:
     def rng_draws(self) -> float:
         """Per-record RNG draws of the fused function (0 for source/sink)."""
         return self.function.rng_draws_per_record if self.function is not None else 0.0
+
+    def compiled_kernel(self):
+        """The stage function's compiled kernel, or ``None`` (cached)."""
+        cached = self._kernel
+        if cached is None:
+            if self.function is None:
+                kernel = None
+            else:
+                from repro.dataflow.kernels import compile_function
+
+                kernel = compile_function(self.function)
+            cached = self._kernel = (kernel,)
+        return cached[0]
+
+    def cached_kernel(self):
+        """The compiled kernel if compilation already happened, else ``None``.
+
+        Lets the pump flush adopted kernel state without forcing
+        compilation of stages whose kernel was never needed.
+        """
+        return self._kernel[0] if self._kernel is not None else None

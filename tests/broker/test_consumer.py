@@ -267,3 +267,102 @@ class TestLifecycle:
             consumer.assign([TopicPartition("t", 0)])
         with pytest.raises(ConsumerClosedError):
             consumer.poll()
+
+
+class TestPollValues:
+    """The bulk values fast path: same records, charges and positions as
+    ``poll``, without ``ConsumerRecord`` materialization."""
+
+    def test_values_match_poll(self, cluster):
+        consumer = Consumer(cluster)
+        consumer.assign([TopicPartition("t", 0)])
+        assert consumer.poll_values() == [f"v{i}" for i in range(20)]
+
+    def test_respects_max_records(self, cluster):
+        consumer = Consumer(cluster)
+        consumer.assign([TopicPartition("t", 0)])
+        assert consumer.poll_values(max_records=7) == [f"v{i}" for i in range(7)]
+        assert consumer.poll_values(max_records=7) == [f"v{i}" for i in range(7, 14)]
+
+    def test_invalid_max_raises(self, cluster):
+        consumer = Consumer(cluster)
+        consumer.assign([TopicPartition("t", 0)])
+        with pytest.raises(ValueError):
+            consumer.poll_values(max_records=0)
+
+    def test_advances_position(self, cluster):
+        consumer = Consumer(cluster)
+        tp = TopicPartition("t", 0)
+        consumer.assign([tp])
+        consumer.poll_values(max_records=5)
+        assert consumer.position(tp) == 5
+        consumer.poll_values()
+        assert consumer.position(tp) == 20
+        assert consumer.poll_values() == []
+
+    def test_with_timestamps_aligned(self, cluster):
+        consumer = Consumer(cluster)
+        consumer.assign([TopicPartition("t", 0)])
+        values, stamps = consumer.poll_values(with_timestamps=True)
+        log = cluster.topic("t").partition(0)
+        assert len(stamps) == len(values)
+        assert list(stamps) == [r.timestamp for r in log.iter_all()]
+        assert stamps.typecode == "d"
+
+    def test_charges_equal_poll(self):
+        """Same fetched count -> identical simulated clock as ``poll``."""
+
+        def world():
+            sim = Simulator(seed=9)
+            c = BrokerCluster(sim)
+            c.create_topic("t")
+            with Producer(c) as producer:
+                producer.send_values("t", [f"v{i}" for i in range(50)])
+            consumer = Consumer(c)
+            consumer.assign([TopicPartition("t", 0)])
+            return sim, consumer
+
+        sim_a, consumer_a = world()
+        consumer_a.poll(max_records=50)
+        sim_b, consumer_b = world()
+        consumer_b.poll_values()
+        assert sim_a.now() == sim_b.now()
+        assert consumer_a.records_fetched == consumer_b.records_fetched
+
+    def test_full_drain_adopts_live_column_zero_copy(self, cluster):
+        """An uncapped single-partition drain from offset 0 returns the
+        partition log's value column itself — no reference copy."""
+        consumer = Consumer(cluster)
+        consumer.assign([TopicPartition("t", 0)])
+        values = consumer.poll_values()
+        assert values is cluster.topic("t").partition(0)._values
+
+    def test_capped_or_resumed_drain_copies(self, cluster):
+        consumer = Consumer(cluster)
+        consumer.assign([TopicPartition("t", 0)])
+        live = cluster.topic("t").partition(0)._values
+        assert consumer.poll_values(max_records=5) is not live
+        assert consumer.poll_values() is not live  # position is now 5
+
+    def test_timestamp_drain_copies(self, cluster):
+        consumer = Consumer(cluster)
+        consumer.assign([TopicPartition("t", 0)])
+        values, _ = consumer.poll_values(with_timestamps=True)
+        assert values is not cluster.topic("t").partition(0)._values
+
+    def test_multi_partition_drain_never_mutates_logs(self, sim):
+        """With several partitions the adopted first batch is extended —
+        which must never grow a live log column."""
+        c = BrokerCluster(sim)
+        c.create_topic("m", TopicConfig(num_partitions=2))
+        with Producer(c) as producer:
+            for i in range(10):
+                producer.send("m", f"v{i}", partition=i % 2)
+        consumer = Consumer(c)
+        consumer.assign([TopicPartition("m", 0), TopicPartition("m", 1)])
+        values = consumer.poll_values()
+        log0 = c.topic("m").partition(0)
+        log1 = c.topic("m").partition(1)
+        assert len(log0) == 5 and len(log1) == 5
+        assert values is not log0._values and values is not log1._values
+        assert sorted(values) == [f"v{i}" for i in range(10)]

@@ -1,5 +1,7 @@
 """Tests for repro.broker.log."""
 
+from array import array
+
 import pytest
 
 from repro.broker.errors import OffsetOutOfRangeError
@@ -126,6 +128,80 @@ class TestRead:
         assert record.key == "k"
         assert record.value == "v"
         assert record.timestamp_type is TimestampType.LOG_APPEND_TIME
+
+
+class TestTimestampSlab:
+    """The timestamp column is a compact ``array('d')``, bit-exact."""
+
+    def test_column_is_a_double_array(self, log):
+        log.append_batch(["a", "b"])
+        assert isinstance(log._timestamps, array)
+        assert log._timestamps.typecode == "d"
+
+    def test_read_timestamps_matches_records(self, clock, log):
+        for i in range(6):
+            clock.advance(0.1 + i * 0.01)
+            log.append(i)
+        stamps = log.read_timestamps(0)
+        assert list(stamps) == [r.timestamp for r in log.iter_all()]
+
+    def test_read_timestamps_offset_and_limit(self, clock, log):
+        for i in range(5):
+            clock.advance(1.0)
+            log.append(i)
+        assert list(log.read_timestamps(2)) == [3.0, 4.0, 5.0]
+        assert list(log.read_timestamps(1, max_records=2)) == [2.0, 3.0]
+
+    def test_read_timestamps_bounds(self, log):
+        log.append("a")
+        with pytest.raises(OffsetOutOfRangeError):
+            log.read_timestamps(2)
+        with pytest.raises(OffsetOutOfRangeError):
+            log.read_timestamps(-1)
+
+    def test_doubles_round_trip_exactly(self, clock, log):
+        """array('d') stores C doubles: values read out are bit-identical."""
+        awkward = 0.1 + 0.2  # not representable prettily, still exact
+        clock.advance(awkward)
+        log.append("a")
+        assert log.read_timestamps(0)[0] == awkward
+
+    def test_truncate_clears_timestamps(self, clock, log):
+        clock.advance(1.0)
+        log.append_batch(["a", "b"])
+        log.truncate()
+        assert len(log) == 0
+        assert len(log._timestamps) == 0
+        assert log.first_timestamp() is None
+        assert log.last_timestamp() is None
+
+
+class TestZeroCopyRead:
+    """``read_values(copy=False)`` hands out the live column itself."""
+
+    def test_full_read_from_zero_returns_live_column(self, log):
+        log.append_batch(list(range(5)))
+        values = log.read_values(0, copy=False)
+        assert values is log._values
+
+    def test_default_read_is_a_copy(self, log):
+        log.append_batch(list(range(5)))
+        values = log.read_values(0)
+        assert values == list(range(5))
+        assert values is not log._values
+
+    def test_offset_or_capped_reads_always_copy(self, log):
+        log.append_batch(list(range(5)))
+        assert log.read_values(1, copy=False) is not log._values
+        assert log.read_values(0, max_records=3, copy=False) is not log._values
+
+    def test_live_column_sees_later_appends(self, log):
+        """The zero-copy list IS the log: growth is visible (callers that
+        requested it treat the list as read-only)."""
+        log.append_batch(["a"])
+        values = log.read_values(0, copy=False)
+        log.append("b")
+        assert values == ["a", "b"]
 
 
 class TestTimestampsAndTruncate:

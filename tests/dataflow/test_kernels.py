@@ -1,0 +1,489 @@
+"""Unit tests for the compiled kernel layer (``repro.dataflow.kernels``).
+
+The equivalence suite (``tests/engines/test_kernel_equivalence.py``)
+proves tier bit-identity end to end; this file exercises each kernel's
+guards, fallbacks and adversarial inputs directly — the cases where a
+kernel must *refuse* its fast path to stay exact.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+import repro.dataflow.kernels as kernels
+from repro.dataflow.functions import (
+    FilterFunction,
+    IdentityFunction,
+    MapFunction,
+    compose,
+)
+from repro.dataflow.kernels import (
+    ChainKernel,
+    ChunkView,
+    ColumnKernel,
+    FusedKernel,
+    GrepKernel,
+    IdentityKernel,
+    KernelSpec,
+    SampleKernel,
+    WorkloadSlab,
+    compile_function,
+    slab_for,
+)
+
+np = pytest.importorskip("numpy")
+
+
+def ref_grep(needle, values):
+    return [v for v in values if needle in v]
+
+
+def ref_column(index, sep, values):
+    return [v.split(sep)[index] for v in values]
+
+
+# ---------------------------------------------------------------------------
+# GrepKernel
+
+
+class TestGrepKernel:
+    def test_bulk_matches_reference(self):
+        values = [f"row {i} of the test data" if i % 3 else f"row {i}" for i in range(500)]
+        kernel = GrepKernel("test")
+        assert kernel(values) == ref_grep("test", values)
+
+    def test_needle_at_line_boundaries(self):
+        """Hits at line starts, line ends, and exact blob edges."""
+        values = ["abXY", "XYab", "XY", "aXYb", "noope", "xXY"]  # XY everywhere
+        kernel = GrepKernel("XY")
+        # force the bulk path despite the small chunk
+        values = values * 10
+        assert kernel(values) == ref_grep("XY", values)
+
+    def test_needle_spanning_lines_never_matches(self):
+        """'b\\na' appears in the joined blob but in no single record."""
+        values = ["xb", "ay"] * 40
+        kernel = GrepKernel("ba")
+        assert kernel(values) == []
+
+    def test_multiple_hits_in_one_line_dedup(self):
+        values = ["XY and XY and XY", "plain"] * 40
+        kernel = GrepKernel("XY")
+        assert kernel(values) == ref_grep("XY", values)
+
+    def test_non_ascii_values_fall_back(self):
+        values = ["héllo test", "plain test", "nope"] * 20
+        kernel = GrepKernel("test")
+        assert kernel(values) == ref_grep("test", values)
+
+    def test_non_ascii_needle_falls_back(self):
+        values = ["héllo", "hello"] * 40
+        kernel = GrepKernel("é")
+        assert not kernel._bulk
+        assert kernel(values) == ref_grep("é", values)
+
+    def test_single_char_needle_falls_back(self):
+        """The u2 scan needs two needle bytes; one-byte needles stay exact
+        through the comprehension."""
+        values = ["abc", "xyz", "a"] * 40
+        kernel = GrepKernel("a")
+        assert not kernel._bulk
+        assert kernel(values) == ref_grep("a", values)
+
+    def test_needle_with_newline_falls_back(self):
+        values = ["one\ntwo", "three"] * 40
+        kernel = GrepKernel("e\nt")
+        assert not kernel._bulk
+        assert kernel(values) == ref_grep("e\nt", values)
+
+    def test_values_with_embedded_newlines_fall_back(self):
+        values = ["a\nXYb" if i % 5 == 0 else f"row{i}XY" for i in range(200)]
+        kernel = GrepKernel("XY")
+        assert kernel(values) == ref_grep("XY", values)
+
+    def test_non_str_values_fall_back_to_reference_semantics(self):
+        """Lists support ``in`` as membership: join fails, the fallback
+        comprehension applies the exact same (element) semantics."""
+        values = [["xx", 2], [2, 3]] * 40
+        kernel = GrepKernel("xx")
+        assert kernel(values) == [v for v in values if "xx" in v]
+
+    def test_small_chunks_use_comprehension(self):
+        values = ["a test", "nope"]
+        kernel = GrepKernel("test")
+        assert kernel(values) == ["a test"]
+
+    def test_two_byte_needle_no_tail(self):
+        """Needle of exactly two bytes skips the tail verify entirely."""
+        values = [f"{i:04d}ab" if i % 2 else f"{i:04d}" for i in range(300)]
+        kernel = GrepKernel("ab")
+        assert kernel(values) == ref_grep("ab", values)
+
+    def test_describe_names_the_path(self):
+        assert "u2-scan" in GrepKernel("test").describe()
+        assert "comprehension" in GrepKernel("é").describe()
+
+
+# ---------------------------------------------------------------------------
+# ColumnKernel
+
+
+class TestColumnKernel:
+    def test_column_zero_matches_split(self):
+        values = [f"user{i}\tquery {i}\t{i}" for i in range(100)]
+        kernel = ColumnKernel(0, "\t")
+        assert kernel(values) == ref_column(0, "\t", values)
+
+    def test_separator_free_lines_exact(self):
+        """split(sep)[0] of a separator-free line is the whole line."""
+        values = ["no-tabs-here", "a\tb", "also no tabs"] * 10
+        kernel = ColumnKernel(0, "\t")
+        assert kernel(values) == ref_column(0, "\t", values)
+
+    def test_nonzero_index_falls_back(self):
+        values = [f"a\tb{i}\tc" for i in range(50)]
+        kernel = ColumnKernel(1, "\t")
+        assert not kernel._fast
+        assert kernel(values) == ref_column(1, "\t", values)
+
+    def test_multichar_sep_falls_back(self):
+        values = [f"a::b{i}" for i in range(50)]
+        kernel = ColumnKernel(0, "::")
+        assert kernel(values) == ref_column(0, "::", values)
+
+    def test_non_str_values_fall_back_to_reference_semantics(self):
+        kernel = ColumnKernel(0, "\t")
+        with pytest.raises(AttributeError):
+            kernel([object()])
+
+    def test_missing_column_raises_like_reference(self):
+        values = ["only-one-field"]
+        kernel = ColumnKernel(2, "\t")
+        with pytest.raises(IndexError):
+            kernel(values)
+
+
+class TestColumnSlabProjection:
+    def _slab(self, values):
+        slab = kernels._build_slab(values)
+        assert slab is not None
+        return slab
+
+    def test_uniform_width_projects_exactly(self):
+        values = [f"{100000 + i}\tquery {i}" for i in range(300)]
+        kernel = ColumnKernel(0, "\t")
+        column = kernel._project_slab(self._slab(values))
+        assert column == ref_column(0, "\t", values)
+
+    def test_nonuniform_width_refused(self):
+        values = [f"{'x' * (5 + i % 3)}\trest" for i in range(100)]
+        kernel = ColumnKernel(0, "\t")
+        assert kernel._project_slab(self._slab(values)) is None
+
+    def test_short_line_cannot_read_into_neighbour(self):
+        """A line shorter than the learned width must refuse the gather —
+        the byte at ``start + width`` belongs to the *next* line."""
+        values = ["abcdef\trest"] * 50 + ["ab"] + ["abcdef\trest"] * 50
+        kernel = ColumnKernel(0, "\t")
+        assert kernel._project_slab(self._slab(values)) is None
+
+    def test_earlier_separator_refused(self):
+        values = ["abcdef\trest"] * 50 + ["ab\tcdef\trest"] + ["abcdef\trest"] * 50
+        kernel = ColumnKernel(0, "\t")
+        assert kernel._project_slab(self._slab(values)) is None
+
+    def test_no_separator_in_first_line_refused(self):
+        values = ["nosep"] + [f"abc\tdef{i}" for i in range(50)]
+        kernel = ColumnKernel(0, "\t")
+        assert kernel._project_slab(self._slab(values)) is None
+
+    def test_width_zero_column(self):
+        values = ["\trest of line"] * 80
+        kernel = ColumnKernel(0, "\t")
+        assert kernel._project_slab(self._slab(values)) == [""] * 80
+
+    def test_call_slab_serves_windows(self):
+        values = [f"{100000 + i}\tq{i}" for i in range(200)]
+        slab = self._slab(values)
+        kernel = ColumnKernel(0, "\t")
+        expected = ref_column(0, "\t", values)
+        assert kernel.call_slab(slab, 0, values[0:64]) == expected[0:64]
+        assert kernel.call_slab(slab, 64, values[64:128]) == expected[64:128]
+        assert kernel.call_slab(slab, 128, values[128:200]) == expected[128:200]
+        kernel.flush()
+        assert kernel._slab is None and kernel._column is None
+
+    def test_call_slab_nonuniform_falls_back_per_chunk(self):
+        values = [f"{'x' * (5 + i % 3)}\trest{i}" for i in range(120)]
+        slab = self._slab(values)
+        kernel = ColumnKernel(0, "\t")
+        out = kernel.call_slab(slab, 0, values[:60]) + kernel.call_slab(
+            slab, 60, values[60:]
+        )
+        assert out == ref_column(0, "\t", values)
+
+    def test_projected_strings_are_real_strs(self):
+        values = [f"{100000 + i}\tq" for i in range(100)]
+        kernel = ColumnKernel(0, "\t")
+        column = kernel._project_slab(self._slab(values))
+        assert all(type(v) is str for v in column)
+
+
+# ---------------------------------------------------------------------------
+# SampleKernel
+
+
+class TestSampleKernel:
+    def test_identical_stream_to_python_rng(self):
+        values = list(range(1000))
+        rng = random.Random(42)
+        kernel = SampleKernel(0.3, rng)
+        picked = kernel(values)
+        kernel.flush()
+        ref_rng = random.Random(42)
+        assert picked == [v for v in values if ref_rng.random() < 0.3]
+        assert rng.getstate() == ref_rng.getstate()
+
+    def test_flush_is_idempotent(self):
+        rng = random.Random(1)
+        kernel = SampleKernel(0.5, rng)
+        kernel(list(range(64)))
+        kernel.flush()
+        state = rng.getstate()
+        kernel.flush()
+        assert rng.getstate() == state
+
+    def test_state_resumes_across_chunks(self):
+        rng = random.Random(7)
+        kernel = SampleKernel(0.5, rng)
+        out = kernel(list(range(100))) + kernel(list(range(100, 200)))
+        kernel.flush()
+        ref_rng = random.Random(7)
+        assert out == [v for v in range(200) if ref_rng.random() < 0.5]
+
+    def test_empty_chunk_draws_nothing(self):
+        rng = random.Random(3)
+        before = rng.getstate()
+        kernel = SampleKernel(0.5, rng)
+        assert kernel([]) == []
+        kernel.flush()
+        assert rng.getstate() == before
+
+
+# ---------------------------------------------------------------------------
+# Identity, fusion, chains, compilation
+
+
+class TestIdentityKernel:
+    def test_zero_copy_list(self):
+        values = [1, 2, 3]
+        assert IdentityKernel()(values) is values
+
+    def test_chunk_view_passes_through(self):
+        view = ChunkView([1, 2, 3, 4], 1, 3)
+        assert IdentityKernel()(view) is view
+
+    def test_other_sequences_materialize(self):
+        assert IdentityKernel()((1, 2)) == [1, 2]
+
+
+class TestChunkView:
+    def test_sequence_surface(self):
+        view = ChunkView(list(range(10)), 2, 7)
+        assert len(view) == 5
+        assert list(view) == [2, 3, 4, 5, 6]
+        assert view[0] == 2
+        assert view[4] == 6
+        assert view[-1] == 6
+        assert view[1:3] == [3, 4]
+        with pytest.raises(IndexError):
+            view[5]
+
+    def test_truthiness(self):
+        assert not ChunkView([1], 0, 0)
+        assert ChunkView([1], 0, 1)
+
+
+class TestFusionAndChains:
+    def test_composed_all_spec_compiles(self):
+        rng = random.Random(5)
+        fn = compose(
+            [
+                FilterFunction(
+                    lambda v: rng.random() < 0.5,
+                    kernel_spec=KernelSpec.bernoulli(0.5, rng),
+                ),
+                MapFunction(
+                    lambda v: v.split("\t")[0], kernel_spec=KernelSpec.column(0, "\t")
+                ),
+                IdentityFunction(),
+            ]
+        )
+        kernel = compile_function(fn)
+        assert kernel is not None
+        values = [f"a{i}\tb" for i in range(200)]
+        ref_rng = random.Random(5)
+        expected = [
+            v.split("\t")[0] for v in values if ref_rng.random() < 0.5
+        ]
+        out = kernel(values)
+        kernel.flush()
+        assert out == expected
+
+    def test_composed_with_unspecced_part_does_not_compile(self):
+        fn = compose(
+            [
+                MapFunction(str.upper),  # no spec
+                IdentityFunction(),
+            ]
+        )
+        assert compile_function(fn) is None
+
+    def test_unspecced_function_does_not_compile(self):
+        assert compile_function(MapFunction(str.upper)) is None
+
+    def test_identity_only_chain_is_identity(self):
+        fn = compose([IdentityFunction(), IdentityFunction()])
+        kernel = compile_function(fn)
+        assert isinstance(kernel, IdentityKernel)
+
+    def test_fused_comprehension_cache_reused(self):
+        spec_a = [KernelSpec.item(0), KernelSpec.item(1)]
+        spec_b = [KernelSpec.item(0), KernelSpec.item(1)]
+        ka = kernels._build_chain(spec_a)
+        kb = kernels._build_chain(spec_b)
+        assert isinstance(ka, FusedKernel) and isinstance(kb, FusedKernel)
+        assert ka._fn is kb._fn  # compiled once, parameterized per instance
+
+    def test_filter_after_map_breaks_fusion_segment(self):
+        """A filter must test the raw loop variable, so map→filter chains
+        split into sequential kernels rather than fusing wrongly."""
+        fn = compose(
+            [
+                MapFunction(lambda v: v[0], kernel_spec=KernelSpec.item(0)),
+                FilterFunction(
+                    lambda v: "x" in v, kernel_spec=KernelSpec.contains("xx")
+                ),
+            ]
+        )
+        kernel = compile_function(fn)
+        values = [("xxab",), ("cd",)] * 40
+        assert kernel(values) == [v[0] for v in values if "xx" in v[0]]
+
+    def test_chain_flush_cascades(self):
+        rng = random.Random(9)
+        specs = [KernelSpec.bernoulli(0.5, rng), KernelSpec.contains("ab")]
+        kernel = kernels._build_chain(specs)
+        assert isinstance(kernel, ChainKernel)
+        kernel(["ab", "cd"] * 40)
+        kernel.flush()
+        # after flush, the sample op has returned its adopted state
+        sample_op = kernel.ops[0]
+        assert sample_op._state is None
+
+
+# ---------------------------------------------------------------------------
+# Workload slabs
+
+
+class TestWorkloadSlab:
+    def test_build_and_offsets(self):
+        records = ["alpha", "b", "", "gamma"]
+        slab = kernels._build_slab(records)
+        assert isinstance(slab, WorkloadSlab)
+        assert slab.text == "alpha\nb\n\ngamma"
+        assert slab.starts.tolist() == [0, 6, 8, 9]
+        for i, rec in enumerate(records):
+            start = int(slab.starts[i])
+            assert slab.text[start : start + len(rec)] == rec
+
+    def test_embedded_newline_refused(self):
+        assert kernels._build_slab(["a", "b\nc"]) is None
+
+    def test_non_ascii_refused(self):
+        assert kernels._build_slab(["héllo", "x"]) is None
+
+    def test_non_str_refused(self):
+        assert kernels._build_slab([1, 2, 3]) is None
+
+    def test_slab_for_threshold_and_type(self, monkeypatch):
+        monkeypatch.setattr(kernels, "SLAB_MIN_RECORDS", 4)
+        assert slab_for(["a", "b"]) is None  # below threshold
+        assert slab_for(("a", "b", "c", "d", "e")) is None  # not a list
+        records = ["a", "b", "c", "d", "e"]
+        slab = slab_for(records)
+        assert slab is not None and slab.records is records
+
+    def test_slab_cached_by_identity(self, monkeypatch):
+        monkeypatch.setattr(kernels, "SLAB_MIN_RECORDS", 2)
+        records = ["a", "b", "c"]
+        assert slab_for(records) is slab_for(records)
+        assert slab_for(list(records)) is not slab_for(records)
+
+    def test_failed_build_memoized(self, monkeypatch):
+        monkeypatch.setattr(kernels, "SLAB_MIN_RECORDS", 2)
+        records = ["a\nb", "c"]
+        assert slab_for(records) is None
+        builds = []
+        original = kernels._build_slab
+        monkeypatch.setattr(
+            kernels, "_build_slab", lambda r: builds.append(1) or original(r)
+        )
+        assert slab_for(records) is None
+        assert not builds  # the failure was served from the memo
+
+    def test_grown_list_invalidates_entry(self, monkeypatch):
+        monkeypatch.setattr(kernels, "SLAB_MIN_RECORDS", 2)
+        records = ["a", "b", "c"]
+        first = slab_for(records)
+        records.append("d")
+        second = slab_for(records)
+        assert second is not first
+        assert second.text == "a\nb\nc\nd"
+
+    def test_cache_eviction_keeps_cap(self, monkeypatch):
+        monkeypatch.setattr(kernels, "SLAB_MIN_RECORDS", 2)
+        keep = [["a", "b"], ["c", "d"], ["e", "f"], ["g", "h"]]
+        for records in keep:
+            slab_for(records)
+        assert len(kernels._SLAB_CACHE) <= kernels._SLAB_CACHE_MAX
+
+
+class TestGrepSlabPath:
+    def test_call_slab_serves_original_objects(self):
+        records = [f"row {i} test" if i % 3 == 0 else f"row {i}" for i in range(100)]
+        slab = kernels._build_slab(records)
+        kernel = GrepKernel("test")
+        out = kernel.call_slab(slab, 0, records[:50]) + kernel.call_slab(
+            slab, 50, records[50:]
+        )
+        kernel.flush()
+        expected = ref_grep("test", records)
+        assert out == expected
+        assert all(any(o is r for r in records) for o in out)
+
+    def test_flush_clears_scan_state(self):
+        records = ["a test", "b"] * 40
+        slab = kernels._build_slab(records)
+        kernel = GrepKernel("test")
+        kernel.call_slab(slab, 0, records)
+        assert kernel._indices is not None
+        kernel.flush()
+        assert kernel._slab is None and kernel._indices is None
+
+    def test_no_hits(self):
+        records = [f"row {i}" for i in range(80)]
+        slab = kernels._build_slab(records)
+        kernel = GrepKernel("zzz")
+        assert kernel.call_slab(slab, 0, records) == []
+        kernel.flush()
+
+    def test_multiple_hits_one_record_emitted_once(self):
+        records = ["XY XY XY", "plain"] * 40
+        slab = kernels._build_slab(records)
+        kernel = GrepKernel("XY")
+        out = kernel.call_slab(slab, 0, records)
+        kernel.flush()
+        assert out == ref_grep("XY", records)
