@@ -21,10 +21,15 @@ Two kinds of measurement:
   scenario is the headline: a pass-through operator measures pure host
   dispatch overhead, which is exactly what the batch protocol and the
   kernels eliminate.
+* **Generation** — cold workload generation, slab-direct byte columns
+  (``repro.workloads.columnar``) vs the per-record string generator.
+  The ratio is the CI floor for the columnar plane's reason to exist.
 * **End-to-end** — a native-Flink identity run over the full Figure-5
   path (ingest -> engine -> output topic -> result calculator), timed
-  phase by phase.  Workload generation is reported separately: it is not
-  part of the paper's pipeline (the AOL file pre-exists on disk).
+  phase by phase **on both data planes** (object and columnar), with
+  disk caches disabled so the generation phase is genuinely cold.
+  Workload generation is reported separately: it is not part of the
+  paper's pipeline (the AOL file pre-exists on disk).
 * **Matrix scale** — the full 48-cell Figure-5 grid executed serially and
   through the parallel :class:`~repro.benchmark.parallel.MatrixRunner`
   (per-field report equality asserted), plus the workload cache's
@@ -234,34 +239,96 @@ def run_microbenchmark(num_records: int = 200_000, repeats: int = 3) -> dict[str
     }
 
 
-def run_end_to_end(num_records: int = 1_000_001) -> dict[str, Any]:
-    """Time one native-Flink identity campaign phase by phase (host clock)."""
-    phases: dict[str, float] = {}
-    started = time.perf_counter()
-    config = BenchmarkConfig(records=num_records, runs=1)
-    harness = StreamBenchHarness(config)
-    _ = harness.workload.records
-    phases["workload_generation"] = time.perf_counter() - started
+def run_generation_bench(
+    num_records: int = 200_000, repeats: int = 3
+) -> dict[str, Any]:
+    """Cold generation: slab-direct byte columns vs the string generator.
 
-    mark = time.perf_counter()
-    harness.ingest()
-    phases["ingest"] = time.perf_counter() - mark
+    Both paths are timed best-of-N from a cold start (no memo, no disk
+    cache — ``generate_columns``/``generate_records`` are called
+    directly), and the columnar byte stream is asserted bit-identical to
+    ``"\\n".join(generate_records(...))`` before any ratio is reported.
+    ``generation_speedup`` is the CI floor for the columnar plane.
+    """
+    from repro.workloads.columnar import generate_columns, native_generator_available
 
-    mark = time.perf_counter()
-    job, measurement = harness._execute_once(
-        "flink",
-        get_query("identity"),
-        "native",
-        1,
-        harness.simulator.random.stream("perf/run"),
-        harness.simulator.random.stream("perf/data"),
-    )
-    phases["execute_and_measure"] = time.perf_counter() - mark
+    object_seconds = float("inf")
+    columnar_seconds = float("inf")
+    reference: list[str] = []
+    for _ in range(repeats):
+        mark = time.perf_counter()
+        reference = generate_records(num_records)
+        object_seconds = min(object_seconds, time.perf_counter() - mark)
+
+        mark = time.perf_counter()
+        data, starts = generate_columns(num_records)
+        columnar_seconds = min(columnar_seconds, time.perf_counter() - mark)
+    if bytes(data) != "\n".join(reference).encode("ascii"):
+        raise AssertionError("slab-direct generation diverged from reference")
+    return {
+        "records": num_records,
+        "repeats": repeats,
+        "native_generator": native_generator_available(),
+        "object_seconds": round(object_seconds, 3),
+        "columnar_seconds": round(columnar_seconds, 4),
+        "generation_speedup": round(object_seconds / columnar_seconds, 2),
+    }
+
+
+def run_end_to_end(
+    num_records: int = 1_000_001, columnar: bool | None = None
+) -> dict[str, Any]:
+    """Time one native-Flink identity campaign phase by phase (host clock).
+
+    ``columnar`` picks the data plane (default: the ``REPRO_COLUMNAR``
+    knob).  Disk workload caches are disabled and memos cleared for the
+    duration, so ``workload_generation`` measures a genuinely cold start
+    on either plane rather than a warm cache hit.
+    """
+    from repro.workloads.cache import CACHE_ENV, clear_memo
+    from repro.workloads.columnar import columnar_enabled
+
+    plane = columnar_enabled() if columnar is None else columnar
+    previous_cache = os.environ.get(CACHE_ENV)
+    os.environ[CACHE_ENV] = "0"
+    clear_memo()
+    try:
+        phases: dict[str, float] = {}
+        started = time.perf_counter()
+        config = BenchmarkConfig(records=num_records, runs=1)
+        harness = StreamBenchHarness(config, columnar=plane)
+        if plane:
+            harness.workload.columnar()
+        else:
+            _ = harness.workload.records
+        phases["workload_generation"] = time.perf_counter() - started
+
+        mark = time.perf_counter()
+        harness.ingest()
+        phases["ingest"] = time.perf_counter() - mark
+
+        mark = time.perf_counter()
+        job, measurement = harness._execute_once(
+            "flink",
+            get_query("identity"),
+            "native",
+            1,
+            harness.simulator.random.stream("perf/run"),
+            harness.simulator.random.stream("perf/data"),
+        )
+        phases["execute_and_measure"] = time.perf_counter() - mark
+    finally:
+        if previous_cache is None:
+            os.environ.pop(CACHE_ENV, None)
+        else:
+            os.environ[CACHE_ENV] = previous_cache
+        clear_memo()
 
     pipeline_seconds = phases["ingest"] + phases["execute_and_measure"]
     return {
         "system": "flink",
         "query": "identity",
+        "plane": "columnar" if plane else "object",
         "records": num_records,
         "records_out": job.records_out,
         "phases_seconds": {k: round(v, 3) for k, v in phases.items()},
@@ -271,14 +338,47 @@ def run_end_to_end(num_records: int = 1_000_001) -> dict[str, Any]:
     }
 
 
+def run_end_to_end_planes(num_records: int = 1_000_001) -> dict[str, Any]:
+    """Both data planes end to end, plus the cold gen+ingest ratio.
+
+    ``generation_ingest_speedup`` is the acceptance metric for the
+    columnar plane: cold workload generation plus ingestion, object plane
+    over columnar plane.  The simulated execution times are asserted
+    identical — the planes must differ in host seconds only.
+    """
+    object_plane = run_end_to_end(num_records, columnar=False)
+    columnar_plane = run_end_to_end(num_records, columnar=True)
+    if (
+        object_plane["simulated_execution_time"]
+        != columnar_plane["simulated_execution_time"]
+        or object_plane["records_out"] != columnar_plane["records_out"]
+    ):
+        raise AssertionError("data planes diverged in simulated results")
+
+    def gen_ingest(result: dict[str, Any]) -> float:
+        phases = result["phases_seconds"]
+        return phases["workload_generation"] + phases["ingest"]
+
+    return {
+        "object": object_plane,
+        "columnar": columnar_plane,
+        "generation_ingest_speedup": round(
+            gen_ingest(object_plane) / gen_ingest(columnar_plane), 2
+        ),
+    }
+
+
 def run_workload_cache_bench(num_records: int = 200_000, repeats: int = 3) -> dict[str, Any]:
-    """Time the three workload paths: generate, store to disk, warm load.
+    """Time the workload cache paths: generate, store, warm load.
 
     The on-disk cache exists because generation dominates campaign start-up
-    (~6 s at full scale); a warm load is a single read + splitlines.  The
-    reported ``load_speedup`` (generate / load) is machine-independent
-    enough to gate on.  Cache files live in a throwaway directory under the
-    repo's ``.cache/`` and are removed afterwards.
+    (~6 s at full scale); a warm load is a single read + splitlines, and
+    the columnar tier's warm load is an mmap + header/checksum check with
+    zero-copy column views (no record materialisation at all).  The
+    reported ``load_speedup``/``columns_load_speedup`` ratios (generate /
+    load) are machine-independent enough to gate on.  Cache files live in
+    a throwaway directory under the repo's ``.cache/`` and are removed
+    afterwards.
     """
     from repro.workloads.aol import iter_record_chunks
     from repro.workloads.cache import WorkloadCache
@@ -303,6 +403,22 @@ def run_workload_cache_bench(num_records: int = 200_000, repeats: int = 3) -> di
             load_seconds = min(load_seconds, time.perf_counter() - mark)
         if loaded != reference:
             raise AssertionError("cache round-trip diverged from generation")
+
+        # The columnar tier: store once, then mmap-load (header check +
+        # checksum + zero-copy column views — no record materialisation).
+        from repro.workloads.columnar import generate_columns
+
+        data, starts = generate_columns(num_records)
+        cache.store_columns(2006, num_records, data, starts)
+        columns_load_seconds = float("inf")
+        for _ in range(repeats):
+            mark = time.perf_counter()
+            workload = cache.load_columns(2006, num_records)
+            columns_load_seconds = min(
+                columns_load_seconds, time.perf_counter() - mark
+            )
+        if workload is None or bytes(workload.data) != bytes(data):
+            raise AssertionError("columnar cache round-trip diverged")
     finally:
         shutil.rmtree(tmp, ignore_errors=True)
     return {
@@ -311,7 +427,22 @@ def run_workload_cache_bench(num_records: int = 200_000, repeats: int = 3) -> di
         "store_seconds": round(store_seconds, 3),
         "load_seconds": round(load_seconds, 4),
         "load_speedup": round(generate_seconds / load_seconds, 2),
+        "columns_load_seconds": round(columns_load_seconds, 5),
+        "columns_load_speedup": round(generate_seconds / columns_load_seconds, 2),
     }
+
+
+def available_cpus() -> int:
+    """CPUs this process may actually run on (scheduler affinity mask).
+
+    ``os.cpu_count()`` reports the machine; a container or cgroup pinned
+    to a subset of cores can only ever use its affinity set.  Falls back
+    to ``cpu_count`` where ``sched_getaffinity`` does not exist (macOS).
+    """
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except AttributeError:
+        return os.cpu_count() or 1
 
 
 def run_matrix_scale(
@@ -322,10 +453,13 @@ def run_matrix_scale(
     Both paths run the same per-cell isolated worlds, so the reports are
     asserted equal per field before any timing is reported — a speedup on
     a divergent result would be meaningless.  ``effective_workers`` is the
-    parallelism the host can actually deliver (``min(workers,
-    cpu_count)``); on a single-CPU host a wall-clock "speedup" would just
-    measure process fan-out overhead against itself, so it is reported as
-    ``null`` with a note instead of a meaningless ``1.0``.
+    parallelism the host can actually deliver: ``min(workers, CPUs this
+    process may run on)``, where the CPU count honours the scheduler
+    affinity mask (a container pinned to one core of a 64-core box gets
+    1, not 64).  Only when that affinity really is a single CPU — where
+    worker processes cannot run concurrently at all — is the wall-clock
+    "speedup" reported as ``null`` with a note instead of a meaningless
+    ``1.0``.
     """
     from repro.benchmark.parallel import MatrixRunner, default_workers
 
@@ -343,23 +477,24 @@ def run_matrix_scale(
     if serial != parallel:
         raise AssertionError("parallel matrix report diverged from serial")
     cells = len(MatrixRunner(config).cells())
-    cpu_count = os.cpu_count() or 1
+    available = available_cpus()
     result: dict[str, Any] = {
         "records": num_records,
         "runs_per_cell": runs,
         "cells": cells,
-        "cpu_count": cpu_count,
+        "cpu_count": os.cpu_count() or 1,
+        "cpu_affinity": available,
         "workers": workers,
-        "effective_workers": min(workers, cpu_count),
+        "effective_workers": min(workers, available),
         "serial_seconds": round(serial_seconds, 3),
         "parallel_seconds": round(parallel_seconds, 3),
         "speedup": round(serial_seconds / parallel_seconds, 2),
         "reports_identical": True,
     }
-    if cpu_count == 1:
+    if available == 1:
         result["speedup"] = None
         result["speedup_note"] = (
-            "single-CPU host: worker processes cannot run concurrently, "
+            "single-CPU affinity: worker processes cannot run concurrently, "
             "so serial/parallel wall-clock is not a speedup measurement"
         )
     return result
@@ -411,6 +546,7 @@ def main() -> None:
     payload: dict[str, Any] = {
         "benchmark": "pump",
         "microbenchmark": run_microbenchmark(args.micro_records, args.repeats),
+        "generation": run_generation_bench(args.micro_records, args.repeats),
     }
     if not args.skip_cache:
         payload["workload_cache"] = run_workload_cache_bench(args.cache_records)
@@ -419,7 +555,7 @@ def main() -> None:
             args.matrix_records, workers=args.matrix_workers
         )
     if not args.skip_end_to_end:
-        payload["end_to_end"] = run_end_to_end(args.records)
+        payload["end_to_end"] = run_end_to_end_planes(args.records)
     write_bench(payload)
     print(json.dumps(payload, indent=2, sort_keys=True))
     print(f"\nwritten to {BENCH_PATH}")

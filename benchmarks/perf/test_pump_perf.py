@@ -20,10 +20,15 @@ across hardware, unlike absolute records/sec.  Checks:
   in either fast tier is caught even while the other holds;
 * a warm workload-cache load must stay ≥5× faster than regenerating the
   same workload (the cache's reason to exist);
-* on hosts with ≥4 cores, the parallel matrix runner must keep its
-  wall-clock speedup over the serial grid (skipped on smaller hosts,
-  where process fan-out cannot win); the serial-vs-parallel *identity*
-  check still runs everywhere at a tiny scale.
+* cold slab-direct (columnar) workload generation must stay ≥3× faster
+  than the per-record string generator, times the same tolerance —
+  skipped only where no C compiler exists (the Python fallback is
+  correctness-, not speed-, gated);
+* on hosts whose scheduler affinity allows ≥4 cores, the parallel matrix
+  runner must keep its wall-clock speedup over the serial grid (skipped
+  on smaller hosts, where process fan-out cannot win); the
+  serial-vs-parallel *identity* check still runs everywhere at a tiny
+  scale.
 
 The measured numbers are merged into ``BENCH_pump.json`` at the repo
 root; CI uploads it as an artifact for trend-watching.
@@ -45,6 +50,8 @@ import pytest
 from pump_bench import (
     BASELINE_PATH,
     HEADLINE_SCENARIO,
+    available_cpus,
+    run_generation_bench,
     run_matrix_scale,
     run_microbenchmark,
     run_workload_cache_bench,
@@ -67,6 +74,9 @@ REGRESSION_FLOOR = 0.7
 KERNEL_FLOORS = {"grep": 3.0, "projection": 3.0, "sample": 3.0, "chained": 5.0}
 #: CI noise / reduced-scale allowance on the absolute kernel floors.
 FLOOR_TOLERANCE = float(os.environ.get("REPRO_PERF_FLOOR_TOLERANCE", "0.75"))
+#: Cold slab-direct generation vs the string generator — the ISSUE's
+#: acceptance floor for the columnar data plane.
+MIN_GENERATION_SPEEDUP = float(os.environ.get("REPRO_PERF_MIN_GENERATION", "3.0"))
 
 
 @pytest.fixture(scope="module")
@@ -88,6 +98,13 @@ def micro(payload: dict) -> dict:
 def cache_bench(payload: dict) -> dict:
     result = run_workload_cache_bench(num_records=CACHE_RECORDS)
     payload["workload_cache"] = result
+    return result
+
+
+@pytest.fixture(scope="module")
+def generation(payload: dict) -> dict:
+    result = run_generation_bench(num_records=CACHE_RECORDS)
+    payload["generation"] = result
     return result
 
 
@@ -142,6 +159,26 @@ def test_workload_cache_load_speedup(cache_bench: dict) -> None:
     )
 
 
+def test_slab_direct_generation_floor(generation: dict) -> None:
+    """Cold slab-direct generation keeps its ≥3× floor over the string path.
+
+    The floor assumes the compiled generator; where no C compiler exists
+    the pure-Python fallback is only required to be bit-identical (the
+    tier-1 suite proves that), not fast, so the gate is skipped.
+    """
+    if not generation["native_generator"]:
+        pytest.skip("no C compiler: pure-Python fallback is not speed-gated")
+    gate = MIN_GENERATION_SPEEDUP * FLOOR_TOLERANCE
+    speedup = generation["generation_speedup"]
+    assert speedup >= gate, (
+        f"slab-direct generation only {speedup:.2f}x over generate_records "
+        f"(gate {gate:.2f}x = {MIN_GENERATION_SPEEDUP}x floor × "
+        f"{FLOOR_TOLERANCE} tolerance; object "
+        f"{generation['object_seconds']}s, columnar "
+        f"{generation['columnar_seconds']}s)"
+    )
+
+
 def test_matrix_parallel_identity_smoke(payload: dict) -> None:
     """Serial and parallel grids agree per field (runs on any host).
 
@@ -154,8 +191,8 @@ def test_matrix_parallel_identity_smoke(payload: dict) -> None:
 
 
 @pytest.mark.skipif(
-    (os.cpu_count() or 1) < 4,
-    reason="parallel fan-out cannot beat serial below 4 cores",
+    available_cpus() < 4,
+    reason="parallel fan-out cannot beat serial below 4 schedulable cores",
 )
 def test_matrix_parallel_speedup(payload: dict) -> None:
     """On a multi-core host the parallel grid keeps its wall-clock win."""

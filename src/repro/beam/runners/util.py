@@ -30,6 +30,11 @@ class DoFnAdapter(StreamFunction):
         results = self.dofn.process(value)
         if results is None:
             return ()
+        if type(results) in (list, tuple):
+            # Already a finite sequence the caller can iterate — copying it
+            # was pure host-side overhead (the simulated Beam wrapping cost
+            # is charged by the stage either way).
+            return results
         return list(results)
 
     def process_batch(self, values: Sequence[Any]) -> list[Any]:

@@ -200,6 +200,16 @@ class StreamBenchHarness:
     and latency jitter then hit every phase of the Figure-5 pipeline, and
     all clients (sender, engine connectors, result calculator) switch to
     retrying, idempotent operation via the cluster-wide defaults.
+
+    ``columnar`` selects the data plane (default: the ``REPRO_COLUMNAR``
+    environment knob, on unless set to ``0``).  On the columnar plane the
+    workload is generated slab-direct as byte columns and ingested
+    zero-copy (the broker adopts slab windows instead of extending record
+    lists); every simulated quantity — clock charges, RNG streams,
+    produce sequencing — is identical, so reports are bit-identical per
+    field between the planes.  It is deliberately a host-side knob, not a
+    :class:`BenchmarkConfig` field: the config is embedded in the report,
+    and the report must not differ by plane.
     """
 
     def __init__(
@@ -207,6 +217,7 @@ class StreamBenchHarness:
         config: BenchmarkConfig | None = None,
         chaos: FaultPlan | None = None,
         retry_policy: RetryPolicy | None = None,
+        columnar: bool | None = None,
     ) -> None:
         self.config = config or BenchmarkConfig()
         self.simulator = Simulator(seed=self.config.seed)
@@ -246,12 +257,23 @@ class StreamBenchHarness:
         self._scale = scale
         self._ingested = False
         self._sender_report: SenderReport | None = None
+        if columnar is None:
+            from repro.workloads.columnar import columnar_enabled
+
+            columnar = columnar_enabled()
+        self.columnar = columnar
 
     # ------------------------------------------------------------------
     # phase 1: data ingestion
     # ------------------------------------------------------------------
     def ingest(self) -> SenderReport:
-        """Send the workload into the input topic (idempotent)."""
+        """Send the workload into the input topic (idempotent).
+
+        On the columnar plane the sender receives the workload's shared
+        slab column and the broker adopts it zero-copy; the object plane
+        sends the materialised record list.  Same batches, same charges,
+        same report either way.
+        """
         if not self._ingested:
             sender = DataSender(
                 self.broker,
@@ -259,7 +281,12 @@ class StreamBenchHarness:
                 ingestion_rate=self.config.ingestion_rate,
                 acks=self.config.producer_acks,
             )
-            self._sender_report = sender.send(self.workload.records)
+            records = (
+                self.workload.columnar().column()
+                if self.columnar
+                else self.workload.records
+            )
+            self._sender_report = sender.send(records)
             self._ingested = True
         assert self._sender_report is not None
         return self._sender_report

@@ -42,7 +42,8 @@ from typing import TYPE_CHECKING
 from repro.benchmark.config import BenchmarkConfig
 from repro.broker.faults import FaultPlan
 from repro.broker.retry import RetryPolicy
-from repro.workloads.cache import ensure_disk_cached
+from repro.workloads.cache import ensure_columns_cached, ensure_disk_cached
+from repro.workloads.columnar import columnar_enabled
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.benchmark.harness import BenchmarkReport, RunRecord
@@ -144,8 +145,13 @@ class MatrixRunner:
         if parallel:
             # Warm the disk tier so workers load instead of regenerating
             # (forked workers additionally inherit the in-process memo,
-            # which ``sender_report`` ingestion just populated).
-            ensure_disk_cached(self.config.records, self.config.seed)
+            # which ``sender_report`` ingestion just populated).  The
+            # active data plane decides which layout the workers will ask
+            # for: columnar workers mmap the column entry.
+            if columnar_enabled():
+                ensure_columns_cached(self.config.records, self.config.seed)
+            else:
+                ensure_disk_cached(self.config.records, self.config.seed)
             count = workers if workers is not None else self.workers
             if count is None:
                 count = default_workers()

@@ -62,6 +62,12 @@ class ResultCalculator:
         Requires the topic to use LogAppendTime — with producer-assigned
         timestamps the measurement would no longer be system-independent,
         so this raises ``ValueError`` instead of silently measuring wrong.
+
+        The measurement is fully columnar: each partition's bounds come
+        off its ``array('d')`` timestamp column in one guarded
+        :meth:`~repro.broker.log.PartitionLog.timestamp_bounds` read — no
+        result record is ever materialised, whichever data plane produced
+        the topic.
         """
         topic_obj = self.cluster.topic(topic)
         if topic_obj.config.timestamp_type is not TimestampType.LOG_APPEND_TIME:
@@ -76,11 +82,10 @@ class ResultCalculator:
 
             def attempt(index: int = index, partition=partition):
                 self.cluster.guard_request(topic, index)
-                return (
-                    len(partition),
-                    partition.first_timestamp(),
-                    partition.last_timestamp(),
-                )
+                bounds = partition.timestamp_bounds()
+                if bounds is None:
+                    return len(partition), None, None
+                return (len(partition),) + bounds
 
             policy = self.retry_policy or self.cluster.default_retry_policy
             if policy is not None:

@@ -12,6 +12,7 @@ from dataclasses import dataclass
 from typing import Sequence
 
 from repro.broker import AdminClient, BrokerCluster, Producer, RetryPolicy
+from repro.dataflow.kernels import SlabColumn
 
 
 @dataclass(frozen=True, slots=True)
@@ -84,6 +85,13 @@ class DataSender:
         The topic is created (single partition — the paper's ordering
         setup — with ``replication_factor``, default one) unless it already
         exists and ``create_topic`` is False.
+
+        ``records`` may be a plain list or a columnar-plane
+        :class:`~repro.dataflow.kernels.SlabColumn`: a column is batched
+        as zero-copy sub-windows (the broker adopts them into its value
+        column without materialising a single record string), with batch
+        boundaries, pacing charges and produce sequencing identical to the
+        list path — the resulting log differs only in its storage layout.
         """
         if self.create_topic:
             AdminClient(self.cluster).recreate_topic(
@@ -100,8 +108,14 @@ class DataSender:
         # One transient batch-sized slice lives at a time; the producer
         # reads it straight into the log's column storage without copying,
         # so the workload is never duplicated in memory during ingestion.
-        for start in range(0, len(records), self.batch_size):
-            batch = records[start : start + self.batch_size]
+        is_column = type(records) is SlabColumn
+        total = len(records)
+        for start in range(0, total, self.batch_size):
+            stop = min(start + self.batch_size, total)
+            if is_column:
+                batch = records.view(records.start + start, records.start + stop)
+            else:
+                batch = records[start:stop]
             # Rate pacing: the batch occupies batch/rate seconds of the
             # timeline before it lands in the log.
             self.cluster.simulator.charge(len(batch) / self.ingestion_rate)

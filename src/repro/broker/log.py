@@ -7,6 +7,7 @@ from typing import Any, Iterator, Sequence
 
 from repro.broker.errors import OffsetOutOfRangeError
 from repro.broker.records import ConsumerRecord, TimestampType
+from repro.dataflow.kernels import SlabColumn
 from repro.simtime import SimClock
 
 
@@ -25,6 +26,21 @@ class PartitionLog:
     column is a compact ``array('d')`` slab (8 bytes per record instead of
     a ~56-byte boxed float plus pointer); values read out of it are exact
     C doubles, i.e. bit-identical to the floats that went in.
+
+    **Slab adoption** (the columnar data plane's zero-copy ingest): when a
+    batch arrives as a keyless :class:`~repro.dataflow.kernels.SlabColumn`
+    window, the value column *becomes* a log-private window over the same
+    shared slab — contiguous follow-up batches just widen it, so ingesting
+    a million-record workload appends no per-record objects at all.  Every
+    other semantic is unchanged: timestamps are still stamped per batch
+    with the broker clock, idempotent-produce sequencing is untouched (the
+    sequence check runs before append, so a replayed batch never widens
+    the window), and any operation the window cannot serve — a keyed or
+    plain-list append, a non-contiguous window — first *degrades* the
+    column back to an ordinary list (materialising the records once) and
+    proceeds exactly as before.  While adopted, the key column stays empty
+    (adopted batches carry no keys); readers treat missing keys as
+    ``None``.
     """
 
     def __init__(
@@ -70,6 +86,8 @@ class PartitionLog:
             timestamp = self._clock.now()
         else:
             timestamp = create_time if create_time is not None else self._clock.now()
+        if type(self._values) is not list:
+            self._degrade()
         offset = len(self._values)
         self._values.append(value)
         self._keys.append(key)
@@ -89,16 +107,52 @@ class PartitionLog:
         if self.timestamp_type is not TimestampType.LOG_APPEND_TIME:
             raise ValueError("append_batch requires LogAppendTime")
         first = len(self._values)
+        count = len(values)
+        if count == 0:
+            return first
         now = self._clock.now()
+        if keys is None and type(values) is SlabColumn:
+            self._adopt_column(values)
+            self._timestamps.extend([now] * count)
+            return first
+        if type(self._values) is not list:
+            self._degrade()
         self._values.extend(values)
         if keys is None:
-            self._keys.extend([None] * len(values))
+            self._keys.extend([None] * count)
         else:
-            if len(keys) != len(values):
+            if len(keys) != count:
                 raise ValueError("keys and values must have equal length")
             self._keys.extend(keys)
-        self._timestamps.extend([now] * len(values))
+        self._timestamps.extend([now] * count)
         return first
+
+    def _adopt_column(self, view: SlabColumn) -> None:
+        """Take a slab window as (part of) the value column, zero-copy.
+
+        A window contiguous with the current adopted column widens it in
+        place; a window arriving on an empty log becomes the column (a
+        log-private copy of the window object, so the producer's batch
+        views are never aliased).  Anything else materialises.
+        """
+        current = self._values
+        if type(current) is SlabColumn:
+            if current.slab is view.slab and view.start == current.stop:
+                current.extend_to(view.stop)
+                return
+            self._degrade()
+        elif not current:
+            self._values = SlabColumn(view.slab, view.start, view.stop)
+            return
+        self._values.extend(view)
+        self._keys.extend([None] * len(view))
+
+    def _degrade(self) -> None:
+        """Convert an adopted column back to plain list storage."""
+        if type(self._values) is not list:
+            self._values = list(self._values)
+        if len(self._keys) < len(self._values):
+            self._keys.extend([None] * (len(self._values) - len(self._keys)))
 
     def register_producer_batch(
         self, producer_id: int, base_sequence: int, count: int
@@ -135,12 +189,16 @@ class PartitionLog:
         topic = self.topic
         partition = self.partition
         timestamp_type = self.timestamp_type
+        keys = self._keys
+        # An adopted value column carries no keys; zipping the short key
+        # column would silently truncate the result.
+        key_slice = keys[offset:end] if len(keys) >= end else [None] * (end - offset)
         return [
             ConsumerRecord(topic, partition, index, timestamp, timestamp_type, key, value)
             for index, timestamp, key, value in zip(
                 range(offset, end),
                 self._timestamps[offset:end],
-                self._keys[offset:end],
+                key_slice,
                 self._values[offset:end],
             )
         ]
@@ -192,6 +250,17 @@ class PartitionLog:
         """Timestamp of the last record, or ``None`` for an empty log."""
         return self._timestamps[-1] if self._timestamps else None
 
+    def timestamp_bounds(self) -> tuple[float, float] | None:
+        """``(first, last)`` timestamps off the column, ``None`` when empty.
+
+        One guarded read for the measurement path: both bounds come from
+        the ``array('d')`` column directly — no record materialisation.
+        """
+        timestamps = self._timestamps
+        if not timestamps:
+            return None
+        return timestamps[0], timestamps[-1]
+
     def iter_all(self) -> Iterator[ConsumerRecord]:
         """Iterate over every record in offset order."""
         for index in range(len(self._values)):
@@ -199,18 +268,22 @@ class PartitionLog:
 
     def truncate(self) -> None:
         """Drop all records (used when a topic is deleted and recreated)."""
-        self._values.clear()
+        if type(self._values) is list:
+            self._values.clear()
+        else:  # adopted column: the slab is shared, just drop the window
+            self._values = []
         self._keys.clear()
         del self._timestamps[:]  # array('d') has no clear() on py<=3.12
         self._producer_sequences.clear()
 
     def _record(self, offset: int) -> ConsumerRecord:
+        keys = self._keys
         return ConsumerRecord(
             topic=self.topic,
             partition=self.partition,
             offset=offset,
             timestamp=self._timestamps[offset],
             timestamp_type=self.timestamp_type,
-            key=self._keys[offset],
+            key=keys[offset] if offset < len(keys) else None,
             value=self._values[offset],
         )

@@ -142,7 +142,13 @@ class Producer:
         per-record envelopes or copying ``values`` (the log copies them
         into its own column storage on append; the caller's sequence is
         only read, never retained — so full-scale ingestion holds one copy
-        of the workload, not two).  Only valid for ``LogAppendTime``
+        of the workload, not two).  A columnar-plane
+        :class:`~repro.dataflow.kernels.SlabColumn` passes straight
+        through to :meth:`PartitionLog.append_batch`, which *adopts* the
+        window zero-copy instead of extending its value list; charging,
+        retries and idempotent sequencing are byte-for-byte the list
+        path's (a deduplicated replay never reaches the append, so it can
+        never widen an adopted column).  Only valid for ``LogAppendTime``
         topics — a ``CreateTime`` topic raises :class:`TimestampTypeError`
         (use :meth:`send`, which preserves producer timestamps, instead).
         """

@@ -81,25 +81,40 @@ SLAB_MIN_RECORDS = 4096
 
 
 class WorkloadSlab:
-    """An immutable records list, joined and encoded once for bulk scans.
+    """An immutable record stream as one contiguous byte buffer.
 
-    ``text`` is the newline-joined blob, ``data`` its ASCII encoding,
+    ``data`` is the newline-joined ASCII blob (``bytes``, or any readable
+    buffer such as a ``memoryview`` over an ``mmap``\\ ped cache file),
     ``arr`` a zero-copy ``uint8`` view and ``starts`` the byte offset of
-    every line (one entry per record — the build fails if any record
-    embeds a newline, so offsets are unambiguous).  Because the blob is
-    ASCII, byte offsets equal character offsets and slices of ``text``
-    are bit-identical to the original records.
+    every line (one entry per record — offsets are unambiguous because no
+    record embeds a newline).  Because the blob is ASCII, byte offsets
+    equal character offsets and slices of ``text`` are bit-identical to
+    the original records.
+
+    A slab is built either *from* a records list (:func:`_build_slab` —
+    join and encode once) or *as* the primary representation
+    (:func:`slab_from_columns` — the columnar data plane's generated or
+    ``mmap``-loaded byte columns).  In the latter case ``records`` starts
+    as ``None`` and the decoded list materialises lazily, at most once,
+    via :class:`SlabColumn`; ``text`` likewise decodes on first access.
     """
 
-    __slots__ = ("records", "text", "data", "arr", "starts", "size")
+    __slots__ = ("records", "_text", "data", "arr", "starts", "size")
 
     def __init__(self, records, text, data, arr, starts) -> None:
         self.records = records
-        self.text = text
+        self._text = text
         self.data = data
         self.arr = arr
         self.starts = starts
         self.size = len(data)
+
+    @property
+    def text(self) -> str:
+        """The decoded blob (lazy for column-built slabs)."""
+        if self._text is None:
+            self._text = str(self.data, "ascii")
+        return self._text
 
 
 def _build_slab(records: list) -> WorkloadSlab | None:
@@ -118,6 +133,96 @@ def _build_slab(records: list) -> WorkloadSlab | None:
     starts[0] = 0
     starts[1:] = newlines + 1
     return WorkloadSlab(records, text, data, arr, starts)
+
+
+def slab_from_columns(data, starts) -> WorkloadSlab | None:
+    """A slab over pre-built byte columns (the columnar plane's layout).
+
+    ``data`` is the newline-joined ASCII buffer (no trailing newline) and
+    ``starts`` the per-line byte offsets — ``bytes``/``memoryview`` and
+    ``array('q')``/``int64 ndarray`` respectively, exactly what
+    :func:`repro.workloads.columnar.generate_columns` produces and the
+    memmap cache tier loads.  No validation happens here beyond shape:
+    the columns are trusted to describe a newline-unambiguous ASCII
+    stream (generation guarantees it; the cache tier checksums it).
+    """
+    if _np is None:
+        return None
+    arr = _np.frombuffer(data, _np.uint8)
+    if not isinstance(starts, _np.ndarray):
+        starts = _np.frombuffer(starts, _np.int64)
+    return WorkloadSlab(None, None, data, arr, starts)
+
+
+class SlabColumn:
+    """A record window over a column-built slab, materialising lazily.
+
+    This is the columnar plane's stand-in for a ``list`` of record
+    strings: the workload hands one to the sender, the sender windows it
+    into batches (:meth:`view`), the broker adopts contiguous windows as
+    a partition's value column (:meth:`extend_to`), and the pump's slab
+    tier recognises it via :func:`slab_for` without any re-packing.
+    ``start``/``stop`` are absolute row bounds on the shared slab.
+
+    Decoding happens at most once per slab: any bulk access (iteration,
+    slicing) materialises the full decoded list into ``slab.records`` —
+    shared by every window, exactly like the object plane's single cached
+    workload list — while single-record indexing decodes just that line
+    until the shared list exists.  Windows must be treated as immutable,
+    the same repo-wide contract cached record lists already carry.
+    """
+
+    __slots__ = ("slab", "start", "stop")
+
+    def __init__(self, slab: WorkloadSlab, start: int = 0, stop: int | None = None) -> None:
+        self.slab = slab
+        self.start = start
+        self.stop = len(slab.starts) if stop is None else stop
+
+    def __len__(self) -> int:
+        return self.stop - self.start
+
+    def _lines(self) -> list:
+        slab = self.slab
+        if slab.records is None:
+            slab.records = slab.text.split("\n") if len(slab.starts) else []
+        return slab.records
+
+    def _materialize(self) -> list:
+        lines = self._lines()
+        if self.start == 0 and self.stop == len(lines):
+            return lines
+        return lines[self.start : self.stop]
+
+    def __iter__(self):
+        return iter(self._materialize())
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            start, stop, step = index.indices(len(self))
+            return self._lines()[self.start + start : self.start + stop : step]
+        if index < 0:
+            index += len(self)
+        if not 0 <= index < len(self):
+            raise IndexError("slab column index out of range")
+        return self._record(self.start + index)
+
+    def _record(self, row: int) -> str:
+        slab = self.slab
+        if slab.records is not None:
+            return slab.records[row]
+        starts = slab.starts
+        begin = int(starts[row])
+        end = int(starts[row + 1]) - 1 if row + 1 < len(starts) else slab.size
+        return str(slab.data[begin:end], "ascii")
+
+    def view(self, start: int, stop: int) -> "SlabColumn":
+        """A sub-window at absolute rows ``[start, stop)`` of the slab."""
+        return SlabColumn(self.slab, start, stop)
+
+    def extend_to(self, stop: int) -> None:
+        """Grow the window in place (broker adoption of a contiguous batch)."""
+        self.stop = stop
 
 
 class ChunkView:
@@ -172,8 +277,18 @@ def slab_for(records: Any) -> WorkloadSlab | None:
     Callers must treat cached lists as immutable (the repo-wide contract
     for workload and broker column lists); in-place element replacement is
     not detectable.
+
+    A :class:`SlabColumn` carries its slab with it: a slab-origin window
+    (the broker's adopted value column) is recognised directly — no cache
+    lookup, no build — when it spans the slab from row 0, which is the
+    shape the pump's pristine-chunk tracking requires (chunk row ``base``
+    equals slab row).
     """
-    if _np is None or type(records) is not list or len(records) < SLAB_MIN_RECORDS:
+    if _np is None:
+        return None
+    if type(records) is SlabColumn:
+        return records.slab if records.start == 0 else None
+    if type(records) is not list or len(records) < SLAB_MIN_RECORDS:
         return None
     key = id(records)
     entry = _SLAB_CACHE.get(key)
@@ -511,10 +626,15 @@ class ColumnKernel(Kernel):
         starts = slab.starts
         n = len(starts)
         size = slab.size
+        sep_byte = ord(self.sep)
         first_end = int(starts[1]) - 1 if n > 1 else size
-        width = slab.text.find(self.sep, 0, first_end)
-        if width < 0:
+        # Probe the first line with a byte scan, not ``text.find`` — for a
+        # column-built slab ``text`` would decode the whole buffer just to
+        # learn one offset.
+        first_sep = _np.flatnonzero(slab.arr[:first_end] == sep_byte)
+        if not len(first_sep):
             return None
+        width = int(first_sep[0])
         lengths = _np.empty(n, _np.int64)
         lengths[:-1] = starts[1:] - starts[:-1] - 1  # newline excluded
         lengths[-1] = size - starts[-1]
@@ -523,7 +643,6 @@ class ColumnKernel(Kernel):
         # there, and nowhere earlier.
         if not bool((lengths > width).all()):
             return None
-        sep_byte = ord(self.sep)
         # Narrow indices halve gather traffic when offsets fit in int32.
         idx_dtype = _np.int32 if size < 2**31 - (width + 1) else _np.int64
         s_idx = starts.astype(idx_dtype) if idx_dtype is not _np.int64 else starts

@@ -297,6 +297,11 @@ class StreamPump:
         Only consulted on the kernel tier.  The slab build amortizes
         across runs (and matrix cells) because broker column lists and
         the workload cache hand the pump the same list object each time.
+        On the columnar data plane no build happens at all: the broker's
+        zero-copy read hands the pump an adopted
+        :class:`~repro.dataflow.kernels.SlabColumn`, which *carries* its
+        slab — the generated byte columns flow into the kernels without a
+        single record object or re-pack in between.
         """
         if not (self.use_kernels and self.vectorized):
             return None
