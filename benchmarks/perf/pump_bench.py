@@ -500,6 +500,52 @@ def run_matrix_scale(
     return result
 
 
+def run_capacity_bench(num_records: int = 4_000) -> dict[str, Any]:
+    """Sustainable-throughput scenario: the knee and its latency tails.
+
+    Runs the open-loop capacity search for one representative cell
+    (flink × grep), then an overload probe at twice the knee to record
+    the bounded-queue safety margins.  Everything here is simulated-time
+    measurement (deterministic under the seed); only ``wall_seconds`` is
+    host-dependent.
+    """
+    from repro.benchmark.capacity import find_capacity, run_probe
+    from repro.benchmark.config import CapacitySettings
+
+    config = BenchmarkConfig(
+        capacity=CapacitySettings(records=num_records, queue_bound=1_000)
+    )
+    started = time.perf_counter()
+    cell = find_capacity(config, "flink", "grep", columnar=False)
+    wall = time.perf_counter() - started
+    overload = run_probe(
+        config, "flink", "grep", cell.sustainable_rate * 2.0, columnar=False
+    )
+    return {
+        "system": cell.system,
+        "query": cell.query,
+        "records_per_probe": num_records,
+        "queue_bound": cell.queue_bound,
+        "sustainable_rate": round(cell.sustainable_rate, 1),
+        "probes": cell.probes,
+        "latency_percentiles": {
+            "event_p50": cell.event_p50,
+            "event_p95": cell.event_p95,
+            "event_p99": cell.event_p99,
+            "proc_p50": cell.proc_p50,
+            "proc_p95": cell.proc_p95,
+            "proc_p99": cell.proc_p99,
+        },
+        "overload_2x": {
+            "max_queue_depth": overload.max_queue_depth,
+            "offered": overload.offered,
+            "accepted": overload.accepted,
+            "shed": overload.shed,
+        },
+        "wall_seconds": round(wall, 3),
+    }
+
+
 def write_bench(payload: dict[str, Any], path: pathlib.Path = BENCH_PATH) -> None:
     """Persist one benchmark payload as the repo's ``BENCH_pump.json``."""
     path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
@@ -541,6 +587,13 @@ def main() -> None:
         help="worker processes for the parallel matrix (default: cpu_count-1, min 2)",
     )
     parser.add_argument("--skip-matrix", action="store_true")
+    parser.add_argument(
+        "--capacity-records",
+        type=int,
+        default=4_000,
+        help="records per probe for the capacity (sustainable-throughput) scenario",
+    )
+    parser.add_argument("--skip-capacity", action="store_true")
     args = parser.parse_args()
 
     payload: dict[str, Any] = {
@@ -554,6 +607,8 @@ def main() -> None:
         payload["matrix"] = run_matrix_scale(
             args.matrix_records, workers=args.matrix_workers
         )
+    if not args.skip_capacity:
+        payload["capacity"] = run_capacity_bench(args.capacity_records)
     if not args.skip_end_to_end:
         payload["end_to_end"] = run_end_to_end_planes(args.records)
     write_bench(payload)

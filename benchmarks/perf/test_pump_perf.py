@@ -51,6 +51,7 @@ from pump_bench import (
     BASELINE_PATH,
     HEADLINE_SCENARIO,
     available_cpus,
+    run_capacity_bench,
     run_generation_bench,
     run_matrix_scale,
     run_microbenchmark,
@@ -63,6 +64,8 @@ RECORDS = int(os.environ.get("REPRO_PERF_RECORDS", "100000"))
 CACHE_RECORDS = int(os.environ.get("REPRO_PERF_CACHE_RECORDS", "200000"))
 #: Per-cell scale for the timed serial-vs-parallel matrix comparison.
 MATRIX_RECORDS = int(os.environ.get("REPRO_PERF_MATRIX_RECORDS", "20000"))
+#: Records per probe for the capacity (sustainable-throughput) scenario.
+CAPACITY_RECORDS = int(os.environ.get("REPRO_PERF_CAPACITY_RECORDS", "4000"))
 #: The ISSUE's acceptance floor for the headline scenario.
 MIN_HEADLINE_SPEEDUP = float(os.environ.get("REPRO_PERF_MIN_HEADLINE", "5.0"))
 #: Warm cache load vs regeneration — the ISSUE's acceptance floor.
@@ -105,6 +108,13 @@ def cache_bench(payload: dict) -> dict:
 def generation(payload: dict) -> dict:
     result = run_generation_bench(num_records=CACHE_RECORDS)
     payload["generation"] = result
+    return result
+
+
+@pytest.fixture(scope="module")
+def capacity_bench(payload: dict) -> dict:
+    result = run_capacity_bench(num_records=CAPACITY_RECORDS)
+    payload["capacity"] = result
     return result
 
 
@@ -220,3 +230,21 @@ def test_kernel_path_is_the_default() -> None:
     from repro.engines.common.pump import StreamPump
 
     assert StreamPump.use_kernels is True
+
+
+def test_capacity_knee_and_percentiles(capacity_bench: dict) -> None:
+    """The capacity scenario finds a positive knee with ordered tails."""
+    assert capacity_bench["sustainable_rate"] > 0
+    p = capacity_bench["latency_percentiles"]
+    assert p["event_p50"] <= p["event_p95"] <= p["event_p99"]
+    assert p["proc_p50"] <= p["proc_p95"] <= p["proc_p99"]
+    # Event-time latency includes the wait before admission, so its tail
+    # can never undercut the processing-time tail.
+    assert p["event_p99"] >= p["proc_p99"]
+
+
+def test_capacity_overload_stays_bounded(capacity_bench: dict) -> None:
+    """At 2x the knee the bounded queue holds and accounting reconciles."""
+    overload = capacity_bench["overload_2x"]
+    assert overload["max_queue_depth"] <= capacity_bench["queue_bound"]
+    assert overload["offered"] == overload["accepted"] + overload["shed"]

@@ -15,8 +15,24 @@ Three consecutive phases:
 paper's evaluation from the results.
 """
 
-from repro.benchmark.config import BenchmarkConfig
+from repro.benchmark.capacity import (
+    CapacityCell,
+    CapacityReport,
+    CapacityRunner,
+    ProbeResult,
+    find_capacity,
+    run_probe,
+)
+from repro.benchmark.config import BenchmarkConfig, CapacitySettings
 from repro.benchmark.harness import BenchmarkReport, RunRecord, StreamBenchHarness
+from repro.benchmark.loadgen import (
+    ArrivalProcess,
+    BurstyArrivals,
+    LoadGenerator,
+    LoadReport,
+    UniformArrivals,
+    make_arrivals,
+)
 from repro.benchmark.parallel import CellSpec, MatrixRunner, default_workers
 from repro.benchmark.predictor import Prediction, QueryProfile, SlowdownPredictor
 from repro.benchmark.queries import QUERIES, QuerySpec, get_query, stateless_queries
@@ -25,7 +41,20 @@ from repro.benchmark.sender import DataSender
 
 __all__ = [
     "BenchmarkConfig",
+    "CapacitySettings",
     "StreamBenchHarness",
+    "ArrivalProcess",
+    "UniformArrivals",
+    "BurstyArrivals",
+    "make_arrivals",
+    "LoadGenerator",
+    "LoadReport",
+    "CapacityRunner",
+    "CapacityReport",
+    "CapacityCell",
+    "ProbeResult",
+    "find_capacity",
+    "run_probe",
     "BenchmarkReport",
     "RunRecord",
     "CellSpec",

@@ -1,0 +1,486 @@
+"""Sustainable-throughput capacity search (the benchmark's second figure family).
+
+Karimov et al. define *sustainable throughput* as the highest load a
+system processes without ever-growing queues; Henning & Hasselbring's
+scalability benchmarking gives the method — ramp the load, detect where
+the system stops keeping up, and report the knee per configuration.  This
+module implements that method on the simulated stack:
+
+* a **probe** offers a fixed record count open-loop at a target rate
+  (:class:`~repro.benchmark.loadgen.LoadGenerator`, backpressure policy,
+  bounded input partition) while a consumer drains the queue through the
+  engine's native stages at their cost-model service rate.  The probe is
+  *sustainable* when nothing was shed and the whole workload is processed
+  within the nominal offer window plus a grace fraction — i.e. the queue
+  drained instead of growing;
+* a **search** brackets the knee geometrically from an analytic
+  service-rate estimate, then binary-searches it, and reports the highest
+  sustained rate together with event-time (completion − scheduled
+  arrival) and processing-time (completion − broker admission) latency
+  percentiles measured at that knee.
+
+Determinism: every probe runs in a fresh isolated world seeded from the
+campaign seed alone (the :class:`~repro.benchmark.parallel.MatrixRunner`
+pattern), the pump charges raw cost-model costs (no variance draws), and
+the arrival schedule is precomputed once per probe — so the capacity
+report is bit-identical between serial and parallel execution, across all
+three execution tiers, and on both data planes.
+"""
+
+from __future__ import annotations
+
+import random
+from concurrent.futures import ProcessPoolExecutor
+from array import array
+from dataclasses import dataclass, field
+from itertools import repeat
+from typing import Iterator
+
+from repro.benchmark import stats
+from repro.benchmark.config import BenchmarkConfig
+from repro.benchmark.loadgen import ArrivalProcess, LoadGenerator, make_arrivals
+from repro.benchmark.queries import QuerySpec, get_query
+from repro.broker import AdminClient, BrokerCluster, Consumer, TopicPartition
+from repro.broker.broker import BrokerCosts
+from repro.dataflow.metrics import JobMetrics
+from repro.engines.apex import ApexCostModel
+from repro.engines.common.costs import RunVariance
+from repro.engines.common.progress import LagTracker, PumpStalledError
+from repro.engines.common.pump import StreamPump
+from repro.engines.common.stages import PhysicalStage, StageKind
+from repro.engines.flink import FlinkCostModel
+from repro.engines.spark import SparkCostModel
+from repro.simtime import Simulator
+from repro.workloads.aol import AolWorkload
+
+_COST_MODELS = {
+    "flink": FlinkCostModel,
+    "spark": SparkCostModel,
+    "apex": ApexCostModel,
+}
+
+#: Topic the capacity probes offer load into (bounded partition).
+CAPACITY_TOPIC = "capacity-input"
+
+
+@dataclass(frozen=True, slots=True)
+class ProbeResult:
+    """Outcome of one open-loop probe at a fixed target rate."""
+
+    rate: float
+    sustainable: bool
+    offered: int
+    accepted: int
+    shed: int
+    blocked_seconds: float
+    max_queue_depth: int
+    #: Nominal offer window (records / rate), in simulated seconds.
+    offer_window: float
+    #: Simulated seconds from phase start until the last record was
+    #: processed (>= offer_window by construction).
+    elapsed: float
+    event_p50: float
+    event_p95: float
+    event_p99: float
+    proc_p50: float
+    proc_p95: float
+    proc_p99: float
+
+
+@dataclass(frozen=True, slots=True)
+class CapacityCell:
+    """Sustainable throughput + latency percentiles for one system × query."""
+
+    system: str
+    query: str
+    #: The knee: highest probed rate that sustained (records/sim-second).
+    sustainable_rate: float
+    #: Probes spent bracketing + binary-searching this cell.
+    probes: int
+    queue_bound: int
+    records: int
+    #: Observed at the knee probe.
+    max_queue_depth: int
+    blocked_seconds: float
+    event_p50: float
+    event_p95: float
+    event_p99: float
+    proc_p50: float
+    proc_p95: float
+    proc_p99: float
+
+
+@dataclass
+class CapacityReport:
+    """All capacity cells of a campaign, in grid order."""
+
+    config: BenchmarkConfig
+    cells: list[CapacityCell] = field(default_factory=list)
+
+    def cell(self, system: str, query: str) -> CapacityCell:
+        """Look one cell up; raises ``KeyError`` when absent."""
+        for cell in self.cells:
+            if (cell.system, cell.query) == (system, query):
+                return cell
+        raise KeyError((system, query))
+
+
+class _FixedSchedule(ArrivalProcess):
+    """Replays a precomputed batch schedule (no RNG draws of its own).
+
+    The probe computes each schedule exactly once (latency accounting
+    needs per-record arrival instants *before* the generator runs), then
+    hands the generator this replay so both observe identical arrivals.
+    """
+
+    def __init__(self, rate: float, name: str, batches: tuple) -> None:
+        self.rate = rate
+        self.name = name
+        self._batches = batches
+
+    def schedule(
+        self, total: int, batch_size: int, rng: random.Random
+    ) -> Iterator[tuple[int, float]]:
+        return iter(self._batches)
+
+
+def build_native_stages(
+    system: str, spec: QuerySpec, parallelism: int, data_rng: random.Random
+) -> list[PhysicalStage]:
+    """Source → operator → sink stages priced by one engine's cost model.
+
+    The capacity probe's service model: the same per-record stage costs
+    the engine executors charge, without the engines' scheduling wrappers
+    (micro-batch overheads amortize at production batch sizes and are
+    deliberately excluded — capacity is the record-throughput knee).
+    """
+    model = _COST_MODELS[system]()
+    function = spec.make_function(data_rng)
+    stages = [
+        PhysicalStage(
+            name="source",
+            kind=StageKind.SOURCE,
+            costs=model.source_costs(parallelism),
+            parallelism=parallelism,
+        )
+    ]
+    if function is not None:
+        if system == "flink":
+            operator_costs = model.operator_costs(chained_after_previous=False)
+        elif system == "spark":
+            operator_costs = model.operator_costs(shuffle_input=False)
+        else:
+            operator_costs = model.operator_costs()
+        stages.append(
+            PhysicalStage(
+                name=spec.name,
+                kind=StageKind.OPERATOR,
+                costs=operator_costs,
+                function=function,
+                parallelism=parallelism,
+            )
+        )
+    stages.append(
+        PhysicalStage(
+            name="sink",
+            kind=StageKind.SINK,
+            costs=model.sink_costs(),
+            parallelism=parallelism,
+        )
+    )
+    return stages
+
+
+def estimate_service_rate(
+    config: BenchmarkConfig, system: str, query: str
+) -> float:
+    """Analytic records/second estimate seeding the bracketing search.
+
+    Sums every stage's per-record charge (weights and RNG draws included)
+    plus the broker's append + fetch costs.  Only a starting point — the
+    geometric bracket corrects any error before the binary search begins.
+    """
+    spec = get_query(query)
+    stages = build_native_stages(
+        system, spec, config.capacity.parallelism, random.Random(0)
+    )
+    per_record = 0.0
+    for stage in stages:
+        per_record += stage.costs.charge(
+            records_in=1,
+            records_out=1,
+            cost_weight=stage.cost_weight,
+            rng_draws=stage.rng_draws,
+        )
+    # Broker participation: one append on admission, one fetch on drain.
+    broker = BrokerCosts()
+    per_record += broker.append_per_record + broker.fetch_per_record
+    return 1.0 / per_record
+
+
+def run_probe(
+    config: BenchmarkConfig,
+    system: str,
+    query: str,
+    rate: float,
+    columnar: bool | None = None,
+) -> ProbeResult:
+    """One open-loop probe at ``rate`` in a fresh isolated world."""
+    settings = config.capacity
+    simulator = Simulator(seed=config.seed)
+    cluster = BrokerCluster(simulator, num_nodes=3)
+    admin = AdminClient(cluster)
+    admin.create_topic(CAPACITY_TOPIC, max_queue=settings.queue_bound)
+    if columnar is None:
+        from repro.workloads.columnar import columnar_enabled
+
+        columnar = columnar_enabled()
+    workload = AolWorkload(settings.records, seed=config.seed)
+    records = workload.columnar().column() if columnar else workload.records
+    total = len(records)
+
+    spec = get_query(query)
+    data_rng = simulator.random.stream(f"capacity/data/{system}/{query}")
+    stages = build_native_stages(system, spec, settings.parallelism, data_rng)
+    metrics = JobMetrics(f"capacity/{system}/{query}")
+    pump = StreamPump(
+        simulator=simulator,
+        stages=stages,
+        variance=RunVariance(),  # probes charge raw costs: no noise draws
+        rng=simulator.random.stream("capacity/pump"),
+        job_name=metrics.job_name,
+    )
+    consumer = Consumer(cluster)
+    consumer.assign([TopicPartition(CAPACITY_TOPIC, 0)])
+    log = cluster.topic(CAPACITY_TOPIC).partition(0)
+
+    # The arrival schedule, precomputed once: the generator replays it and
+    # the latency accounting reads per-record nominal arrival instants.
+    process = make_arrivals(settings.process, rate)
+    schedule_rng = simulator.random.stream(f"loadgen/{CAPACITY_TOPIC}/schedule")
+    batches = tuple(process.schedule(total, settings.arrival_batch, schedule_rng))
+    started = simulator.now()
+    # Per-record nominal arrival instants for event-time latency: a batch's
+    # offset is when its *last* record has arrived, so records interpolate
+    # linearly from the previous batch's offset up to it.
+    arrivals = array("d")
+    prev = 0.0
+    for count, offset in batches:
+        step = (offset - prev) / count
+        base = started + prev
+        arrivals.extend(base + step * (i + 1) for i in range(count))
+        prev = offset
+
+    event_lat = array("d")
+    proc_lat = array("d")
+    consumed = 0
+
+    def drain() -> int:
+        nonlocal consumed
+        values, stamps = consumer.poll_values(
+            max_records=settings.drain_chunk, with_timestamps=True
+        )
+        if not values:
+            return 0
+        cost, _outputs = pump._process_chunk(values, metrics)
+        simulator.charge(cost)
+        consumer.acknowledge()
+        done = simulator.now()
+        for index in range(len(values)):
+            event_lat.append(done - arrivals[consumed + index])
+            proc_lat.append(done - stamps[index])
+        consumed += len(values)
+        return len(values)
+
+    generator = LoadGenerator(
+        cluster,
+        CAPACITY_TOPIC,
+        target_rate=rate,
+        process=_FixedSchedule(rate, process.name, batches),
+        policy="backpressure",
+        batch_size=settings.arrival_batch,
+        tracker=LagTracker(
+            depth_fn=log.queue_depth,
+            stall_timeout=settings.stall_timeout,
+            tier=pump.tier,
+        ),
+    )
+    report = generator.run(records, drain=drain)
+    # Completion phase: drain whatever the offer window left queued.
+    while log.queue_depth() > 0:
+        if not drain():
+            raise PumpStalledError(
+                queue_depth=log.queue_depth(),
+                last_offset=consumed,
+                tier=pump.tier,
+                stalled_for=0.0,
+                stall_timeout=settings.stall_timeout,
+            )
+    elapsed = simulator.now() - started
+    offer_window = total / rate
+    sustainable = (
+        report.records_shed == 0
+        and elapsed <= offer_window * (1.0 + settings.grace)
+    )
+    return ProbeResult(
+        rate=rate,
+        sustainable=sustainable,
+        offered=report.records_offered,
+        accepted=report.records_accepted,
+        shed=report.records_shed,
+        blocked_seconds=report.blocked_seconds,
+        max_queue_depth=report.max_queue_depth,
+        offer_window=offer_window,
+        elapsed=elapsed,
+        event_p50=stats.percentile(event_lat, 50),
+        event_p95=stats.percentile(event_lat, 95),
+        event_p99=stats.percentile(event_lat, 99),
+        proc_p50=stats.percentile(proc_lat, 50),
+        proc_p95=stats.percentile(proc_lat, 95),
+        proc_p99=stats.percentile(proc_lat, 99),
+    )
+
+
+def find_capacity(
+    config: BenchmarkConfig,
+    system: str,
+    query: str,
+    columnar: bool | None = None,
+) -> CapacityCell:
+    """Bracket + binary-search the capacity knee for one system × query."""
+    settings = config.capacity
+    probes = 0
+
+    def probe(rate: float) -> ProbeResult:
+        nonlocal probes
+        probes += 1
+        return run_probe(config, system, query, rate, columnar=columnar)
+
+    rate = estimate_service_rate(config, system, query)
+    result = probe(rate)
+    if result.sustainable:
+        low, low_probe = rate, result
+        high = None
+        for _ in range(12):  # geometric bracket upward
+            rate *= 2.0
+            result = probe(rate)
+            if result.sustainable:
+                low, low_probe = rate, result
+            else:
+                high = rate
+                break
+        if high is None:  # estimate was absurdly low; accept the ceiling
+            high = rate * 2.0
+    else:
+        high = rate
+        low, low_probe = None, None
+        for _ in range(20):  # geometric bracket downward
+            rate /= 2.0
+            result = probe(rate)
+            if result.sustainable:
+                low, low_probe = rate, result
+                break
+            high = rate
+        if low is None:
+            raise RuntimeError(
+                f"no sustainable rate found for {system}/{query} "
+                f"down to {rate:.1f} records/s"
+            )
+
+    for _ in range(settings.search_iterations):
+        mid = (low + high) / 2.0
+        result = probe(mid)
+        if result.sustainable:
+            low, low_probe = mid, result
+        else:
+            high = mid
+
+    assert low_probe is not None
+    return CapacityCell(
+        system=system,
+        query=query,
+        sustainable_rate=low,
+        probes=probes,
+        queue_bound=settings.queue_bound,
+        records=settings.records,
+        max_queue_depth=low_probe.max_queue_depth,
+        blocked_seconds=low_probe.blocked_seconds,
+        event_p50=low_probe.event_p50,
+        event_p95=low_probe.event_p95,
+        event_p99=low_probe.event_p99,
+        proc_p50=low_probe.proc_p50,
+        proc_p95=low_probe.proc_p95,
+        proc_p99=low_probe.proc_p99,
+    )
+
+
+def _capacity_cell(
+    config: BenchmarkConfig, columnar: bool | None, pair: tuple[str, str]
+) -> CapacityCell:
+    """One cell, top-level so worker processes can pickle it."""
+    system, query = pair
+    return find_capacity(config, system, query, columnar=columnar)
+
+
+class CapacityRunner:
+    """Runs the capacity grid (systems × queries), serially or fanned out.
+
+    Every cell's probes run in fresh isolated worlds seeded from the
+    campaign seed alone, so serial and parallel execution produce
+    bit-identical reports — the :class:`~repro.benchmark.parallel.MatrixRunner`
+    guarantee, extended to the capacity mode.
+    """
+
+    def __init__(
+        self, config: BenchmarkConfig, columnar: bool | None = None
+    ) -> None:
+        self.config = config
+        if columnar is None:
+            from repro.workloads.columnar import columnar_enabled
+
+            columnar = columnar_enabled()
+        self.columnar = columnar
+
+    def cells(self) -> tuple[tuple[str, str], ...]:
+        """The capacity grid in canonical (system → query) order."""
+        return tuple(
+            (system, query)
+            for system in self.config.systems
+            for query in self.config.queries
+        )
+
+    def run(
+        self, parallel: bool = False, workers: int | None = None
+    ) -> CapacityReport:
+        """Execute every cell; merge into a report in grid order."""
+        pairs = self.cells()
+        report = CapacityReport(config=self.config)
+        if not pairs:
+            return report
+        if parallel:
+            from repro.benchmark.parallel import default_workers
+            from repro.workloads.cache import (
+                ensure_columns_cached,
+                ensure_disk_cached,
+            )
+
+            if self.columnar:
+                ensure_columns_cached(self.config.capacity.records, self.config.seed)
+            else:
+                ensure_disk_cached(self.config.capacity.records, self.config.seed)
+            count = workers if workers is not None else default_workers()
+            if count < 1:
+                raise ValueError(f"workers must be >= 1, got {count}")
+            with ProcessPoolExecutor(max_workers=min(count, len(pairs))) as pool:
+                cells = list(
+                    pool.map(
+                        _capacity_cell,
+                        repeat(self.config),
+                        repeat(self.columnar),
+                        pairs,
+                    )
+                )
+        else:
+            cells = [_capacity_cell(self.config, self.columnar, p) for p in pairs]
+        report.cells.extend(cells)
+        return report

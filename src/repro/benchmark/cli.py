@@ -8,6 +8,7 @@ Examples::
     repro-streambench --full-scale                  # the paper's setup
     repro-streambench --systems flink spark --queries grep identity
     repro-streambench --plans                       # Figures 12 and 13 only
+    repro-streambench --capacity                    # sustainable throughput
 """
 
 from __future__ import annotations
@@ -16,7 +17,7 @@ import argparse
 import sys
 import time
 
-from repro.benchmark.config import BenchmarkConfig
+from repro.benchmark.config import BenchmarkConfig, CapacitySettings
 from repro.benchmark.harness import StreamBenchHarness
 from repro.benchmark import reporting
 from repro.workloads.aol import FULL_SCALE_RECORDS
@@ -83,6 +84,33 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the Figure 12/13 execution plans and exit",
     )
     parser.add_argument(
+        "--capacity",
+        action="store_true",
+        help=(
+            "run the sustainable-throughput capacity search instead of the "
+            "execution-time matrix: open-loop load against a bounded input "
+            "partition, binary-searched knee, latency percentiles"
+        ),
+    )
+    parser.add_argument(
+        "--capacity-records",
+        type=int,
+        default=None,
+        help="records offered per capacity probe (default: 6000)",
+    )
+    parser.add_argument(
+        "--queue-bound",
+        type=int,
+        default=None,
+        help="input partition queue bound for capacity probes (default: 1000)",
+    )
+    parser.add_argument(
+        "--arrival-process",
+        choices=["uniform", "bursty"],
+        default=None,
+        help="arrival process of the capacity probes (default: uniform)",
+    )
+    parser.add_argument(
         "--predict",
         action="store_true",
         help=(
@@ -133,6 +161,13 @@ def main(argv: list[str] | None = None) -> int:
 
     records = FULL_SCALE_RECORDS if args.full_scale else args.records
     runs = 10 if args.full_scale else args.runs
+    capacity_overrides = {}
+    if args.capacity_records is not None:
+        capacity_overrides["records"] = args.capacity_records
+    if args.queue_bound is not None:
+        capacity_overrides["queue_bound"] = args.queue_bound
+    if args.arrival_process is not None:
+        capacity_overrides["process"] = args.arrival_process
     config = BenchmarkConfig(
         records=records,
         runs=runs,
@@ -143,9 +178,21 @@ def main(argv: list[str] | None = None) -> int:
         fast_repeats=not args.no_fast_repeats,
         parallel=args.parallel,
         workers=args.workers,
+        capacity=CapacitySettings(**capacity_overrides),
     )
     started = time.time()
     harness = StreamBenchHarness(config)
+    if args.capacity:
+        capacity_report = harness.run_capacity()
+        elapsed = time.time() - started
+        print(reporting.render_capacity(capacity_report))
+        print()
+        print(
+            f"[{len(capacity_report.cells)} cells, "
+            f"{config.capacity.records} records/probe, "
+            f"wall time {elapsed:.1f}s]"
+        )
+        return 0
     report = harness.run_matrix()
     elapsed = time.time() - started
     print(reporting.render_full_report(report))

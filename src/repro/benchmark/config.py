@@ -22,6 +22,66 @@ STATELESS_QUERIES = ("identity", "sample", "projection", "grep")
 
 
 @dataclass(frozen=True)
+class CapacitySettings:
+    """Parameters of the sustainable-throughput capacity search.
+
+    A capacity *probe* offers ``records`` open-loop at a target rate into
+    a partition bounded at ``queue_bound`` records and counts the probe
+    sustainable when the whole workload is processed within the nominal
+    offer window plus ``grace``.  The search brackets the knee
+    geometrically and then bisects it ``search_iterations`` times —
+    see :mod:`repro.benchmark.capacity`.
+    """
+
+    #: Records offered per probe (small: each cell runs many probes).
+    records: int = 6_000
+    #: Queue bound (max un-consumed records) on the probe input partition.
+    queue_bound: int = 1_000
+    #: Records the consumer drains per poll/process step.
+    drain_chunk: int = 250
+    #: Records per arrival batch (the generator's admission granularity).
+    arrival_batch: int = 200
+    #: Tolerated completion overshoot past the offer window (fraction).
+    grace: float = 0.05
+    #: Binary-search refinements after bracketing.
+    search_iterations: int = 6
+    #: Arrival process of the probes (``uniform`` or ``bursty``).
+    process: str = "uniform"
+    #: Operator parallelism of the probe pipeline.
+    parallelism: int = 1
+    #: Stall watchdog deadline (simulated seconds without progress).
+    stall_timeout: float = 60.0
+
+    def __post_init__(self) -> None:
+        if self.records < 1:
+            raise ValueError(f"records must be >= 1, got {self.records}")
+        if self.queue_bound < 1:
+            raise ValueError(f"queue_bound must be >= 1, got {self.queue_bound}")
+        if self.drain_chunk < 1:
+            raise ValueError(f"drain_chunk must be >= 1, got {self.drain_chunk}")
+        if self.arrival_batch < 1:
+            raise ValueError(
+                f"arrival_batch must be >= 1, got {self.arrival_batch}"
+            )
+        if self.grace < 0:
+            raise ValueError(f"grace must be >= 0, got {self.grace}")
+        if self.search_iterations < 0:
+            raise ValueError(
+                f"search_iterations must be >= 0, got {self.search_iterations}"
+            )
+        if self.process not in ("uniform", "bursty"):
+            raise ValueError(
+                f"process must be 'uniform' or 'bursty', got {self.process!r}"
+            )
+        if self.parallelism < 1:
+            raise ValueError(f"parallelism must be >= 1, got {self.parallelism}")
+        if self.stall_timeout <= 0:
+            raise ValueError(
+                f"stall_timeout must be > 0, got {self.stall_timeout}"
+            )
+
+
+@dataclass(frozen=True)
 class BenchmarkConfig:
     """Parameters of one benchmark campaign.
 
@@ -61,6 +121,8 @@ class BenchmarkConfig:
     parallel: bool = False
     #: Worker count for parallel execution; ``None`` = cpu_count() - 1.
     workers: int | None = None
+    #: Sustainable-throughput search parameters (``run_capacity`` mode).
+    capacity: CapacitySettings = field(default_factory=CapacitySettings)
 
     def __post_init__(self) -> None:
         if self.records < 1:

@@ -324,6 +324,32 @@ class StreamBenchHarness:
         )
         return runner.run(parallel=use_parallel, sender_report=self.ingest())
 
+    def run_capacity(
+        self, parallel: bool | None = None, workers: int | None = None
+    ):
+        """Sustainable-throughput search over the (system × query) grid.
+
+        Ramps an open-loop load against a bounded input partition, detects
+        where queues stop draining, and binary-searches the capacity knee
+        per cell — reporting sustainable records/second plus event-time
+        and processing-time latency percentiles at the knee (see
+        :mod:`repro.benchmark.capacity` and the ``capacity`` settings on
+        :class:`BenchmarkConfig`).  Probes run in fresh isolated worlds
+        seeded from the campaign seed alone and charge raw cost-model
+        costs, so the report is bit-identical serial vs parallel, across
+        execution tiers, and between data planes.
+
+        Returns a :class:`~repro.benchmark.capacity.CapacityReport`.
+        """
+        from repro.benchmark.capacity import CapacityRunner
+
+        use_parallel = self.config.parallel if parallel is None else parallel
+        runner = CapacityRunner(self.config, columnar=self.columnar)
+        return runner.run(
+            parallel=use_parallel,
+            workers=workers if workers is not None else self.config.workers,
+        )
+
     def run_setup(
         self, system: str, query_name: str, kind: str, parallelism: int
     ) -> list[RunRecord]:

@@ -201,6 +201,50 @@ def render_grep_plans(records: int = 1_000) -> tuple[str, str]:
     return native_job.plan.render(), beam_job.plan.render()
 
 
+def render_capacity(report) -> str:
+    """Sustainable throughput + knee latency percentiles per cell.
+
+    Renders a :class:`~repro.benchmark.capacity.CapacityReport`: the
+    highest open-loop rate each (system × query) pipeline sustains against
+    a bounded input partition, with event-time (completion − scheduled
+    arrival) and processing-time (completion − broker admission) latency
+    percentiles measured at that knee.
+    """
+    headers = (
+        "System",
+        "Query",
+        "Sustainable (rec/s)",
+        "Probes",
+        "Event p50/p95/p99 (ms)",
+        "Proc p50/p95/p99 (ms)",
+        "Peak depth",
+    )
+
+    def ms(value: float) -> str:
+        return f"{value * 1e3:.3f}"
+
+    rows = []
+    for cell in report.cells:
+        rows.append(
+            (
+                _SYSTEM_TITLES.get(cell.system, cell.system),
+                cell.query,
+                f"{cell.sustainable_rate:,.0f}",
+                str(cell.probes),
+                f"{ms(cell.event_p50)}/{ms(cell.event_p95)}/{ms(cell.event_p99)}",
+                f"{ms(cell.proc_p50)}/{ms(cell.proc_p95)}/{ms(cell.proc_p99)}",
+                f"{cell.max_queue_depth}/{cell.queue_bound}",
+            )
+        )
+    settings = report.config.capacity
+    title = (
+        "Sustainable throughput (open-loop capacity search; "
+        f"{settings.records} records/probe, queue bound {settings.queue_bound}, "
+        f"{settings.process} arrivals, grace {settings.grace:.0%})"
+    )
+    return f"{title}\n\n{_table(headers, rows)}"
+
+
 def render_full_report(report: BenchmarkReport) -> str:
     """Every table and figure, concatenated (the CLI's default output)."""
     sections = [render_table1(), render_table2(report)]

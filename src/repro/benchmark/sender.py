@@ -28,6 +28,18 @@ class SenderReport:
     #: Records a lost acknowledgement would have duplicated, deduplicated
     #: by idempotent produce (always 0 for non-idempotent senders).
     duplicates_avoided: int = 0
+    #: Load accounting shared with the open-loop generator's report: every
+    #: record the load source offered, and the subset a shed policy
+    #: dropped.  The closed-loop sender offers exactly what it sends, so
+    #: ``records_offered == records_sent`` and ``records_shed == 0`` here;
+    #: either way ``offered == accepted + shed`` reconciles exactly.
+    records_offered: int = 0
+    records_shed: int = 0
+
+    @property
+    def records_accepted(self) -> int:
+        """Records that actually landed in the broker (== sent)."""
+        return self.records_sent
 
     @property
     def duration(self) -> float:
@@ -36,9 +48,9 @@ class SenderReport:
 
     @property
     def achieved_rate(self) -> float:
-        """Records per simulated second."""
+        """Records per simulated second (0.0 for an empty send)."""
         if self.duration <= 0:
-            return float("inf")
+            return 0.0
         return self.records_sent / self.duration
 
 
@@ -128,4 +140,5 @@ class DataSender:
             finished_at=self.cluster.simulator.now(),
             retries=producer.retries_performed,
             duplicates_avoided=producer.duplicates_avoided,
+            records_offered=len(records),
         )

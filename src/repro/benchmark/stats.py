@@ -49,6 +49,23 @@ def pooled_relative_std(series: Iterable[Sequence[float]]) -> float:
     return mean(covs)
 
 
+def percentile(values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile (inclusive); raises on empty input.
+
+    The nearest-rank method returns an actual observed value and involves
+    no interpolation arithmetic, so results are bit-identical wherever the
+    same sample multiset is supplied — the property the capacity report's
+    serial-vs-parallel equality check relies on.
+    """
+    if not values:
+        raise ValueError("percentile of empty sequence")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"q must be in [0, 100], got {q}")
+    ordered = sorted(values)
+    rank = max(1, math.ceil(q / 100.0 * len(ordered)))
+    return ordered[rank - 1]
+
+
 def slowdown_factor(
     beam_means: Mapping[int, float], native_means: Mapping[int, float]
 ) -> float:

@@ -27,6 +27,7 @@ from repro.broker.errors import (
     DeliveryTimeoutError,
     NotLeaderForPartitionError,
     PartitionOutOfRangeError,
+    QueueFullError,
     RequestTimedOutError,
     RetriableBrokerError,
     TimestampTypeError,
@@ -55,6 +56,7 @@ __all__ = [
     "FaultPlan",
     "NodeOutage",
     "NotLeaderForPartitionError",
+    "QueueFullError",
     "RequestTimedOutError",
     "RetriableBrokerError",
     "RetryPolicy",

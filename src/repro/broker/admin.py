@@ -38,12 +38,18 @@ class AdminClient:
         num_partitions: int = 1,
         replication_factor: int = 1,
         timestamp_type: TimestampType = TimestampType.LOG_APPEND_TIME,
+        max_queue: int | None = None,
     ) -> Topic:
-        """Create a topic with the paper's defaults."""
+        """Create a topic with the paper's defaults.
+
+        ``max_queue`` bounds each partition's in-flight record count
+        (flow control); ``None`` keeps partitions unbounded.
+        """
         config = TopicConfig(
             num_partitions=num_partitions,
             replication_factor=replication_factor,
             timestamp_type=timestamp_type,
+            max_queue=max_queue,
         )
         return self.cluster.create_topic(name, config)
 
@@ -53,12 +59,13 @@ class AdminClient:
         num_partitions: int = 1,
         replication_factor: int = 1,
         timestamp_type: TimestampType = TimestampType.LOG_APPEND_TIME,
+        max_queue: int | None = None,
     ) -> Topic:
         """Delete ``name`` if it exists, then create it fresh."""
         if self.cluster.has_topic(name):
             self.cluster.delete_topic(name)
         return self.create_topic(
-            name, num_partitions, replication_factor, timestamp_type
+            name, num_partitions, replication_factor, timestamp_type, max_queue
         )
 
     def delete_topic(self, name: str) -> None:

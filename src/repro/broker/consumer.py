@@ -204,6 +204,19 @@ class Consumer:
         if self._group is not None:
             self._group.commit({tp: self._positions[tp] for tp in self._assignment})
 
+    def acknowledge(self) -> None:
+        """Advance every assigned partition's consumption watermark.
+
+        Flow-control counterpart of :meth:`commit`: tells the broker that
+        everything fetched so far is fully processed, freeing queue
+        capacity on bounded partitions (and letting them trim, keeping
+        broker memory O(bound)).  A no-op on unbounded partitions beyond
+        bookkeeping — the closed-loop measurement path never calls this.
+        """
+        for tp in self._assignment:
+            log = self.cluster.topic(tp.topic).partition(tp.partition)
+            log.mark_consumed(self._positions[tp])
+
     # ------------------------------------------------------------------
     # fetching
     # ------------------------------------------------------------------

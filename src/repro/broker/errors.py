@@ -108,6 +108,30 @@ class RequestTimedOutError(RetriableBrokerError):
         self.partition = partition
 
 
+class QueueFullError(RetriableBrokerError):
+    """A produce would push a bounded partition past its queue bound.
+
+    Raised *before* any record is appended (and, on the producer path,
+    before the idempotent sequence is registered), so a rejected batch can
+    always be retried verbatim.  It is retryable by design: queue pressure
+    is transient — consumers drain the partition — so the producer backs
+    off on simulated time (:class:`repro.broker.retry.RetryPolicy`'s
+    exponential schedule with seeded jitter) and re-offers the batch,
+    which is exactly Kafka's behaviour when a broker throttles producers.
+    """
+
+    def __init__(self, topic: str, partition: int, depth: int, bound: int, count: int = 1) -> None:
+        super().__init__(
+            f"queue full on {topic!r}-{partition}: {depth} record(s) in flight"
+            f" + {count} offered > bound {bound}"
+        )
+        self.topic = topic
+        self.partition = partition
+        self.depth = depth
+        self.bound = bound
+        self.count = count
+
+
 class BrokerUnavailableError(RetriableBrokerError):
     """The partition's leader node is down and no replica took over."""
 

@@ -5,7 +5,7 @@ from __future__ import annotations
 from array import array
 from typing import Any, Iterator, Sequence
 
-from repro.broker.errors import OffsetOutOfRangeError
+from repro.broker.errors import OffsetOutOfRangeError, QueueFullError
 from repro.broker.records import ConsumerRecord, TimestampType
 from repro.dataflow.kernels import SlabColumn
 from repro.simtime import SimClock
@@ -41,6 +41,19 @@ class PartitionLog:
     proceeds exactly as before.  While adopted, the key column stays empty
     (adopted batches carry no keys); readers treat missing keys as
     ``None``.
+
+    **Bounded queues** (flow control): ``max_queue`` caps the number of
+    *in-flight* records — appended but not yet acknowledged as consumed
+    via :meth:`mark_consumed`.  An append that would exceed the bound
+    raises the retryable :class:`QueueFullError` before touching any
+    state; producers back off on simulated time and re-offer.  Bounded
+    logs additionally *trim* consumed records (both list storage and
+    adopted slab windows), so broker-resident memory stays O(bound) no
+    matter the offered load; ``start_offset`` then advances past the
+    trimmed prefix and reads below it raise
+    :class:`OffsetOutOfRangeError`, as in Kafka after retention kicks in.
+    Unbounded logs (the default) never trim — the measurement path reads
+    the full history, exactly as before.
     """
 
     def __init__(
@@ -49,30 +62,95 @@ class PartitionLog:
         partition: int,
         clock: SimClock,
         timestamp_type: TimestampType = TimestampType.LOG_APPEND_TIME,
+        max_queue: int | None = None,
     ) -> None:
+        if max_queue is not None and max_queue < 1:
+            raise ValueError(f"max_queue must be >= 1, got {max_queue}")
         self.topic = topic
         self.partition = partition
         self.timestamp_type = timestamp_type
+        self.max_queue = max_queue
         self._clock = clock
         self._values: list[Any] = []
         self._keys: list[Any] = []
         self._timestamps: array = array("d")
+        #: Offset of the first *retained* record (> 0 once a bounded log
+        #: has trimmed its consumed prefix).
+        self._base = 0
+        #: Consumption watermark: offsets below it are acknowledged.
+        self._consumed = 0
         #: Idempotent-produce state: highest sequence number appended per
         #: producer id (Kafka's per-partition producer epoch/sequence check).
         self._producer_sequences: dict[int, int] = {}
 
     def __len__(self) -> int:
+        """Number of broker-resident (retained) records."""
         return len(self._values)
 
     @property
     def start_offset(self) -> int:
-        """Offset of the first retained record (always 0: no compaction)."""
-        return 0
+        """Offset of the first retained record (0 until a bounded trim)."""
+        return self._base
 
     @property
     def end_offset(self) -> int:
         """Offset that the *next* appended record will receive."""
-        return len(self._values)
+        return self._base + len(self._values)
+
+    @property
+    def consumed_offset(self) -> int:
+        """The consumption watermark set by :meth:`mark_consumed`."""
+        return self._consumed
+
+    def queue_depth(self) -> int:
+        """Records in flight: appended but not yet marked consumed."""
+        return self.end_offset - self._consumed
+
+    def remaining_capacity(self) -> int | None:
+        """How many more records fit under the bound (``None``: unbounded)."""
+        if self.max_queue is None:
+            return None
+        return max(0, self.max_queue - self.queue_depth())
+
+    def ensure_capacity(self, count: int) -> None:
+        """Raise :class:`QueueFullError` unless ``count`` records fit.
+
+        Producers call this before registering idempotent sequences, so a
+        rejected batch stays replayable verbatim.
+        """
+        if self.max_queue is not None and self.queue_depth() + count > self.max_queue:
+            raise QueueFullError(
+                self.topic, self.partition, self.queue_depth(), self.max_queue, count
+            )
+
+    def mark_consumed(self, offset: int) -> None:
+        """Advance the consumption watermark to ``offset`` (monotonic).
+
+        On bounded logs this also trims the consumed prefix out of the
+        column storage — the backpressure loop's memory guarantee.
+        Acknowledging beyond the log end raises
+        :class:`OffsetOutOfRangeError`.
+        """
+        if offset > self.end_offset:
+            raise OffsetOutOfRangeError(self.topic, self.partition, offset)
+        if offset > self._consumed:
+            self._consumed = offset
+        if self.max_queue is not None:
+            self._trim_to(self._consumed)
+
+    def _trim_to(self, offset: int) -> None:
+        """Drop retained records below ``offset`` (bounded logs only)."""
+        count = offset - self._base
+        if count <= 0:
+            return
+        values = self._values
+        if type(values) is list:
+            del values[:count]
+        else:  # adopted slab window: narrow it from the front, zero-copy
+            values.start += count
+        del self._keys[: min(count, len(self._keys))]
+        del self._timestamps[:count]
+        self._base += count
 
     def append(self, value: Any, key: Any = None, create_time: float | None = None) -> int:
         """Append one record and return its offset.
@@ -82,13 +160,14 @@ class PartitionLog:
         ``CreateTime`` keeps the producer timestamp (falling back to the
         broker clock when the producer did not set one).
         """
+        self.ensure_capacity(1)
         if self.timestamp_type is TimestampType.LOG_APPEND_TIME:
             timestamp = self._clock.now()
         else:
             timestamp = create_time if create_time is not None else self._clock.now()
         if type(self._values) is not list:
             self._degrade()
-        offset = len(self._values)
+        offset = self.end_offset
         self._values.append(value)
         self._keys.append(key)
         self._timestamps.append(timestamp)
@@ -106,10 +185,11 @@ class PartitionLog:
         """
         if self.timestamp_type is not TimestampType.LOG_APPEND_TIME:
             raise ValueError("append_batch requires LogAppendTime")
-        first = len(self._values)
+        first = self.end_offset
         count = len(values)
         if count == 0:
             return first
+        self.ensure_capacity(count)
         now = self._clock.now()
         if keys is None and type(values) is SlabColumn:
             self._adopt_column(values)
@@ -154,6 +234,18 @@ class PartitionLog:
         if len(self._keys) < len(self._values):
             self._keys.extend([None] * (len(self._values) - len(self._keys)))
 
+    def is_replay(self, producer_id: int, base_sequence: int) -> bool:
+        """Non-mutating replay check: has this batch already landed?
+
+        ``True`` when ``base_sequence`` does not advance past the highest
+        sequence seen from ``producer_id`` — the batch was appended and
+        only its acknowledgement was lost.  Producers consult this before
+        :meth:`ensure_capacity`: a replay occupies no *new* queue space
+        (its records are already resident), so flow control must not
+        reject it even when the queue is full.
+        """
+        return base_sequence <= self._producer_sequences.get(producer_id, -1)
+
     def register_producer_batch(
         self, producer_id: int, base_sequence: int, count: int
     ) -> bool:
@@ -177,29 +269,33 @@ class PartitionLog:
         """Return up to ``max_records`` records starting at ``offset``.
 
         Reading at the log end returns an empty list (a consumer catching
-        up); reading beyond it raises :class:`OffsetOutOfRangeError`.
+        up); reading beyond it — or below :attr:`start_offset` on a
+        bounded log that trimmed — raises :class:`OffsetOutOfRangeError`.
         """
-        if offset < 0 or offset > self.end_offset:
+        if offset < self._base or offset > self.end_offset:
             raise OffsetOutOfRangeError(self.topic, self.partition, offset)
         end = self.end_offset if max_records is None else min(
             self.end_offset, offset + max_records
         )
         # Bulk materialization: one pass over column slices instead of four
-        # list indexings plus a helper call per record.
+        # list indexings plus a helper call per record.  Column indices are
+        # offsets shifted down by the trimmed prefix.
         topic = self.topic
         partition = self.partition
         timestamp_type = self.timestamp_type
+        base = self._base
+        lo, hi = offset - base, end - base
         keys = self._keys
         # An adopted value column carries no keys; zipping the short key
         # column would silently truncate the result.
-        key_slice = keys[offset:end] if len(keys) >= end else [None] * (end - offset)
+        key_slice = keys[lo:hi] if len(keys) >= hi else [None] * (hi - lo)
         return [
             ConsumerRecord(topic, partition, index, timestamp, timestamp_type, key, value)
             for index, timestamp, key, value in zip(
                 range(offset, end),
-                self._timestamps[offset:end],
+                self._timestamps[lo:hi],
                 key_slice,
-                self._values[offset:end],
+                self._values[lo:hi],
             )
         ]
 
@@ -214,13 +310,14 @@ class PartitionLog:
         (it *is* the log).  Handing out one stable list object also lets
         downstream kernel slabs cache per list identity across runs.
         """
-        if offset < 0 or offset > self.end_offset:
+        if offset < self._base or offset > self.end_offset:
             raise OffsetOutOfRangeError(self.topic, self.partition, offset)
+        index = offset - self._base
         if max_records is None:
-            if not copy and offset == 0:
+            if not copy and index == 0:
                 return self._values
-            return self._values[offset:]
-        return self._values[offset : offset + max_records]
+            return self._values[index:]
+        return self._values[index : index + max_records]
 
     def read_timestamps(self, offset: int, max_records: int | None = None) -> array:
         """Bulk-read the timestamp column starting at ``offset``.
@@ -230,15 +327,16 @@ class PartitionLog:
         handed out).  Pairs with :meth:`read_values` for consumers that
         need values + timestamps without ``ConsumerRecord`` objects.
         """
-        if offset < 0 or offset > self.end_offset:
+        if offset < self._base or offset > self.end_offset:
             raise OffsetOutOfRangeError(self.topic, self.partition, offset)
+        index = offset - self._base
         if max_records is None:
-            return self._timestamps[offset:]
-        return self._timestamps[offset : offset + max_records]
+            return self._timestamps[index:]
+        return self._timestamps[index : index + max_records]
 
     def record_at(self, offset: int) -> ConsumerRecord:
         """Return the single record at ``offset``."""
-        if offset < 0 or offset >= self.end_offset:
+        if offset < self._base or offset >= self.end_offset:
             raise OffsetOutOfRangeError(self.topic, self.partition, offset)
         return self._record(offset)
 
@@ -262,9 +360,9 @@ class PartitionLog:
         return timestamps[0], timestamps[-1]
 
     def iter_all(self) -> Iterator[ConsumerRecord]:
-        """Iterate over every record in offset order."""
-        for index in range(len(self._values)):
-            yield self._record(index)
+        """Iterate over every retained record in offset order."""
+        for offset in range(self._base, self.end_offset):
+            yield self._record(offset)
 
     def truncate(self) -> None:
         """Drop all records (used when a topic is deleted and recreated)."""
@@ -275,15 +373,18 @@ class PartitionLog:
         self._keys.clear()
         del self._timestamps[:]  # array('d') has no clear() on py<=3.12
         self._producer_sequences.clear()
+        self._base = 0
+        self._consumed = 0
 
     def _record(self, offset: int) -> ConsumerRecord:
+        index = offset - self._base
         keys = self._keys
         return ConsumerRecord(
             topic=self.topic,
             partition=self.partition,
             offset=offset,
-            timestamp=self._timestamps[offset],
+            timestamp=self._timestamps[index],
             timestamp_type=self.timestamp_type,
-            key=keys[offset] if offset < len(keys) else None,
-            value=self._values[offset],
+            key=keys[index] if index < len(keys) else None,
+            value=self._values[index],
         )

@@ -240,16 +240,20 @@ class Producer:
             self.cluster.guard_request(topic, partition)
             log = self.cluster.topic(topic).partition(partition)
             self.cluster.simulator.charge(charge)
+            # A replay (the batch landed, its ack was lost) occupies no new
+            # queue space: skip flow control entirely and just re-ack, or a
+            # full queue would wedge the producer on its own records.
+            if self.idempotent and log.is_replay(self.producer_id, base_sequence):
+                self.duplicates_avoided += count
+                self.cluster.post_append(topic, partition)
+                return
+            # Flow control for fresh batches: reject before the idempotence
+            # check registers a sequence — a QueueFullError'd batch must
+            # stay replayable verbatim, not look like a duplicate on retry.
+            log.ensure_capacity(count)
             if self.idempotent:
-                fresh = log.register_producer_batch(
-                    self.producer_id, base_sequence, count
-                )
-                if not fresh:
-                    self.duplicates_avoided += count
-            else:
-                fresh = True
-            if fresh:
-                append(log)
+                log.register_producer_batch(self.producer_id, base_sequence, count)
+            append(log)
             self.cluster.post_append(topic, partition)
 
         if self.retry_policy is not None:

@@ -87,7 +87,10 @@ def run_with_retries(
     """Invoke ``attempt`` until it succeeds or the retry budget is spent.
 
     Only :class:`RetriableBrokerError` is retried; other exceptions
-    propagate unchanged.  Backoff delays are charged to ``simulator``
+    propagate unchanged.  The retryable branch includes the flow-control
+    signal :class:`~repro.broker.errors.QueueFullError` — a producer that
+    hits a bounded partition backs off on this exact schedule and
+    re-offers the batch once consumers have drained capacity.  Backoff delays are charged to ``simulator``
     (simulated time), and both the attempt count and the elapsed simulated
     time are checked against ``policy`` before every re-attempt.  Raises
     :class:`DeliveryTimeoutError` (chaining the last transient error) when

@@ -19,11 +19,16 @@ class TopicConfig:
     record ordering (Kafka orders only within a partition) — these are the
     defaults here for the same reason.  ``timestamp_type`` defaults to
     ``LogAppendTime``, the paper's measurement mechanism.
+
+    ``max_queue`` bounds each partition's in-flight (un-consumed) record
+    count for flow control; ``None`` (the default) keeps partitions
+    unbounded, preserving the closed-loop benchmark's full-history reads.
     """
 
     num_partitions: int = 1
     replication_factor: int = 1
     timestamp_type: TimestampType = TimestampType.LOG_APPEND_TIME
+    max_queue: int | None = None
 
     def __post_init__(self) -> None:
         if self.num_partitions < 1:
@@ -32,6 +37,8 @@ class TopicConfig:
             raise ValueError(
                 f"replication_factor must be >= 1, got {self.replication_factor}"
             )
+        if self.max_queue is not None and self.max_queue < 1:
+            raise ValueError(f"max_queue must be >= 1, got {self.max_queue}")
 
 
 class Topic:
@@ -41,7 +48,9 @@ class Topic:
         self.name = name
         self.config = config
         self.partitions: list[PartitionLog] = [
-            PartitionLog(name, index, clock, config.timestamp_type)
+            PartitionLog(
+                name, index, clock, config.timestamp_type, max_queue=config.max_queue
+            )
             for index in range(config.num_partitions)
         ]
 

@@ -1,6 +1,7 @@
 """Engine-shared execution machinery: stages, costs, and the record pump."""
 
 from repro.engines.common.costs import RunVariance, StageCosts
+from repro.engines.common.progress import LagTracker, PumpStalledError
 from repro.engines.common.pump import PumpResult, StreamPump
 from repro.engines.common.recovery import (
     CheckpointCoordinator,
@@ -20,6 +21,8 @@ __all__ = [
     "StreamPump",
     "PumpResult",
     "JobResult",
+    "LagTracker",
+    "PumpStalledError",
     "CheckpointingConfig",
     "CheckpointCoordinator",
     "FailureInjector",

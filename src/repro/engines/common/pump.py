@@ -22,6 +22,7 @@ from typing import Any, Callable, Iterator, Sequence
 
 from repro.dataflow.metrics import JobMetrics
 from repro.engines.common.costs import RunVariance
+from repro.engines.common.progress import LagTracker
 from repro.engines.common.stages import PhysicalStage, StageKind
 from repro.simtime import Simulator
 
@@ -93,6 +94,8 @@ class StreamPump:
         per_batch_overhead: float = 0.0,
         on_batch_end: Callable[[], None] | None = None,
         job_name: str = "job",
+        tracker: LagTracker | None = None,
+        stall_timeout: float | None = None,
     ) -> None:
         if not stages:
             raise ValueError("pump needs at least one stage")
@@ -112,6 +115,22 @@ class StreamPump:
         self.per_batch_overhead = per_batch_overhead
         self.on_batch_end = on_batch_end
         self.job_name = job_name
+        # Observability is opt-in and observation-only: a tracker charges
+        # no simulated time and draws no RNG, so results are bit-identical
+        # with and without one.  ``stall_timeout`` without an explicit
+        # tracker arms a private watchdog-only tracker.
+        if tracker is None and stall_timeout is not None:
+            tracker = LagTracker(stall_timeout=stall_timeout)
+        if tracker is not None and tracker.tier == "unknown":
+            tracker.tier = self.tier
+        self.tracker = tracker
+
+    @property
+    def tier(self) -> str:
+        """The execution tier this pump is configured for."""
+        if self.vectorized and self.use_kernels:
+            return "kernel"
+        return "batch" if self.vectorized else "tuple"
 
     # ------------------------------------------------------------------
     def run(self, records: Sequence[Any]) -> PumpResult:
@@ -170,6 +189,10 @@ class StreamPump:
                     base_duration += chunk_cost
                     self.simulator.charge(chunk_cost * factor)
                     processed += len(chunk)
+                    if self.tracker is not None:
+                        self.tracker.observe(
+                            self.simulator.now(), processed, total - processed
+                        )
                     if not injected and processed >= inject_at * total:
                         self.simulator.charge(additive)
                         injected = True

@@ -28,6 +28,7 @@ from typing import Any, Callable, Sequence
 
 from repro.dataflow.metrics import JobMetrics
 from repro.engines.common.costs import RunVariance
+from repro.engines.common.progress import LagTracker
 from repro.engines.common.pump import PumpResult, StreamPump
 from repro.engines.common.stages import PhysicalStage, StageKind
 from repro.simtime import Simulator
@@ -162,6 +163,8 @@ class RecoveringPump:
         failure: FailureInjector | None = None,
         variance: RunVariance | None = None,
         job_name: str = "job",
+        tracker: LagTracker | None = None,
+        stall_timeout: float | None = None,
     ) -> None:
         if checkpoint_interval_records < 1:
             raise ValueError(
@@ -177,6 +180,16 @@ class RecoveringPump:
         self.failure = failure
         self.variance = variance or RunVariance()
         self.job_name = job_name
+        # Same observation-only contract as StreamPump: no charges, no RNG
+        # draws — recovery runs stay bit-identical with a tracker attached.
+        if tracker is None and stall_timeout is not None:
+            tracker = LagTracker(stall_timeout=stall_timeout)
+        if tracker is not None and tracker.tier == "unknown":
+            if StreamPump.vectorized:
+                tracker.tier = "kernel" if StreamPump.use_kernels else "batch"
+            else:
+                tracker.tier = "tuple"
+        self.tracker = tracker
 
     def run(self, records: Sequence[Any]) -> RecoveryReport:
         """Process ``records`` to completion, surviving the injected failure."""
@@ -226,6 +239,12 @@ class RecoveringPump:
                 self.simulator.charge(self.failure.recovery_delay)
                 base_duration += self.failure.recovery_delay
                 position = latest.input_offset
+                if self.tracker is not None:
+                    # The rollback is visible: the offset sample does not
+                    # advance, so a crash-loop trips the stall watchdog.
+                    self.tracker.observe(
+                        self.simulator.now(), position, total - position
+                    )
                 continue
 
             chunk = list(records[position:end])
@@ -240,6 +259,8 @@ class RecoveringPump:
                 first_emit = first_emit if first_emit is not None else self.simulator.now()
                 last_emit = self.simulator.now()
             position = end
+            if self.tracker is not None:
+                self.tracker.observe(self.simulator.now(), position, total - position)
             # checkpoint barrier: commit the epoch's outputs transactionally
             coordinator.take(self.simulator, position, records_out)
             base_duration += coordinator.snapshot_cost

@@ -1,0 +1,171 @@
+"""Tests for repro.benchmark.capacity: probes, knee search, determinism."""
+
+import pytest
+
+from repro.benchmark.capacity import (
+    CapacityRunner,
+    estimate_service_rate,
+    find_capacity,
+    run_probe,
+)
+from repro.benchmark.config import BenchmarkConfig, CapacitySettings
+from repro.engines.common.pump import StreamPump
+
+
+SMALL = CapacitySettings(records=2_000, queue_bound=500, search_iterations=3)
+
+
+def config(**overrides):
+    defaults = dict(capacity=SMALL, systems=("flink",), queries=("grep",))
+    defaults.update(overrides)
+    return BenchmarkConfig(**defaults)
+
+
+class TestProbe:
+    def test_sustainable_probe_drains_within_grace(self):
+        cfg = config()
+        rate = estimate_service_rate(cfg, "flink", "grep") * 0.5
+        probe = run_probe(cfg, "flink", "grep", rate, columnar=False)
+        assert probe.sustainable
+        assert probe.shed == 0
+        assert probe.accepted == SMALL.records
+        assert probe.elapsed <= probe.offer_window * (1 + SMALL.grace)
+
+    def test_overload_probe_is_unsustainable_but_terminates(self):
+        cfg = config()
+        rate = estimate_service_rate(cfg, "flink", "grep") * 4.0
+        probe = run_probe(cfg, "flink", "grep", rate, columnar=False)
+        assert not probe.sustainable
+        # Backpressure, not loss: everything lands, just late.
+        assert probe.accepted == SMALL.records
+        assert probe.offered == probe.accepted + probe.shed
+        assert probe.max_queue_depth <= SMALL.queue_bound
+        assert probe.elapsed > probe.offer_window * (1 + SMALL.grace)
+
+    def test_percentiles_are_ordered(self):
+        cfg = config()
+        rate = estimate_service_rate(cfg, "flink", "grep") * 0.8
+        probe = run_probe(cfg, "flink", "grep", rate, columnar=False)
+        assert probe.event_p50 <= probe.event_p95 <= probe.event_p99
+        assert probe.proc_p50 <= probe.proc_p95 <= probe.proc_p99
+        # Event time includes the nominal wait before admission.
+        assert probe.event_p99 >= probe.proc_p99
+
+    def test_probe_is_deterministic(self):
+        cfg = config()
+        a = run_probe(cfg, "apex", "sample", 100_000.0, columnar=False)
+        b = run_probe(cfg, "apex", "sample", 100_000.0, columnar=False)
+        assert a == b
+
+    def test_probe_identical_across_planes(self):
+        cfg = config()
+        list_plane = run_probe(cfg, "spark", "grep", 120_000.0, columnar=False)
+        columnar = run_probe(cfg, "spark", "grep", 120_000.0, columnar=True)
+        assert list_plane == columnar
+
+    def test_probe_identical_across_tiers(self):
+        cfg = config()
+        results = {}
+        tiers = {
+            "tuple": (False, False),
+            "batch": (True, False),
+            "kernel": (True, True),
+        }
+        saved = (StreamPump.vectorized, StreamPump.use_kernels)
+        try:
+            for tier, (vectorized, use_kernels) in tiers.items():
+                StreamPump.vectorized = vectorized
+                StreamPump.use_kernels = use_kernels
+                results[tier] = run_probe(
+                    cfg, "flink", "projection", 50_000.0, columnar=False
+                )
+        finally:
+            StreamPump.vectorized, StreamPump.use_kernels = saved
+        assert results["tuple"] == results["batch"] == results["kernel"]
+
+
+class TestKneeSearch:
+    def test_finds_a_bracketed_knee(self):
+        cfg = config()
+        cell = find_capacity(cfg, "flink", "grep", columnar=False)
+        assert cell.sustainable_rate > 0
+        assert cell.probes >= 1 + SMALL.search_iterations
+        # The knee is genuinely the boundary: sustainable at the knee,
+        # unsustainable a factor above it.
+        at_knee = run_probe(
+            cfg, "flink", "grep", cell.sustainable_rate, columnar=False
+        )
+        above = run_probe(
+            cfg, "flink", "grep", cell.sustainable_rate * 2.0, columnar=False
+        )
+        assert at_knee.sustainable
+        assert not above.sustainable
+
+    def test_overload_at_twice_the_knee_is_safe(self):
+        """The ISSUE's acceptance scenario, on both data planes."""
+        cfg = config()
+        cell = find_capacity(cfg, "flink", "grep", columnar=False)
+        for columnar in (False, True):
+            probe = run_probe(
+                cfg, "flink", "grep", cell.sustainable_rate * 2.0,
+                columnar=columnar,
+            )
+            assert probe.max_queue_depth <= SMALL.queue_bound
+            assert probe.offered == probe.accepted + probe.shed
+            assert probe.accepted == SMALL.records  # terminated, no loss
+
+    def test_search_is_deterministic(self):
+        cfg = config()
+        a = find_capacity(cfg, "spark", "sample", columnar=False)
+        b = find_capacity(cfg, "spark", "sample", columnar=False)
+        assert a == b
+
+
+class TestCapacityReport:
+    def test_serial_parallel_bit_identical(self):
+        cfg = config(systems=("flink", "apex"), queries=("grep", "identity"))
+        runner = CapacityRunner(cfg, columnar=False)
+        serial = runner.run(parallel=False)
+        parallel = runner.run(parallel=True, workers=2)
+        assert serial.cells == parallel.cells
+
+    def test_grid_order_and_lookup(self):
+        cfg = config(systems=("flink", "spark"), queries=("grep",))
+        report = CapacityRunner(cfg, columnar=False).run()
+        assert [(c.system, c.query) for c in report.cells] == [
+            ("flink", "grep"),
+            ("spark", "grep"),
+        ]
+        assert report.cell("spark", "grep").system == "spark"
+        with pytest.raises(KeyError):
+            report.cell("spark", "identity")
+
+    def test_harness_entry_point(self):
+        from repro.benchmark.harness import StreamBenchHarness
+
+        harness = StreamBenchHarness(config(), columnar=False)
+        report = harness.run_capacity()
+        assert len(report.cells) == 1
+        assert report.cells[0].queue_bound == SMALL.queue_bound
+
+    def test_settings_validation(self):
+        with pytest.raises(ValueError):
+            CapacitySettings(records=0)
+        with pytest.raises(ValueError):
+            CapacitySettings(queue_bound=0)
+        with pytest.raises(ValueError):
+            CapacitySettings(grace=-0.1)
+        with pytest.raises(ValueError):
+            CapacitySettings(process="poisson")
+        with pytest.raises(ValueError):
+            CapacitySettings(stall_timeout=0.0)
+
+    def test_render_capacity(self):
+        from repro.benchmark.reporting import render_capacity
+
+        cfg = config()
+        report = CapacityRunner(cfg, columnar=False).run()
+        text = render_capacity(report)
+        assert "Sustainable throughput" in text
+        assert "Flink" in text
+        assert "grep" in text

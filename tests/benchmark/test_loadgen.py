@@ -1,0 +1,204 @@
+"""Tests for repro.benchmark.loadgen: open-loop arrivals + overload policies."""
+
+import random
+
+import pytest
+
+from repro.benchmark.loadgen import (
+    BurstyArrivals,
+    LoadGenerator,
+    UniformArrivals,
+    make_arrivals,
+)
+from repro.benchmark.sender import SenderReport
+from repro.broker import AdminClient, BrokerCluster, Consumer, TopicPartition
+from repro.engines.common.progress import PumpStalledError
+from repro.simtime import Simulator
+
+
+def make_world(bound=None, seed=11):
+    sim = Simulator(seed=seed)
+    cluster = BrokerCluster(sim)
+    AdminClient(cluster).create_topic("load", max_queue=bound)
+    return sim, cluster
+
+
+def make_drain(cluster, chunk=100, cost_per_record=1e-5):
+    """A consumer that processes ``chunk`` records at a fixed unit cost."""
+    consumer = Consumer(cluster)
+    consumer.assign([TopicPartition("load", 0)])
+
+    def drain():
+        values = consumer.poll_values(max_records=chunk)
+        if not values:
+            return 0
+        cluster.simulator.charge(len(values) * cost_per_record)
+        consumer.acknowledge()
+        return len(values)
+
+    return drain
+
+
+class TestArrivalProcesses:
+    def test_uniform_schedule_is_exact(self):
+        process = UniformArrivals(rate=1000.0)
+        batches = list(process.schedule(2500, 1000, random.Random(0)))
+        assert batches == [(1000, 1.0), (1000, 2.0), (500, 2.5)]
+
+    def test_bursty_long_run_rate_is_exact(self):
+        process = BurstyArrivals(rate=1000.0, cycle_records=500)
+        batches = list(process.schedule(2000, 200, random.Random(7)))
+        assert sum(count for count, _ in batches) == 2000
+        # The last cycle's arrivals never overrun the nominal window.
+        assert batches[-1][1] <= 2000 / 1000.0 + 1e-9
+
+    def test_bursty_peaks_are_seeded(self):
+        process = BurstyArrivals(rate=500.0)
+        a = list(process.schedule(1000, 100, random.Random(3)))
+        b = list(process.schedule(1000, 100, random.Random(3)))
+        assert a == b
+
+    def test_bursty_front_loads_each_cycle(self):
+        process = BurstyArrivals(rate=1000.0, cycle_records=1000, burst_factor=4.0)
+        batches = list(process.schedule(1000, 500, random.Random(1)))
+        # The cycle's records all arrive before its nominal 1.0s window ends.
+        assert batches[-1][1] < 1.0
+
+    def test_make_arrivals(self):
+        assert make_arrivals("uniform", 10.0).name == "uniform"
+        assert make_arrivals("bursty", 10.0).name == "bursty"
+        with pytest.raises(ValueError):
+            make_arrivals("poisson", 10.0)
+
+    def test_offsets_are_non_decreasing(self):
+        for process in (
+            UniformArrivals(rate=100.0),
+            BurstyArrivals(rate=100.0, cycle_records=300),
+        ):
+            offsets = [o for _, o in process.schedule(1000, 128, random.Random(2))]
+            assert offsets == sorted(offsets)
+
+
+class TestShedPolicy:
+    def test_overload_sheds_with_exact_accounting(self):
+        sim, cluster = make_world(bound=500)
+        generator = LoadGenerator(
+            cluster, "load", target_rate=10_000.0, policy="shed", batch_size=250
+        )
+        report = generator.run([f"r{i}" for i in range(5000)])
+        assert report.records_offered == 5000
+        assert report.records_sent == 500  # nothing drained: bound fills once
+        assert report.records_shed == 4500
+        assert report.reconciles()
+        assert report.max_queue_depth <= 500
+
+    def test_shed_never_blocks(self):
+        sim, cluster = make_world(bound=100)
+        generator = LoadGenerator(
+            cluster, "load", target_rate=1000.0, policy="shed"
+        )
+        report = generator.run([f"r{i}" for i in range(1000)])
+        assert report.blocked_seconds == 0.0
+        # Open loop: the offer window closes on schedule regardless.
+        assert report.duration == pytest.approx(1.0, rel=1e-3)
+
+    def test_unbounded_topic_accepts_everything(self):
+        sim, cluster = make_world(bound=None)
+        generator = LoadGenerator(
+            cluster, "load", target_rate=1000.0, policy="shed"
+        )
+        report = generator.run([f"r{i}" for i in range(2000)])
+        assert report.records_sent == 2000
+        assert report.records_shed == 0
+
+
+class TestBackpressurePolicy:
+    def test_blocked_arrivals_wait_for_capacity(self):
+        sim, cluster = make_world(bound=400)
+        drain = make_drain(cluster, chunk=100, cost_per_record=1e-4)
+        generator = LoadGenerator(
+            cluster, "load", target_rate=100_000.0, policy="backpressure",
+            batch_size=200,
+        )
+        report = generator.run([f"r{i}" for i in range(3000)], drain=drain)
+        assert report.records_sent == 3000
+        assert report.records_shed == 0
+        assert report.reconciles()
+        assert report.max_queue_depth <= 400
+        assert report.blocked_seconds > 0.0
+
+    def test_broker_memory_stays_order_bound(self):
+        sim, cluster = make_world(bound=300)
+        drain = make_drain(cluster, chunk=150)
+        generator = LoadGenerator(
+            cluster, "load", target_rate=50_000.0, batch_size=150
+        )
+        generator.run([f"r{i}" for i in range(4000)], drain=drain)
+        log = cluster.topic("load").partition(0)
+        assert log.end_offset == 4000  # offsets keep counting...
+        assert len(log._values) <= 300  # ...resident records do not
+
+    def test_full_queue_without_drain_raises_stall(self):
+        sim, cluster = make_world(bound=100)
+        generator = LoadGenerator(cluster, "load", target_rate=1000.0)
+        with pytest.raises(PumpStalledError) as excinfo:
+            generator.run([f"r{i}" for i in range(500)])
+        assert excinfo.value.queue_depth == 100
+
+    def test_wedged_drain_raises_stall(self):
+        sim, cluster = make_world(bound=100)
+        generator = LoadGenerator(cluster, "load", target_rate=1000.0)
+        with pytest.raises(PumpStalledError):
+            generator.run([f"r{i}" for i in range(500)], drain=lambda: 0)
+
+    def test_sustainable_load_barely_blocks(self):
+        sim, cluster = make_world(bound=1000)
+        drain = make_drain(cluster, chunk=200, cost_per_record=1e-5)
+        generator = LoadGenerator(
+            cluster, "load", target_rate=1_000.0, batch_size=200
+        )
+        report = generator.run([f"r{i}" for i in range(2000)], drain=drain)
+        assert report.blocked_seconds == 0.0
+        assert report.duration == pytest.approx(2.0, rel=1e-3)
+
+    def test_replays_are_bit_identical(self):
+        def run():
+            sim, cluster = make_world(bound=200, seed=42)
+            drain = make_drain(cluster, chunk=100, cost_per_record=5e-5)
+            generator = LoadGenerator(
+                cluster, "load", target_rate=20_000.0, process="bursty",
+                batch_size=100,
+            )
+            report = generator.run([f"r{i}" for i in range(2000)], drain=drain)
+            return report, sim.now()
+
+        a, now_a = run()
+        b, now_b = run()
+        assert a == b
+        assert now_a == now_b
+
+
+class TestReportAccounting:
+    def test_empty_sender_report_rate_is_zero(self):
+        report = SenderReport(
+            topic="t", records_sent=0, started_at=5.0, finished_at=5.0
+        )
+        assert report.achieved_rate == 0.0
+
+    def test_sender_report_offered_accounting(self):
+        report = SenderReport(
+            topic="t",
+            records_sent=10,
+            started_at=0.0,
+            finished_at=1.0,
+            records_offered=10,
+        )
+        assert report.records_accepted == 10
+        assert report.records_offered == report.records_accepted + report.records_shed
+
+    def test_load_report_rates(self):
+        sim, cluster = make_world(bound=None)
+        generator = LoadGenerator(cluster, "load", target_rate=500.0)
+        report = generator.run([f"r{i}" for i in range(1000)])
+        assert report.offered_rate == pytest.approx(500.0, rel=1e-3)
+        assert report.achieved_rate == pytest.approx(500.0, rel=1e-3)

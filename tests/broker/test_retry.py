@@ -9,7 +9,12 @@ from repro.broker import (
     Producer,
     RetryPolicy,
 )
-from repro.broker.errors import BrokerUnavailableError, RequestTimedOutError
+from repro.broker.errors import (
+    BrokerUnavailableError,
+    QueueFullError,
+    RequestTimedOutError,
+    RetriableBrokerError,
+)
 from repro.broker.retry import run_with_retries
 from repro.simtime import Simulator
 
@@ -95,6 +100,54 @@ class TestRunWithRetries:
 
         with pytest.raises(ValueError):
             run_with_retries(sim, RetryPolicy(), sim.random.stream("r"), boom)
+
+
+class TestQueueFullClassification:
+    """QueueFullError is transient flow control, not a hard failure."""
+
+    def test_is_retriable(self):
+        assert issubclass(QueueFullError, RetriableBrokerError)
+
+    def test_retried_with_simtime_backoff(self, sim):
+        """A full queue that drains mid-retry succeeds, with the backoff
+        schedule charged to the simulated clock."""
+        attempts = []
+
+        def produce():
+            attempts.append(sim.now())
+            if len(attempts) < 3:
+                raise QueueFullError("t", 0, depth=5, bound=5, count=1)
+            return "landed"
+
+        policy = RetryPolicy(backoff_initial=0.1, multiplier=2.0, jitter=0.0)
+        result = run_with_retries(sim, policy, sim.random.stream("r"), produce)
+        assert result == "landed"
+        assert attempts == [pytest.approx(0.0), pytest.approx(0.1), pytest.approx(0.3)]
+
+    def test_backoff_schedule_with_jitter_is_seeded(self, sim):
+        policy = RetryPolicy(backoff_initial=0.05, multiplier=2.0, jitter=0.1)
+        a = [
+            policy.backoff(i, Simulator(seed=9).random.stream("r"))
+            for i in (1, 2, 3, 4)
+        ]
+        b = [
+            policy.backoff(i, Simulator(seed=9).random.stream("r"))
+            for i in (1, 2, 3, 4)
+        ]
+        assert a == b
+        # Jittered delays stay within ±10% of the nominal exponential curve.
+        for index, delay in enumerate(a, start=1):
+            nominal = min(2.0, 0.05 * 2.0 ** (index - 1))
+            assert nominal * 0.9 <= delay <= nominal * 1.1
+
+    def test_exhaustion_surfaces_queue_full_as_cause(self, sim):
+        def always_full():
+            raise QueueFullError("t", 0, depth=5, bound=5, count=1)
+
+        policy = RetryPolicy(max_retries=2, jitter=0.0)
+        with pytest.raises(DeliveryTimeoutError) as excinfo:
+            run_with_retries(sim, policy, sim.random.stream("r"), always_full)
+        assert isinstance(excinfo.value.__cause__, QueueFullError)
 
 
 class TestIdempotentProduce:
