@@ -14,6 +14,12 @@ across hardware, unlike absolute records/sec.  Checks:
   meets the floors outright; the CI gate applies a tolerance factor
   (``REPRO_PERF_FLOOR_TOLERANCE``, default 0.75) because CI runners are
   noisy and run a reduced scale;
+* the keyed Nexmark queries (Q3/Q4/Q5 over encoded events — the
+  wire-fused kernels the plan compiler emits) each keep the ≥3× keyed
+  floor, times the same tolerance.  Stateful ``wordcount`` carries no
+  absolute floor: it is emit-bound (the fresh ``(word, count)`` tuple
+  per word dominates every tier), so it is gated by the
+  baseline-regression family only — see docs/architecture.md;
 * no scenario may regress more than 30% below the checked-in baseline
   ratios in ``baseline.json`` — for *both* ratio families (kernel/tuple
   in ``speedups``, batch/tuple in ``batch_speedups``), so a regression
@@ -75,6 +81,12 @@ REGRESSION_FLOOR = 0.7
 #: Per-query kernel-tier floors (kernel vs tuple) from the ISSUE, measured
 #: at the full 200k scale in the committed BENCH_pump.json.
 KERNEL_FLOORS = {"grep": 3.0, "projection": 3.0, "sample": 3.0, "chained": 5.0}
+#: Keyed-query floors (kernel vs tuple) for the stateful kernel tier: the
+#: Nexmark queries pump encoded events through the compiler's fused
+#: decode|query wire kernels.  Stateful wordcount is deliberately absent —
+#: it is emit-bound (fresh (word, count) tuple per word in every tier) and
+#: is gated by the baseline-regression family instead.
+KEYED_FLOORS = {"nexmark-q3": 3.0, "nexmark-q4": 3.0, "nexmark-q5": 3.0}
 #: CI noise / reduced-scale allowance on the absolute kernel floors.
 FLOOR_TOLERANCE = float(os.environ.get("REPRO_PERF_FLOOR_TOLERANCE", "0.75"))
 #: Cold slab-direct generation vs the string generator — the ISSUE's
@@ -140,6 +152,21 @@ def test_per_query_kernel_floors(micro: dict) -> None:
                 f"{FLOOR_TOLERANCE} tolerance)"
             )
     assert not failures, "kernel floor violations:\n" + "\n".join(failures)
+
+
+def test_keyed_kernel_floors(micro: dict) -> None:
+    """Each keyed Nexmark query keeps its ≥3× kernel-vs-tuple floor."""
+    failures = []
+    for name, floor in KEYED_FLOORS.items():
+        gate = floor * FLOOR_TOLERANCE
+        measured = micro["scenarios"][name]["speedup"]
+        if measured < gate:
+            failures.append(
+                f"{name}: stateful kernel only {measured:.2f}x over the tuple "
+                f"path (gate {gate:.2f}x = {floor:.1f}x floor × "
+                f"{FLOOR_TOLERANCE} tolerance)"
+            )
+    assert not failures, "keyed kernel floor violations:\n" + "\n".join(failures)
 
 
 def test_no_regression_vs_baseline(micro: dict) -> None:

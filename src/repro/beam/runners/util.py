@@ -6,6 +6,7 @@ from typing import Any, Iterable, Sequence
 
 from repro.beam.transforms.core import DoFn
 from repro.dataflow.functions import StreamFunction
+from repro.dataflow.kernels import KernelSpec
 
 
 class DoFnAdapter(StreamFunction):
@@ -72,6 +73,7 @@ class GroupByKeyFunction(StreamFunction):
 
     def __init__(self) -> None:
         self.groups: dict[Any, list[Any]] = {}
+        self.kernel_spec = KernelSpec.group_by_key(self)
 
     def open(self) -> None:
         self.groups.clear()

@@ -143,6 +143,7 @@ class _WordCountFunction(StreamFunction):
 
     def __init__(self) -> None:
         self.counts: dict[str, int] = {}
+        self.kernel_spec = KernelSpec.wordcount(self)
 
     def open(self) -> None:
         self.counts.clear()
@@ -170,6 +171,7 @@ class _DistinctCountFunction(StreamFunction):
 
     def __init__(self) -> None:
         self.seen: set[str] = set()
+        self.kernel_spec = KernelSpec.distinct_count(self)
 
     def open(self) -> None:
         self.seen.clear()
@@ -196,6 +198,7 @@ class _StatisticsFunction(StreamFunction):
         self.maximum = float("-inf")
         self.total = 0.0
         self.count = 0
+        self.kernel_spec = KernelSpec.statistics(self)
 
     def open(self) -> None:
         self.minimum = float("inf")
@@ -232,6 +235,9 @@ class _StatefulFunctionDoFn(beam.DoFn):
         self._function = function
         self.cost_weight = function.cost_weight
         self.rng_draws_per_record = function.rng_draws_per_record
+        # The wrapped function's semantics declaration survives the Beam
+        # translation; DoFnAdapter carries it the rest of the way.
+        self.kernel_spec = getattr(function, "kernel_spec", None)
 
     def setup(self) -> None:
         self._function.open()

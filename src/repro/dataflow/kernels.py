@@ -54,12 +54,44 @@ Kernel shapes (mirroring the StreamBench queries on the Figure-5 path):
   are fused into one generated comprehension (filters short-circuit
   before maps, preserving draw order and side-effect counts); bulk-shaped
   parts run as their dedicated kernels in sequence.
+
+Keyed & stateful kernels (the Table-2/Nexmark path; see
+``repro.dataflow.compiler`` for how stages are lowered):
+
+- Stateful kernels never *own* state.  Each holds a reference to the
+  function that declared the spec (``KernelSpec.owner``) and mutates that
+  function's own state containers in place, re-fetching them on every
+  call because ``restore()`` rebinds them.  Snapshots, recovery and the
+  drain phase therefore observe exactly the state the reference loop
+  would have produced, and ``flush`` stays a no-op.
+- ``wordcount`` / ``distinct_count`` / ``statistics``: the stateful
+  StreamBench queries as bulk column extraction plus one hoisted
+  accumulation loop (statistics additionally uses NumPy's sequential
+  accumulates, exact because every quantity is an integer-valued double).
+- ``keyed_reduce`` / ``update_state`` / ``group_by_key``: the engines'
+  keyed operators (Flink ``KeyedStream.reduce``, Spark
+  ``updateStateByKey``, Beam GroupByKey) as hoisted per-chunk loops over
+  the owner's keyed-state dict.
+- ``nexmark_q3`` / ``nexmark_q4`` / ``nexmark_q5``: running-state kernels
+  for the stateful Nexmark queries over decoded events; when composed
+  directly after ``nexmark_decode`` the plan compiler fuses the pair into
+  a *wire kernel* that parses only the fields the query consumes and
+  skips event types it ignores entirely.  The spec's promise for wire
+  kernels: lines tagged ``P``/``A``/``B`` are generator-conformant
+  (fields the query never consumes are not re-validated); any other line
+  takes the exact reference path (decode then process) and raises
+  identically.
+- ``windowed_aggregate``: trigger-less windowed panes
+  (``repro.dataflow.windowing``) with the ``FixedWindows`` assignment
+  arithmetic inlined; ``AfterCount`` triggers deliberately keep the
+  reference/batch tiers (a documented fallback edge).
 """
 
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
+import re
+from dataclasses import dataclass, field
 from itertools import compress
 from typing import Any, Callable, Sequence
 
@@ -311,8 +343,13 @@ class KernelSpec:
 
     Attaching a spec to a function asserts that its per-record semantics
     are exactly the named shape; the equivalence suite enforces this for
-    every spec shipped in the repo.  ``kind`` is one of ``contains``,
-    ``bernoulli``, ``column``, ``identity``, ``item``, ``kv_value``.
+    every spec shipped in the repo.  Stateless kinds: ``contains``,
+    ``bernoulli``, ``column``, ``identity``, ``item``, ``kv_value``,
+    ``nexmark_decode``.  Stateful kinds (which carry the declaring
+    function as ``owner``): ``wordcount``, ``distinct_count``,
+    ``statistics``, ``keyed_reduce``, ``update_state``, ``group_by_key``,
+    ``nexmark_q3``, ``nexmark_q4``, ``nexmark_q5``,
+    ``windowed_aggregate``.
     """
 
     kind: str
@@ -321,6 +358,10 @@ class KernelSpec:
     rng: Any = None
     index: int | None = None
     sep: str | None = None
+    #: The declaring function, for stateful kinds whose kernel mutates the
+    #: function's own state in place.  Excluded from equality/hash: a
+    #: spec's identity is its semantic shape, not which instance owns it.
+    owner: Any = field(default=None, compare=False, repr=False)
 
     @classmethod
     def contains(cls, needle: str) -> "KernelSpec":
@@ -351,6 +392,76 @@ class KernelSpec:
     def kv_value(cls) -> "KernelSpec":
         """``map(extract_kv_value)``: ``v[1]`` for 2-tuples, else ``v``."""
         return cls("kv_value")
+
+    @classmethod
+    def nexmark_decode(cls) -> "KernelSpec":
+        """``map(repro.workloads.nexmark.decode_event)`` over wire lines."""
+        return cls("nexmark_decode")
+
+    @classmethod
+    def wordcount(cls, owner: Any) -> "KernelSpec":
+        """Running per-word counts of the query column, one ``(word,
+        count)`` output per word, state in ``owner.counts``."""
+        return cls("wordcount", owner=owner)
+
+    @classmethod
+    def distinct_count(cls, owner: Any) -> "KernelSpec":
+        """Running distinct-query count, one output per record, state in
+        ``owner.seen``."""
+        return cls("distinct_count", owner=owner)
+
+    @classmethod
+    def statistics(cls, owner: Any) -> "KernelSpec":
+        """Running ``(min, max, mean)`` of the query-column length, state
+        in ``owner.minimum``/``maximum``/``total``/``count``."""
+        return cls("statistics", owner=owner)
+
+    @classmethod
+    def keyed_reduce(cls, owner: Any) -> "KernelSpec":
+        """Flink ``KeyedStream.reduce`` semantics over ``owner.state``
+        with ``owner.key_selector``/``value_selector``/``reducer``."""
+        return cls("keyed_reduce", owner=owner)
+
+    @classmethod
+    def update_state(cls, owner: Any) -> "KernelSpec":
+        """Spark ``updateStateByKey`` semantics over ``owner.state`` with
+        ``owner.update_fn`` on ``(key, value)`` pairs."""
+        return cls("update_state", owner=owner)
+
+    @classmethod
+    def group_by_key(cls, owner: Any) -> "KernelSpec":
+        """Beam GroupByKey buffering into ``owner.groups`` (bounded,
+        globally-windowed: pairs surface from ``owner.finish()``)."""
+        return cls("group_by_key", owner=owner)
+
+    @classmethod
+    def nexmark_q3(cls, owner: Any) -> "KernelSpec":
+        """Nexmark Q3 incremental person⋈auction join (state in
+        ``owner.persons``).  Wire-fusable after ``nexmark_decode``."""
+        return cls("nexmark_q3", owner=owner)
+
+    @classmethod
+    def nexmark_q4(cls, owner: Any) -> "KernelSpec":
+        """Nexmark Q4 running category price mean (state in
+        ``owner.categories``/``sums``/``counts``).  Wire-fusable after
+        ``nexmark_decode``."""
+        return cls("nexmark_q4", owner=owner)
+
+    @classmethod
+    def nexmark_q5(cls, owner: Any) -> "KernelSpec":
+        """Nexmark Q5 hot items: per-``(auction, fixed window)`` bid
+        counts in ``owner.panes`` (a trigger-less windowed count whose
+        filter is exactly ``isinstance(event, Bid)``, key the bid's
+        auction and timestamp the bid's ``date_time``).  Wire-fusable
+        after ``nexmark_decode``."""
+        return cls("nexmark_q5", owner=owner)
+
+    @classmethod
+    def windowed_aggregate(cls, owner: Any) -> "KernelSpec":
+        """Trigger-less windowed aggregation panes
+        (:class:`repro.dataflow.windowing.WindowedAggregateFunction`),
+        state in ``owner.panes``."""
+        return cls("windowed_aggregate", owner=owner)
 
 
 # ---------------------------------------------------------------------------
@@ -708,12 +819,561 @@ class ChainKernel(Kernel):
 
 
 # ---------------------------------------------------------------------------
+# Keyed & stateful kernels
+#
+# Each kernel below compiles one keyed/stateful operator shape.  None of
+# them owns state: they mutate the owner function's containers in place and
+# re-fetch them on every call (restore() rebinds them), so snapshots,
+# recovery and drain always observe reference-identical state and flush()
+# stays the inherited no-op.
+
+
+class StatefulKernel(Kernel):
+    """Base for kernels that mutate their owner function's state in place."""
+
+    def __init__(self, fn: Any) -> None:
+        self._fn = fn
+
+    def describe(self) -> str:
+        label = getattr(self._fn, "name", type(self._fn).__name__)
+        return f"{type(self).__name__}[{label}]"
+
+
+#: The query column of a tab-separated line, per line of a blob —
+#: ``split("\t")[1]`` for lines with a separator.  Lines *without* one
+#: yield no match, which the wordcount slab path detects as a count
+#: mismatch and falls back per line.
+_QUERY_COLUMN = re.compile(r"(?m)^[^\t\n]*\t([^\t\n]*)")
+
+#: Sentinel window bound: every comparison with NaN is false, so a
+#: locality test against it always takes the recompute path.
+_NAN = float("nan")
+
+
+class WordCountKernel(StatefulKernel):
+    """Running word count: bulk column extraction + one hoisted loop.
+
+    The reference splits, counts and emits record by record; the kernel
+    extracts the query column for the whole chunk (one regex pass over the
+    slab text when the chunk is a pristine slab window), splits every
+    column into a single word stream — newline is whitespace, so per-line
+    word order is preserved — and updates ``owner.counts`` in one hoisted
+    loop emitting the identical ``(word, count)`` stream.
+    """
+
+    supports_slab = True
+
+    def __call__(self, values: Sequence[Any]) -> list:
+        columns = []
+        append = columns.append
+        for line in values:
+            parts = line.split("\t", 2)
+            append(parts[1] if len(parts) > 1 else line)
+        return self._count(columns)
+
+    def call_slab(self, slab: WorkloadSlab, base: int, values: Sequence[Any]) -> list:
+        n = len(values)
+        starts = slab.starts
+        begin = int(starts[base])
+        end = int(starts[base + n]) - 1 if base + n < len(starts) else slab.size
+        columns = _QUERY_COLUMN.findall(slab.text[begin:end])
+        if len(columns) != n:  # a line has no separator: exact per-line path
+            return self(values)
+        return self._count(columns)
+
+    def _count(self, columns: list) -> list:
+        counts = self._fn.counts
+        out: list = []
+        append = out.append
+        get = counts.get
+        for word in "\n".join(columns).split():
+            count = get(word, 0) + 1
+            counts[word] = count
+            append((word, count))
+        return out
+
+
+class DistinctCountKernel(StatefulKernel):
+    """Running distinct-query count as one hoisted membership loop."""
+
+    def __call__(self, values: Sequence[Any]) -> list:
+        seen = self._fn.seen
+        add = seen.add
+        out: list = []
+        append = out.append
+        n = len(seen)
+        for line in values:
+            parts = line.split("\t", 2)
+            column = parts[1] if len(parts) > 1 else line
+            if column not in seen:
+                add(column)
+                n += 1
+            append(n)
+        return out
+
+
+class StatisticsKernel(StatefulKernel):
+    """Running ``(min, max, mean)`` of the query length, in bulk.
+
+    Every accumulated quantity is an integer-valued double far below
+    2**53, so NumPy's sequential accumulates are exact and folding the
+    prior totals in after the fact equals the reference's running fold.
+    Small chunks (or no NumPy) take a hoisted reference-shaped loop.
+    """
+
+    def __call__(self, values: Sequence[Any]) -> list:
+        fn = self._fn
+        lengths: list = []
+        append = lengths.append
+        for line in values:
+            parts = line.split("\t", 2)
+            append(float(len(parts[1] if len(parts) > 1 else line)))
+        n = len(lengths)
+        if _np is None or n < _MIN_BULK:
+            out: list = []
+            emit = out.append
+            minimum, maximum = fn.minimum, fn.maximum
+            total, count = fn.total, fn.count
+            for length in lengths:
+                minimum = min(minimum, length)
+                maximum = max(maximum, length)
+                total += length
+                count += 1
+                emit((minimum, maximum, total / count))
+            fn.minimum, fn.maximum, fn.total, fn.count = (
+                minimum, maximum, total, count,
+            )
+            return out
+        arr = _np.array(lengths, _np.float64)
+        minima = _np.minimum(_np.minimum.accumulate(arr), fn.minimum).tolist()
+        maxima = _np.maximum(_np.maximum.accumulate(arr), fn.maximum).tolist()
+        totals = _np.cumsum(arr)
+        totals += fn.total
+        counts = _np.arange(fn.count + 1, fn.count + n + 1, dtype=_np.float64)
+        means = (totals / counts).tolist()
+        fn.minimum = minima[-1]
+        fn.maximum = maxima[-1]
+        fn.total = float(totals[-1])
+        fn.count += n
+        return list(zip(minima, maxima, means))
+
+
+class KeyedReduceKernel(StatefulKernel):
+    """Flink ``KeyedStream.reduce``: one hoisted loop over the chunk."""
+
+    def __call__(self, values: Sequence[Any]) -> list:
+        fn = self._fn
+        key_of = fn.key_selector
+        value_of = fn.value_selector
+        reduce = fn.reducer
+        state = fn.state
+        out: list = []
+        append = out.append
+        for value in values:
+            key = key_of(value)
+            incoming = value_of(value)
+            if key in state:
+                incoming = reduce(state[key], incoming)
+            state[key] = incoming
+            append((key, incoming))
+        return out
+
+
+class UpdateStateKernel(StatefulKernel):
+    """Spark ``updateStateByKey``: one hoisted loop over the chunk."""
+
+    def __call__(self, values: Sequence[Any]) -> list:
+        fn = self._fn
+        update = fn.update_fn
+        state = fn.state
+        get = state.get
+        out: list = []
+        append = out.append
+        for value in values:
+            key, payload = value
+            new_state = update(payload, get(key))
+            state[key] = new_state
+            append((key, new_state))
+        return out
+
+
+class GroupByKeyKernel(StatefulKernel):
+    """Beam GroupByKey (bounded, global window): bulk buffering.
+
+    Emits nothing per chunk — grouped pairs surface from the owner's
+    ``finish()`` during the pump's drain, reading the same ``groups``
+    dict this kernel fills.  Non-pair inputs raise the identical
+    ``BeamError`` the reference raises.
+    """
+
+    def __call__(self, values: Sequence[Any]) -> list:
+        setdefault = self._fn.groups.setdefault
+        for value in values:
+            if not (isinstance(value, tuple) and len(value) == 2):
+                from repro.beam.errors import BeamError
+
+                raise BeamError(
+                    f"GroupByKey expects (key, value) pairs, got {value!r}"
+                )
+            setdefault(value[0], []).append(value[1])
+        return []
+
+
+class NexmarkDecodeKernel(Kernel):
+    """Wire-format decode as a bare comprehension (no per-record closure)."""
+
+    def __init__(self) -> None:
+        from repro.workloads.nexmark import decode_event
+
+        self._decode = decode_event
+
+    def __call__(self, values: Sequence[Any]) -> list:
+        decode = self._decode
+        return [decode(line) for line in values]
+
+    def describe(self) -> str:
+        return "nexmark-decode"
+
+
+class NexmarkQ3Kernel(StatefulKernel):
+    """Q3 incremental join over decoded events (one hoisted loop)."""
+
+    def __init__(self, fn: Any) -> None:
+        super().__init__(fn)
+        from repro.workloads.nexmark import Auction, Person
+        from repro.workloads.nexmark_queries import Q3_STATES
+
+        self._person = Person
+        self._auction = Auction
+        self._states = Q3_STATES
+
+    def __call__(self, values: Sequence[Any]) -> list:
+        persons = self._fn.persons
+        get = persons.get
+        person_type, auction_type = self._person, self._auction
+        states = self._states
+        out: list = []
+        append = out.append
+        for event in values:
+            if isinstance(event, auction_type):
+                person = get(event.seller)
+                if person is not None:
+                    append(
+                        (person.name, person.city, person.state, event.auction_id)
+                    )
+            elif isinstance(event, person_type) and event.state in states:
+                persons[event.person_id] = event
+        return out
+
+
+class NexmarkQ4Kernel(StatefulKernel):
+    """Q4 running category mean over decoded events (one hoisted loop)."""
+
+    def __init__(self, fn: Any) -> None:
+        super().__init__(fn)
+        from repro.workloads.nexmark import Auction, Bid
+
+        self._auction = Auction
+        self._bid = Bid
+
+    def __call__(self, values: Sequence[Any]) -> list:
+        fn = self._fn
+        categories, sums, counts = fn.categories, fn.sums, fn.counts
+        cat_get, sum_get, count_get = categories.get, sums.get, counts.get
+        auction_type, bid_type = self._auction, self._bid
+        out: list = []
+        append = out.append
+        for event in values:
+            if isinstance(event, bid_type):
+                category = cat_get(event.auction)
+                if category is None:
+                    continue
+                total = sum_get(category, 0.0) + event.price
+                sums[category] = total
+                count = count_get(category, 0) + 1
+                counts[category] = count
+                append((category, total / count))
+            elif isinstance(event, auction_type):
+                categories[event.auction_id] = event.category
+        return out
+
+
+class WindowedAggregateKernel(StatefulKernel):
+    """Trigger-less windowed panes as one hoisted loop.
+
+    Inlines the ``FixedWindows`` assignment arithmetic (identical double
+    operations, with degenerate results delegated back to ``assign`` so
+    its validation raises identically); other window functions call
+    ``assign`` per element.  Only trigger-less owners declare the spec —
+    ``AfterCount`` keeps the reference/batch tiers.
+    """
+
+    def __init__(self, fn: Any) -> None:
+        super().__init__(fn)
+        from repro.beam.window import FixedWindows
+
+        self._fixed = type(fn.window_fn) is FixedWindows
+
+    def __call__(self, values: Sequence[Any]) -> list:
+        fn = self._fn
+        panes = fn.panes
+        get = panes.get
+        keep = fn.filter_fn
+        key_of = fn.key_fn
+        ts_of = fn.timestamp_fn
+        reducer = fn.reducer
+        initial = fn.initial
+        window_fn = fn.window_fn
+        fixed = self._fixed
+        if fixed:
+            size, offset = window_fn.size, window_fn.offset
+        for value in values:
+            if keep is not None and not keep(value):
+                continue
+            timestamp = ts_of(value)
+            if fixed:
+                start = ((timestamp - offset) // size) * size + offset
+                end = start + size
+                if not end > start:  # inf/NaN timestamps: validate exactly
+                    window_fn.assign(timestamp)
+            else:
+                window = window_fn.assign(timestamp)
+                start, end = window.start, window.end
+            key = (key_of(value), start, end)
+            if reducer is None:
+                panes[key] = get(key, initial) + 1
+            else:
+                panes[key] = reducer(get(key, initial), value)
+        return []
+
+
+class NexmarkQ3WireKernel(StatefulKernel):
+    """Fused decode→Q3 over wire-format lines.
+
+    Q3 consumes no bids, so bid lines (~92% of the stream) are skipped
+    without being parsed; person lines parse fully only when the state
+    filter passes, constructing real :class:`Person` objects so
+    ``owner.persons`` stays snapshot-identical to the reference's.  Lines
+    whose two-byte tag is not a known event type take the exact reference
+    path (decode, then process) and raise identically; consumed-field
+    conformance is the spec's promise.
+    """
+
+    def __init__(self, fn: Any) -> None:
+        super().__init__(fn)
+        from repro.workloads.nexmark import Person, decode_event
+        from repro.workloads.nexmark_queries import Q3_STATES
+
+        self._person = Person
+        self._decode = decode_event
+        self._states = Q3_STATES
+
+    def __call__(self, values: Sequence[Any]) -> list:
+        fn = self._fn
+        persons = fn.persons
+        get = persons.get
+        person_type = self._person
+        states = self._states
+        decode = self._decode
+        process = fn.process
+        out: list = []
+        append = out.append
+        extend = out.extend
+        for line in values:
+            tag = line[:2] if type(line) is str else None
+            if tag == "B\t":
+                continue
+            if tag == "A\t":
+                parts = line.split("\t")
+                person = get(int(parts[5]))
+                if person is not None:
+                    append(
+                        (person.name, person.city, person.state, int(parts[1]))
+                    )
+            elif tag == "P\t":
+                parts = line.split("\t")
+                if parts[5] in states:
+                    persons[int(parts[1])] = person_type(
+                        person_id=int(parts[1]),
+                        name=parts[2],
+                        email=parts[3],
+                        city=parts[4],
+                        state=parts[5],
+                        date_time=float(parts[6]),
+                    )
+            else:
+                extend(process(decode(line)))
+        return out
+
+
+class NexmarkQ4WireKernel(StatefulKernel):
+    """Fused decode→Q4 over wire-format lines.
+
+    Bid lines lean-parse just the auction and price fields; auction lines
+    record their category; person lines are skipped unparsed (Q4 ignores
+    them).  Unknown tags take the exact reference path.
+    """
+
+    def __init__(self, fn: Any) -> None:
+        super().__init__(fn)
+        from repro.workloads.nexmark import decode_event
+
+        self._decode = decode_event
+
+    def __call__(self, values: Sequence[Any]) -> list:
+        fn = self._fn
+        categories, sums, counts = fn.categories, fn.sums, fn.counts
+        cat_get, sum_get, count_get = categories.get, sums.get, counts.get
+        decode = self._decode
+        process = fn.process
+        out: list = []
+        append = out.append
+        extend = out.extend
+        for line in values:
+            tag = line[:2] if type(line) is str else None
+            if tag == "B\t":
+                parts = line.split("\t", 4)
+                category = cat_get(int(parts[1]))
+                if category is None:
+                    continue
+                total = sum_get(category, 0.0) + int(parts[3])
+                sums[category] = total
+                count = count_get(category, 0) + 1
+                counts[category] = count
+                append((category, total / count))
+            elif tag == "A\t":
+                parts = line.split("\t")
+                categories[int(parts[1])] = int(parts[6])
+            elif tag != "P\t":
+                extend(process(decode(line)))
+        return out
+
+
+class NexmarkQ5WireKernel(StatefulKernel):
+    """Fused decode→Q5 over wire-format lines.
+
+    Bid lines lean-parse the auction id and timestamp and bump the
+    ``(auction, window)`` pane count in place (identical double
+    arithmetic to ``FixedWindows.assign``); person and auction lines are
+    skipped unparsed (Q5's filter keeps only bids).  Unknown tags take
+    the exact reference path.  Pane results surface from the owner's
+    ``finish()`` at drain, exactly as in the reference.
+
+    The hot loop exploits *window locality*: event times are (near-)
+    monotonic, so consecutive bids overwhelmingly land in the window of
+    their predecessor.  While the window holds, counts accumulate in a
+    private per-auction dict — an int key, no per-bid window arithmetic
+    or key-tuple construction; when a bid falls outside (or the chunk
+    ends, or an unknown line needs the reference path) the buffer is
+    merged into the owner's pane dict.  Merging flushes whole windows in
+    the order they were entered and per-auction in first-bid order, and
+    revisited windows update existing keys in place — exactly the
+    first-occurrence insertion order the reference loop produces, so
+    ``finish()`` output and snapshots stay bit-identical.  The merge
+    runs in a ``finally`` so a mid-chunk parse error leaves the pane
+    dict in the same state the reference would have at the same record.
+    """
+
+    def __init__(self, fn: Any) -> None:
+        super().__init__(fn)
+        from repro.workloads.nexmark import decode_event
+
+        self._decode = decode_event
+        self._size = fn.window_fn.size
+        self._offset = fn.window_fn.offset
+
+    def __call__(self, values: Sequence[Any]) -> list:
+        fn = self._fn
+        panes = fn.panes
+        get = panes.get
+        size, offset = self._size, self._offset
+        window_fn = fn.window_fn
+        decode = self._decode
+        process = fn.process
+        out: list = []
+        extend = out.extend
+        # Current window and its per-auction counts (the locality buffer).
+        # NaN bounds make the locality test fail closed before any window
+        # is established (every comparison with NaN is false).
+        cur_start = cur_end = _NAN
+        buffer: dict = {}
+        buffer_get = buffer.get
+
+        def merge() -> None:
+            for auction, count in buffer.items():
+                key = (auction, cur_start, cur_end)
+                panes[key] = get(key, 0) + count
+            buffer.clear()
+
+        try:
+            for line in values:
+                if type(line) is str:
+                    # Split first and dispatch on the tag field, exactly as
+                    # ``decode_event`` does (P/A skipping still requires a
+                    # tab after the tag, as tag-prefix matching did).
+                    parts = line.split("\t")
+                    tag = parts[0]
+                else:
+                    tag = None
+                if tag == "B":
+                    ts = float(parts[4])
+                    if cur_start <= ts < cur_end:
+                        auction = int(parts[1])
+                        buffer[auction] = buffer_get(auction, 0) + 1
+                        continue
+                    start = ((ts - offset) // size) * size + offset
+                    end = start + size
+                    if not end > start:  # inf/NaN timestamps: validate exactly
+                        window_fn.assign(ts)
+                    merge()
+                    cur_start, cur_end = start, end
+                    buffer[int(parts[1])] = 1
+                elif (tag == "P" or tag == "A") and len(parts) > 1:
+                    continue
+                else:
+                    merge()  # the reference path reads/writes the pane dict
+                    cur_start = cur_end = _NAN
+                    extend(process(decode(line)))
+        finally:
+            merge()
+        return out
+
+
+#: Stateful spec kinds -> kernel builders (over ``spec.owner``).
+_STATEFUL_KINDS: dict[str, Callable[[KernelSpec], Kernel]] = {
+    "wordcount": lambda spec: WordCountKernel(spec.owner),
+    "distinct_count": lambda spec: DistinctCountKernel(spec.owner),
+    "statistics": lambda spec: StatisticsKernel(spec.owner),
+    "keyed_reduce": lambda spec: KeyedReduceKernel(spec.owner),
+    "update_state": lambda spec: UpdateStateKernel(spec.owner),
+    "group_by_key": lambda spec: GroupByKeyKernel(spec.owner),
+    "nexmark_q3": lambda spec: NexmarkQ3Kernel(spec.owner),
+    "nexmark_q4": lambda spec: NexmarkQ4Kernel(spec.owner),
+    "nexmark_q5": lambda spec: WindowedAggregateKernel(spec.owner),
+    "windowed_aggregate": lambda spec: WindowedAggregateKernel(spec.owner),
+}
+
+#: Query kinds the plan compiler fuses with a preceding ``nexmark_decode``
+#: into a wire kernel (builders over ``spec.owner``).
+_WIRE_FUSED_KINDS: dict[str, Callable[[Any], Kernel]] = {
+    "nexmark_q3": NexmarkQ3WireKernel,
+    "nexmark_q4": NexmarkQ4WireKernel,
+    "nexmark_q5": NexmarkQ5WireKernel,
+}
+
+
+# ---------------------------------------------------------------------------
 # Fused-comprehension codegen
 
 # Comprehension fragments per spec kind: (role, template, args).  Filter
 # templates always test the raw loop variable (fusion breaks a segment at
 # a filter-after-map); map templates nest into each other textually.
+#
+# The compiled-function memo is bounded like the slab cache: long matrix
+# runs over many distinct operator chains evict oldest-first instead of
+# growing without limit (re-exec'ing an evicted shape is cheap).
 _FUSE_CACHE: dict = {}
+_FUSE_CACHE_MAX = 128
 
 
 def _fragment(spec: KernelSpec):
@@ -764,6 +1424,8 @@ def _fuse(frags: list) -> FusedKernel:
     if fn is None:
         namespace: dict = {}
         exec(compile(source, "<repro.dataflow.kernels>", "exec"), namespace)
+        while len(_FUSE_CACHE) >= _FUSE_CACHE_MAX:
+            _FUSE_CACHE.pop(next(iter(_FUSE_CACHE)))
         fn = _FUSE_CACHE[key] = namespace["_fused"]
     return FusedKernel(fn, tuple(args), source)
 
@@ -776,6 +1438,7 @@ _BULK_KINDS = {
     "contains": lambda spec: GrepKernel(spec.needle),
     "bernoulli": lambda spec: SampleKernel(spec.fraction, spec.rng),
     "column": lambda spec: ColumnKernel(spec.index, spec.sep),
+    "nexmark_decode": lambda spec: NexmarkDecodeKernel(),
 }
 
 
@@ -794,7 +1457,7 @@ def _build_chain(specs: list) -> Kernel:
     for spec in specs:
         if spec.kind == "identity":
             continue  # a no-op in any position
-        builder = _BULK_KINDS.get(spec.kind)
+        builder = _BULK_KINDS.get(spec.kind) or _STATEFUL_KINDS.get(spec.kind)
         if builder is not None:
             flush_pending()
             ops.append(builder(spec))

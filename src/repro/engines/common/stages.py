@@ -66,15 +66,22 @@ class PhysicalStage:
         return self.function.rng_draws_per_record if self.function is not None else 0.0
 
     def compiled_kernel(self):
-        """The stage function's compiled kernel, or ``None`` (cached)."""
+        """The stage function's lowered kernel, or ``None`` (cached).
+
+        Lowering goes through the plan compiler
+        (:func:`repro.dataflow.compiler.lower_stage`), which picks the
+        best tier per stage — fused/stateful kernels, wire-fused decode
+        pairs, or segment-wise mixes of kernels and batch runs — instead
+        of per-operator pattern matching.
+        """
         cached = self._kernel
         if cached is None:
             if self.function is None:
                 kernel = None
             else:
-                from repro.dataflow.kernels import compile_function
+                from repro.dataflow.compiler import lower_stage
 
-                kernel = compile_function(self.function)
+                kernel = lower_stage(self.function)
             cached = self._kernel = (kernel,)
         return cached[0]
 

@@ -26,9 +26,19 @@ from repro.dataflow.functions import (
     FilterFunction,
     FlatMapFunction,
     IdentityFunction,
+    MapFunction,
     StreamFunction,
 )
-from repro.workloads.nexmark import Auction, Bid, Event, Person, USD_TO_EUR
+from repro.dataflow.kernels import KernelSpec
+from repro.dataflow.windowing import WindowedAggregateFunction
+from repro.workloads.nexmark import (
+    Auction,
+    Bid,
+    Event,
+    Person,
+    USD_TO_EUR,
+    decode_event,
+)
 
 #: Q2's auction filter (the original uses a modulus selection).
 Q2_AUCTION_MODULUS = 123
@@ -91,6 +101,7 @@ class _Q3Join(StreamFunction):
 
     def __init__(self) -> None:
         self.persons: dict[int, Person] = {}
+        self.kernel_spec = KernelSpec.nexmark_q3(self)
 
     def open(self) -> None:
         self.persons.clear()
@@ -129,6 +140,7 @@ class _Q4CategoryAverage(StreamFunction):
         self.categories: dict[int, int] = {}
         self.sums: dict[int, float] = {}
         self.counts: dict[int, int] = {}
+        self.kernel_spec = KernelSpec.nexmark_q4(self)
 
     def open(self) -> None:
         self.categories.clear()
@@ -163,6 +175,56 @@ def q4_category_average() -> StreamFunction:
     return _Q4CategoryAverage()
 
 
+def _is_bid(event: Event) -> bool:
+    return isinstance(event, Bid)
+
+
+def _bid_auction(bid: Bid) -> int:
+    return bid.auction
+
+
+def _bid_timestamp(bid: Bid) -> float:
+    return bid.date_time
+
+
+def q5_hot_items(window_seconds: float = 10.0) -> StreamFunction:
+    """Q5 (hot items) natively: per-``(auction, window)`` bid counts.
+
+    A trigger-less windowed count over fixed windows; pane results —
+    ``(auction, IntervalWindow, bids)`` — surface at drain, the bounded
+    analogue of firing when the watermark passes each window's end.  The
+    ``nexmark_q5`` spec (a sharpening of the generic
+    ``windowed_aggregate`` one the function declares itself) additionally
+    promises the exact filter/key/timestamp shape, which lets the plan
+    compiler fuse it with a preceding decode into a wire kernel.
+    """
+    function = WindowedAggregateFunction(
+        window_fn=beam.FixedWindows(window_seconds),
+        key_fn=_bid_auction,
+        timestamp_fn=_bid_timestamp,
+        filter_fn=_is_bid,
+        name="Q5 Hot Items",
+        cost_weight=2.2,
+    )
+    function.kernel_spec = KernelSpec.nexmark_q5(function)
+    return function
+
+
+def nexmark_decode() -> StreamFunction:
+    """Wire-format deserialisation as a map stage.
+
+    Composing this ahead of a Nexmark query models the real ingestion
+    path (events arrive encoded); the plan compiler fuses the pair into a
+    wire kernel that parses only what the query consumes.
+    """
+    return MapFunction(
+        decode_event,
+        name="Decode Events",
+        cost_weight=1.0,
+        kernel_spec=KernelSpec.nexmark_decode(),
+    )
+
+
 # ---------------------------------------------------------------------------
 # Beam transforms
 # ---------------------------------------------------------------------------
@@ -175,6 +237,9 @@ class _FunctionDoFn(beam.DoFn):
         self.stateful = stateful
         self.cost_weight = function.cost_weight
         self.rng_draws_per_record = function.rng_draws_per_record
+        # The function's semantics declaration survives the Beam
+        # translation; DoFnAdapter carries it the rest of the way.
+        self.kernel_spec = getattr(function, "kernel_spec", None)
 
     def setup(self) -> None:
         self._function.open()

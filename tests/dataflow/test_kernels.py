@@ -487,3 +487,438 @@ class TestGrepSlabPath:
         out = kernel.call_slab(slab, 0, records)
         kernel.flush()
         assert out == ref_grep("XY", records)
+
+
+# ---------------------------------------------------------------------------
+# Stateful kernels (keyed tier)
+
+
+def make_wordcount():
+    from repro.benchmark.queries import get_query
+
+    return get_query("wordcount").make_function(random.Random(0))
+
+
+def make_distinct():
+    from repro.benchmark.queries import get_query
+
+    return get_query("distinct-count").make_function(random.Random(0))
+
+
+def make_statistics():
+    from repro.benchmark.queries import get_query
+
+    return get_query("statistics").make_function(random.Random(0))
+
+
+def ref_process(function, values):
+    out = []
+    for value in values:
+        out.extend(function.process(value))
+    return out
+
+
+AOL_LIKE = [
+    f"user{i % 7}\tsome query words {i % 5} here\t{i}" for i in range(200)
+] + ["no-separator-line", "user9\t\t3"]
+
+
+class TestWordCountKernel:
+    def test_matches_reference_across_chunks(self):
+        fn = make_wordcount()
+        kernel = compile_function(fn)
+        assert isinstance(kernel, kernels.WordCountKernel)
+        out = kernel(AOL_LIKE[:101]) + kernel(AOL_LIKE[101:])
+        ref = make_wordcount()
+        assert out == ref_process(ref, AOL_LIKE)
+        assert fn.counts == ref.counts
+
+    def test_slab_path_matches(self):
+        records = [f"u{i}\tquery {i % 3} words" for i in range(120)]
+        slab = kernels._build_slab(records)
+        fn = make_wordcount()
+        kernel = kernels.WordCountKernel(fn)
+        out = kernel.call_slab(slab, 0, records[:60]) + kernel.call_slab(
+            slab, 60, records[60:]
+        )
+        ref = make_wordcount()
+        assert out == ref_process(ref, records)
+        assert fn.counts == ref.counts
+
+    def test_slab_count_mismatch_falls_back(self):
+        """A separator-free line breaks the regex count; the kernel must
+        detect the mismatch and take the exact per-line path."""
+        records = ["a\tone two", "no-separator here", "b\tthree"] * 30
+        slab = kernels._build_slab(records)
+        fn = make_wordcount()
+        kernel = kernels.WordCountKernel(fn)
+        out = kernel.call_slab(slab, 0, records)
+        ref = make_wordcount()
+        assert out == ref_process(ref, records)
+        assert fn.counts == ref.counts
+
+
+class TestDistinctCountKernel:
+    def test_matches_reference_across_chunks(self):
+        fn = make_distinct()
+        kernel = compile_function(fn)
+        assert isinstance(kernel, kernels.DistinctCountKernel)
+        out = kernel(AOL_LIKE[:77]) + kernel(AOL_LIKE[77:])
+        ref = make_distinct()
+        assert out == ref_process(ref, AOL_LIKE)
+        assert fn.seen == ref.seen
+
+
+class TestStatisticsKernel:
+    def test_bulk_matches_reference(self):
+        fn = make_statistics()
+        kernel = compile_function(fn)
+        assert isinstance(kernel, kernels.StatisticsKernel)
+        out = kernel(AOL_LIKE[:150]) + kernel(AOL_LIKE[150:])
+        ref = make_statistics()
+        assert out == ref_process(ref, AOL_LIKE)
+        assert fn.snapshot() == ref.snapshot()
+
+    def test_small_chunk_takes_hoisted_loop(self):
+        """Below _MIN_BULK the kernel's scalar loop must stay exact."""
+        values = AOL_LIKE[: kernels._MIN_BULK - 1]
+        fn = make_statistics()
+        out = kernels.StatisticsKernel(fn)(values)
+        ref = make_statistics()
+        assert out == ref_process(ref, values)
+        assert fn.snapshot() == ref.snapshot()
+
+    def test_no_numpy_fallback(self, monkeypatch):
+        monkeypatch.setattr(kernels, "_np", None)
+        fn = make_statistics()
+        out = kernels.StatisticsKernel(fn)(AOL_LIKE)
+        ref = make_statistics()
+        assert out == ref_process(ref, AOL_LIKE)
+        assert fn.snapshot() == ref.snapshot()
+
+
+class TestKeyedReduceKernel:
+    def test_matches_reference(self):
+        from repro.engines.flink.datastream import KeyedReduceFunction
+
+        def build():
+            return KeyedReduceFunction(
+                key_selector=lambda v: v[0],
+                reducer=lambda acc, new: acc + new,
+                value_selector=lambda v: v[1],
+            )
+
+        values = [(f"k{i % 5}", i) for i in range(100)]
+        fn = build()
+        kernel = compile_function(fn)
+        assert isinstance(kernel, kernels.KeyedReduceKernel)
+        out = kernel(values[:33]) + kernel(values[33:])
+        ref = build()
+        assert out == ref_process(ref, values)
+        assert fn.state == ref.state
+
+
+class TestUpdateStateKernel:
+    def test_matches_reference(self):
+        from repro.engines.spark.dstream import UpdateStateByKeyFunction
+
+        def build():
+            return UpdateStateByKeyFunction(
+                lambda new, old: (old or 0) + new
+            )
+
+        values = [(f"k{i % 4}", i) for i in range(80)]
+        fn = build()
+        kernel = compile_function(fn)
+        assert isinstance(kernel, kernels.UpdateStateKernel)
+        out = kernel(values[:41]) + kernel(values[41:])
+        ref = build()
+        assert out == ref_process(ref, values)
+        assert fn.state == ref.state
+
+
+class TestGroupByKeyKernel:
+    def test_buffers_and_emits_nothing(self):
+        from repro.beam.runners.util import GroupByKeyFunction
+
+        fn = GroupByKeyFunction()
+        kernel = compile_function(fn)
+        assert isinstance(kernel, kernels.GroupByKeyKernel)
+        assert kernel([("a", 1), ("b", 2), ("a", 3)]) == []
+        assert fn.groups == {"a": [1, 3], "b": [2]}
+        assert list(fn.finish()) == [("a", [1, 3]), ("b", [2])]
+
+    def test_non_pair_raises_beam_error_with_state_intact(self):
+        """The BeamError matches the reference, and records before the bad
+        one are already grouped — exactly the reference's state at raise."""
+        from repro.beam.errors import BeamError
+        from repro.beam.runners.util import GroupByKeyFunction
+
+        fn = GroupByKeyFunction()
+        kernel = kernels.GroupByKeyKernel(fn)
+        with pytest.raises(BeamError) as kernel_err:
+            kernel([("a", 1), "not-a-pair", ("b", 2)])
+        ref = GroupByKeyFunction()
+        with pytest.raises(BeamError) as ref_err:
+            for value in [("a", 1), "not-a-pair", ("b", 2)]:
+                ref.process(value)
+        assert str(kernel_err.value) == str(ref_err.value)
+        assert fn.groups == ref.groups == {"a": [1]}
+
+
+# ---------------------------------------------------------------------------
+# Nexmark wire kernels (fused decode -> query)
+
+
+def nexmark_lines(count=400, seed=13):
+    from repro.workloads.nexmark import NexmarkGenerator
+
+    return NexmarkGenerator(count, seed=seed).encoded()
+
+
+def ref_nexmark(make_query, lines):
+    """Reference decode-then-process, stopping where an exception raises."""
+    from repro.workloads.nexmark import decode_event
+
+    fn = make_query()
+    out = []
+    for line in lines:
+        out.extend(fn.process(decode_event(line)))
+    return out, fn
+
+
+class TestNexmarkQ3WireKernel:
+    def test_matches_reference(self):
+        from repro.workloads.nexmark_queries import q3_local_item_suggestion
+
+        lines = nexmark_lines()
+        fn = q3_local_item_suggestion()
+        kernel = kernels.NexmarkQ3WireKernel(fn)
+        out = kernel(lines[:123]) + kernel(lines[123:])
+        ref_out, ref_fn = ref_nexmark(q3_local_item_suggestion, lines)
+        assert out == ref_out
+        assert fn.snapshot() == ref_fn.snapshot()
+
+    def test_bid_lines_skipped_unparsed(self):
+        """Q3 consumes no bid fields, so even a malformed bid body is
+        skipped (consumed-field conformance is the spec's promise)."""
+        from repro.workloads.nexmark_queries import q3_local_item_suggestion
+
+        fn = q3_local_item_suggestion()
+        kernel = kernels.NexmarkQ3WireKernel(fn)
+        assert kernel(["B\tnot\teven\tclose"]) == []
+
+    def test_unknown_tag_delegates_to_reference(self):
+        from repro.workloads.nexmark_queries import q3_local_item_suggestion
+
+        fn = q3_local_item_suggestion()
+        kernel = kernels.NexmarkQ3WireKernel(fn)
+        with pytest.raises(ValueError, match="unknown event tag"):
+            kernel(["Z\t1\t2"])
+        with pytest.raises(ValueError, match="unknown event tag"):
+            kernel([""])
+        with pytest.raises(TypeError):
+            kernel([b"P\t1"])  # non-str: the reference path raises
+
+
+class TestNexmarkQ4WireKernel:
+    def test_matches_reference(self):
+        from repro.workloads.nexmark_queries import q4_category_average
+
+        lines = nexmark_lines()
+        fn = q4_category_average()
+        kernel = kernels.NexmarkQ4WireKernel(fn)
+        out = kernel(lines[:97]) + kernel(lines[97:])
+        ref_out, ref_fn = ref_nexmark(q4_category_average, lines)
+        assert out == ref_out
+        assert fn.snapshot() == ref_fn.snapshot()
+
+    def test_person_lines_skipped_unparsed(self):
+        from repro.workloads.nexmark_queries import q4_category_average
+
+        fn = q4_category_average()
+        kernel = kernels.NexmarkQ4WireKernel(fn)
+        assert kernel(["P\tgarbage"]) == []
+
+    def test_unknown_tag_delegates_to_reference(self):
+        from repro.workloads.nexmark_queries import q4_category_average
+
+        fn = q4_category_average()
+        kernel = kernels.NexmarkQ4WireKernel(fn)
+        with pytest.raises(ValueError, match="unknown event tag"):
+            kernel(["Q\t9"])
+
+
+class TestNexmarkQ5WireKernel:
+    def make(self, window_seconds=10.0):
+        from repro.workloads.nexmark_queries import q5_hot_items
+
+        return q5_hot_items(window_seconds=window_seconds)
+
+    def bid(self, auction, ts, bidder=1, price=100):
+        return f"B\t{auction}\t{bidder}\t{price}\t{ts!r}"
+
+    def test_matches_reference_including_pane_order(self):
+        lines = nexmark_lines(600)
+        fn = self.make()
+        kernel = kernels.NexmarkQ5WireKernel(fn)
+        out = kernel(lines[:211]) + kernel(lines[211:])
+        ref_out, ref_fn = ref_nexmark(self.make, lines)
+        assert out == ref_out == []
+        assert fn.snapshot() == ref_fn.snapshot()
+        # finish() order is the pane dict's insertion order — pin it.
+        assert list(fn.panes) == list(ref_fn.panes)
+        assert list(fn.finish()) == list(ref_fn.finish())
+
+    def test_out_of_order_timestamps_keep_insertion_order(self):
+        """Window revisits merge in place; new panes append in first-bid
+        order — exactly the reference's first-occurrence order."""
+        lines = [
+            self.bid(1, 1.0),
+            self.bid(2, 11.0),
+            self.bid(1, 2.0),   # back to the first window
+            self.bid(2, 12.0),
+            self.bid(3, 3.0),
+            self.bid(1, 1.5),
+        ]
+        fn = self.make()
+        kernel = kernels.NexmarkQ5WireKernel(fn)
+        assert kernel(lines) == []
+        _, ref_fn = ref_nexmark(self.make, lines)
+        assert list(fn.panes.items()) == list(ref_fn.panes.items())
+
+    def test_mid_chunk_error_leaves_reference_state(self):
+        """A malformed bid raises the reference's exception with the pane
+        dict in the exact state the reference has at that record (the
+        locality buffer merges in the finally)."""
+        good = [self.bid(1, 1.0), self.bid(2, 2.0), self.bid(1, 11.0)]
+        bad = "B\t3\t1\t100\tnot-a-float"
+        tail = [self.bid(4, 12.0)]
+        fn = self.make()
+        kernel = kernels.NexmarkQ5WireKernel(fn)
+        with pytest.raises(ValueError) as kernel_err:
+            kernel(good + [bad] + tail)
+        ref_fn = self.make()
+        from repro.workloads.nexmark import decode_event
+
+        with pytest.raises(ValueError) as ref_err:
+            for line in good + [bad] + tail:
+                ref_fn.process(decode_event(line))
+        assert str(kernel_err.value) == str(ref_err.value)
+        assert list(fn.panes.items()) == list(ref_fn.panes.items())
+
+    def test_bare_tag_lines_delegate_like_reference(self):
+        """'P' with no tab is not a skippable person line: decode_event
+        raises IndexError on it, and so must the kernel."""
+        for line in ("P", "A"):
+            fn = self.make()
+            kernel = kernels.NexmarkQ5WireKernel(fn)
+            with pytest.raises(IndexError):
+                kernel([line])
+
+    def test_unknown_tag_merges_buffer_before_delegating(self):
+        """The reference path reads the pane dict, so buffered counts must
+        be merged before the unknown line is processed."""
+        lines = [self.bid(1, 1.0), self.bid(1, 2.0), "Z\toops"]
+        fn = self.make()
+        kernel = kernels.NexmarkQ5WireKernel(fn)
+        with pytest.raises(ValueError, match="unknown event tag"):
+            kernel(lines)
+        assert fn.panes == {(1, 0.0, 10.0): 2}
+
+    def test_inf_timestamp_raises_like_reference(self):
+        fn = self.make()
+        kernel = kernels.NexmarkQ5WireKernel(fn)
+        with pytest.raises(ValueError, match="window end must exceed"):
+            kernel([self.bid(1, float("inf"))])
+
+
+# ---------------------------------------------------------------------------
+# Windowed aggregation kernel
+
+
+class TestWindowedAggregateKernel:
+    def make(self, **kwargs):
+        from repro.beam.window import FixedWindows
+        from repro.dataflow.windowing import WindowedAggregateFunction
+
+        defaults = dict(
+            window_fn=FixedWindows(10.0),
+            key_fn=lambda v: v[0],
+            timestamp_fn=lambda v: v[1],
+        )
+        defaults.update(kwargs)
+        return WindowedAggregateFunction(**defaults)
+
+    def test_fixed_windows_match_reference(self):
+        values = [(f"k{i % 3}", float(i % 37)) for i in range(150)]
+        fn = self.make()
+        kernel = compile_function(fn)
+        assert isinstance(kernel, kernels.WindowedAggregateKernel)
+        assert kernel(values[:70]) + kernel(values[70:]) == []
+        ref = self.make()
+        ref_process(ref, values)
+        assert list(fn.panes.items()) == list(ref.panes.items())
+        assert list(fn.finish()) == list(ref.finish())
+
+    def test_sliding_windows_call_assign_per_element(self):
+        from repro.beam.window import SlidingWindows
+
+        values = [(f"k{i % 2}", float(i)) for i in range(60)]
+        fn = self.make(window_fn=SlidingWindows(10.0, 5.0))
+        kernel = compile_function(fn)
+        assert isinstance(kernel, kernels.WindowedAggregateKernel)
+        kernel(values)
+        ref = self.make(window_fn=SlidingWindows(10.0, 5.0))
+        ref_process(ref, values)
+        assert list(fn.panes.items()) == list(ref.panes.items())
+
+    def test_reducer_and_filter_match_reference(self):
+        values = [("k", float(i), i) for i in range(50)]
+        make = lambda: self.make(
+            key_fn=lambda v: v[0],
+            timestamp_fn=lambda v: v[1],
+            reducer=lambda acc, v: acc + v[2],
+            filter_fn=lambda v: v[2] % 3 != 0,
+        )
+        fn = make()
+        compile_function(fn)(values)
+        ref = make()
+        ref_process(ref, values)
+        assert list(fn.panes.items()) == list(ref.panes.items())
+
+    def test_inf_timestamp_validates_identically(self):
+        fn = self.make()
+        kernel = kernels.WindowedAggregateKernel(fn)
+        with pytest.raises(ValueError, match="window end must exceed"):
+            kernel([("k", float("inf"))])
+
+    def test_after_count_trigger_declares_no_spec(self):
+        """AfterCount fires mid-stream; the kernel tier must refuse it and
+        leave the function on the reference/batch tiers."""
+        from repro.beam.window import AfterCount
+
+        fn = self.make(trigger=AfterCount(5))
+        assert getattr(fn, "kernel_spec", None) is None
+        assert compile_function(fn) is None
+
+
+# ---------------------------------------------------------------------------
+# Fuse-cache bound
+
+
+class TestFuseCacheEviction:
+    def test_cache_stays_bounded_and_evicted_shapes_recompile(self, monkeypatch):
+        monkeypatch.setattr(kernels, "_FUSE_CACHE_MAX", 4)
+        kernels._FUSE_CACHE.clear()
+        built = []
+        for index in range(7):
+            kernel = kernels._fuse([("map", "{v}[%d]" % index, ())])
+            built.append(kernel)
+            assert kernel([("a", "b", "c", "d", "e", "f", "g")]) == [
+                ("a", "b", "c", "d", "e", "f", "g")[index]
+            ]
+        assert len(kernels._FUSE_CACHE) <= 4
+        # An evicted shape rebuilds transparently and still computes.
+        again = kernels._fuse([("map", "{v}[0]", ())])
+        assert again([("x", "y")]) == ["x"]
