@@ -32,6 +32,16 @@ Two kinds of measurement:
   disk caches disabled so the generation phase is genuinely cold.
   Workload generation is reported separately: it is not part of the
   paper's pipeline (the AOL file pre-exists on disk).
+* **Sharded ingest** — partition-parallel ingestion over the sharded
+  broker plane: one worker process per shard, each mmap-sharing the same
+  columnar cache entry and pushing its contiguous row range into its own
+  partition of an ``n``-node topic.  Per-shard rates, aggregate MB/s and
+  the 4-node-vs-1-node wall-clock speedup ride with the end-to-end
+  section; CI's perf-smoke gates the speedup floor.
+* **Scale sweep** — chunk-streamed 1M/10M/100M ingest+grep runs in
+  bounded memory: each spawned worker generates, ingests, drains and
+  greps its shard O(chunk) bytes at a time, reporting clean per-process
+  peak-RSS figures (``scale_sweep`` in the JSON).
 * **Matrix scale** — the full 48-cell Figure-5 grid executed serially and
   through the parallel :class:`~repro.benchmark.parallel.MatrixRunner`
   (per-field report equality asserted), plus the workload cache's
@@ -512,6 +522,312 @@ def run_workload_cache_bench(num_records: int = 200_000, repeats: int = 3) -> di
     }
 
 
+def _ingest_shard(
+    num_records: int, seed: int, shard: int, n_shards: int
+) -> dict[str, Any]:
+    """One shard's ingest world (top-level so process pools can pickle it).
+
+    The worker mmaps the shared columnar cache entry (pre-seeded by the
+    parent — no per-worker regeneration, and the read-only pages are
+    shared through the page cache), builds a zero-copy window over its
+    contiguous row range, and pushes it into its own partition of a
+    sharded topic on a ``num_nodes == n_shards`` cluster.  Returns the
+    :class:`~repro.benchmark.sender.SenderReport` plus host timings.
+    """
+    from repro.benchmark.sender import DataSender
+    from repro.broker import AdminClient, BrokerCluster
+    from repro.simtime import Simulator
+    from repro.workloads.cache import load_columnar_workload
+
+    mark = time.perf_counter()
+    workload = load_columnar_workload(num_records, seed)
+    column = workload.column()
+    load_seconds = time.perf_counter() - mark
+
+    lo = shard * num_records // n_shards
+    hi = (shard + 1) * num_records // n_shards
+    starts = workload.starts
+    data_bytes = (
+        int(starts[hi]) - 1 if hi < num_records else len(workload.data)
+    ) - int(starts[lo])
+
+    simulator = Simulator(seed=11)
+    cluster = BrokerCluster(simulator, num_nodes=n_shards)
+    AdminClient(cluster).create_topic(
+        "sharded-ingest", num_partitions=n_shards, num_nodes=n_shards
+    )
+    sender = DataSender(
+        cluster, "sharded-ingest", create_topic=False, partition=shard
+    )
+    mark = time.perf_counter()
+    report = sender.send(column.view(lo, hi))
+    ingest_seconds = time.perf_counter() - mark
+    return {
+        "shard": shard,
+        "records": hi - lo,
+        "bytes": data_bytes,
+        "load_seconds": load_seconds,
+        "ingest_seconds": ingest_seconds,
+        "report": report,
+    }
+
+
+def run_sharded_ingest_bench(
+    num_records: int = 2_000_000, node_counts: tuple[int, ...] = (1, 4)
+) -> dict[str, Any]:
+    """Partition-parallel ingest: N shard workers vs the single-node path.
+
+    For each topology the same workload is split into contiguous row
+    ranges and ingested by one worker process per shard, each into its own
+    partition of a topic sharded over ``n`` broker nodes.  The parent
+    pre-seeds the columnar disk cache once, so every worker mmaps the same
+    read-only entry instead of regenerating (or copying) the workload.
+    Reported per topology: per-shard ingest rates, the exactly-merged
+    :class:`SenderReport` (offered == accepted + shed across shards), and
+    aggregate MB/s over the parent-side wall clock.  ``speedup`` is
+    wall(1 node) / wall(max nodes) — the ISSUE's ≥2x floor for 4 nodes.
+    As with the matrix section, a single-CPU affinity cannot run workers
+    concurrently at all, so the speedup is reported as ``null`` with a
+    note there instead of a meaningless ratio.
+    """
+    from concurrent.futures import ProcessPoolExecutor
+
+    from repro.benchmark.sender import SenderReport
+    from repro.workloads.cache import ensure_columns_cached
+
+    seed = 2006
+    ensure_columns_cached(num_records, seed)
+    per_node: dict[str, Any] = {}
+    walls: dict[int, float] = {}
+    for n_shards in node_counts:
+        started = time.perf_counter()
+        with ProcessPoolExecutor(max_workers=n_shards) as pool:
+            shards = list(
+                pool.map(
+                    _ingest_shard,
+                    [num_records] * n_shards,
+                    [seed] * n_shards,
+                    range(n_shards),
+                    [n_shards] * n_shards,
+                )
+            )
+        wall = time.perf_counter() - started
+        walls[n_shards] = wall
+        merged = SenderReport.merge([s["report"] for s in shards])
+        if merged.records_sent != num_records:
+            raise AssertionError(
+                f"{n_shards}-node ingest lost records: "
+                f"{merged.records_sent} != {num_records}"
+            )
+        total_bytes = sum(s["bytes"] for s in shards)
+        per_node[str(n_shards)] = {
+            "nodes": n_shards,
+            "wall_seconds": round(wall, 3),
+            "aggregate_records_per_sec": round(num_records / wall),
+            "aggregate_mb_per_sec": round(total_bytes / wall / 1e6, 1),
+            "records_sent": merged.records_sent,
+            "records_offered": merged.records_offered,
+            "records_shed": merged.records_shed,
+            "retries": merged.retries,
+            "per_shard": [
+                {
+                    "shard": s["shard"],
+                    "records": s["records"],
+                    "load_seconds": round(s["load_seconds"], 3),
+                    "ingest_seconds": round(s["ingest_seconds"], 3),
+                    "ingest_records_per_sec": round(
+                        s["records"] / s["ingest_seconds"]
+                    ),
+                }
+                for s in shards
+            ],
+        }
+    fastest = max(node_counts)
+    result: dict[str, Any] = {
+        "records": num_records,
+        "node_counts": list(node_counts),
+        "cpu_affinity": available_cpus(),
+        "per_node": per_node,
+        "speedup": round(walls[min(node_counts)] / walls[fastest], 2),
+    }
+    if available_cpus() == 1:
+        result["speedup"] = None
+        result["speedup_note"] = (
+            "single-CPU affinity: shard workers cannot run concurrently, "
+            "so 1-node vs N-node wall-clock is not a speedup measurement"
+        )
+    return result
+
+
+def _peak_rss_kb() -> int:
+    """This process's peak resident set size in kilobytes.
+
+    Prefers ``VmHWM`` from ``/proc/self/status``: on Linux,
+    ``getrusage``'s ``ru_maxrss`` survives ``exec``, so a spawned pool
+    worker would report the high-water mark *inherited from the parent*
+    (the whole benchmark's peak) instead of its own.  ``VmHWM`` is reset
+    with the fresh address space and measures only this process.
+    """
+    try:
+        with open("/proc/self/status") as fh:
+            for line in fh:
+                if line.startswith("VmHWM:"):
+                    return int(line.split()[1])
+    except OSError:
+        pass
+    import resource
+
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+
+
+def _stream_shard(
+    shard_records: int, seed: int, shard: int, n_shards: int, chunk_records: int
+) -> dict[str, Any]:
+    """One shard of a chunk-streamed scale run (top-level for pickling).
+
+    Generates its row range as O(chunk)-sized slab windows
+    (:func:`repro.workloads.columnar.iter_column_chunks`), streams them
+    into a bounded partition (``max_queue == chunk_records``), and drains
+    each chunk zero-copy through the hosting broker — counting grep
+    matches with the production kernel — before acknowledging, so the
+    consumed prefix is trimmed and the next chunk's slab is re-adopted
+    into the emptied log.  Peak resident memory therefore stays at
+    O(chunk) regardless of ``shard_records``; the worker reports its own
+    peak RSS so the parent can verify that.
+    """
+    from repro.benchmark.sender import DataSender
+    from repro.broker import AdminClient, BrokerCluster
+    from repro.dataflow.kernels import GrepKernel, SlabColumn, slab_from_columns
+    from repro.simtime import Simulator
+    from repro.workloads.columnar import iter_column_chunks
+
+    rss_before_kb = _peak_rss_kb()
+    simulator = Simulator(seed=11)
+    cluster = BrokerCluster(simulator, num_nodes=n_shards)
+    topic = "scale-stream"
+    AdminClient(cluster).create_topic(
+        topic,
+        num_partitions=n_shards,
+        num_nodes=n_shards,
+        max_queue=chunk_records,
+    )
+    log = cluster.partition_log(topic, shard)
+    kernel = GrepKernel(GREP_NEEDLE)
+    matches = 0
+    total_bytes = 0
+
+    def chunks():
+        nonlocal total_bytes
+        for data, starts in iter_column_chunks(
+            shard_records, seed, chunk_records=chunk_records
+        ):
+            total_bytes += len(data)
+            slab = slab_from_columns(data, starts)
+            if slab is None:  # no numpy: correctness path, not a perf path
+                yield str(data, "ascii").split("\n")
+            else:
+                yield SlabColumn(slab)
+
+    def drain(_total: int) -> None:
+        nonlocal matches
+        column = log.read_values(log.start_offset, None, copy=False)
+        if type(column) is SlabColumn and kernel.supports_slab:
+            matches += len(kernel.call_slab(column.slab, column.start, column))
+            kernel.flush()
+        else:
+            matches += sum(1 for line in column if GREP_NEEDLE in line)
+        log.mark_consumed(log.end_offset)
+
+    sender = DataSender(cluster, topic, create_topic=False, partition=shard)
+    mark = time.perf_counter()
+    report = sender.send_stream(chunks(), on_chunk=drain)
+    wall = time.perf_counter() - mark
+    peak_kb = _peak_rss_kb()
+    return {
+        "shard": shard,
+        "records": shard_records,
+        "bytes": total_bytes,
+        "grep_matches": matches,
+        "wall_seconds": wall,
+        "report": report,
+        "rss_before_kb": rss_before_kb,
+        "peak_rss_kb": peak_kb,
+    }
+
+
+def run_scale_sweep(
+    scales: tuple[int, ...] = (1_000_000, 10_000_000, 100_000_000),
+    shards: int = 4,
+    chunk_records: int | None = None,
+) -> dict[str, Any]:
+    """Chunk-streamed ingest+grep at 1M/10M/100M in bounded memory.
+
+    Each scale fans out ``shards`` worker processes; every worker streams
+    its share of the records through generation -> bounded topic -> drain
+    -> grep without ever materialising more than O(chunk) bytes.  Workers
+    are **spawned** (fresh interpreters) and report ``VmHWM`` (their own
+    high-water mark, not the parent's inherited ``ru_maxrss``).  The
+    summed grep-match counts are asserted against the generator's exact
+    expectation at every scale — a sweep that miscounts is not a
+    measurement.
+    """
+    from concurrent.futures import ProcessPoolExecutor
+    from multiprocessing import get_context
+
+    from repro.workloads.aol import expected_grep_matches
+    from repro.workloads.columnar import _CHUNK_RECORDS, native_generator_available
+
+    if chunk_records is None:
+        chunk_records = _CHUNK_RECORDS
+    runs = []
+    for num_records in scales:
+        splits = [
+            (shard + 1) * num_records // shards - shard * num_records // shards
+            for shard in range(shards)
+        ]
+        started = time.perf_counter()
+        with ProcessPoolExecutor(
+            max_workers=shards, mp_context=get_context("spawn")
+        ) as pool:
+            results = list(
+                pool.map(
+                    _stream_shard,
+                    splits,
+                    [2006 + shard for shard in range(shards)],
+                    range(shards),
+                    [shards] * shards,
+                    [chunk_records] * shards,
+                )
+            )
+        wall = time.perf_counter() - started
+        matched = sum(r["grep_matches"] for r in results)
+        expected = sum(expected_grep_matches(n) for n in splits)
+        if matched != expected:
+            raise AssertionError(
+                f"scale {num_records}: grep matched {matched}, "
+                f"expected {expected}"
+            )
+        total_bytes = sum(r["bytes"] for r in results)
+        runs.append(
+            {
+                "records": num_records,
+                "wall_seconds": round(wall, 3),
+                "records_per_sec": round(num_records / wall),
+                "mb_per_sec": round(total_bytes / wall / 1e6, 1),
+                "grep_matches": matched,
+                "peak_worker_rss_mb": round(
+                    max(r["peak_rss_kb"] for r in results) / 1024, 1
+                ),
+            }
+        )
+    return {
+        "shards": shards,
+        "chunk_records": chunk_records,
+        "native_generator": native_generator_available(),
+        "scales": runs,
+    }
+
+
 def available_cpus() -> int:
     """CPUs this process may actually run on (scheduler affinity mask).
 
@@ -674,6 +990,25 @@ def main() -> None:
         help="records per probe for the capacity (sustainable-throughput) scenario",
     )
     parser.add_argument("--skip-capacity", action="store_true")
+    parser.add_argument(
+        "--shard-records",
+        type=int,
+        default=2_000_000,
+        help="workload scale for the sharded (partition-parallel) ingest timing",
+    )
+    parser.add_argument("--skip-sharded", action="store_true")
+    parser.add_argument(
+        "--scale-records",
+        default="1000000,10000000,100000000",
+        help="comma-separated scales for the chunk-streamed sweep",
+    )
+    parser.add_argument(
+        "--scale-shards",
+        type=int,
+        default=4,
+        help="worker processes (= broker nodes) for the scale sweep",
+    )
+    parser.add_argument("--skip-scale", action="store_true")
     args = parser.parse_args()
 
     payload: dict[str, Any] = {
@@ -691,6 +1026,17 @@ def main() -> None:
         payload["capacity"] = run_capacity_bench(args.capacity_records)
     if not args.skip_end_to_end:
         payload["end_to_end"] = run_end_to_end_planes(args.records)
+    if not args.skip_sharded:
+        # Partition-parallel ingest rides with the end-to-end scenario:
+        # same workload family, host-clock phase measurement.
+        payload.setdefault("end_to_end", {})["sharded_ingest"] = (
+            run_sharded_ingest_bench(args.shard_records)
+        )
+    if not args.skip_scale:
+        scales = tuple(
+            int(scale) for scale in args.scale_records.split(",") if scale
+        )
+        payload["scale_sweep"] = run_scale_sweep(scales, shards=args.scale_shards)
     write_bench(payload)
     print(json.dumps(payload, indent=2, sort_keys=True))
     print(f"\nwritten to {BENCH_PATH}")

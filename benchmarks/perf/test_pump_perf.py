@@ -61,6 +61,7 @@ from pump_bench import (
     run_generation_bench,
     run_matrix_scale,
     run_microbenchmark,
+    run_sharded_ingest_bench,
     run_workload_cache_bench,
     write_bench,
 )
@@ -92,6 +93,10 @@ FLOOR_TOLERANCE = float(os.environ.get("REPRO_PERF_FLOOR_TOLERANCE", "0.75"))
 #: Cold slab-direct generation vs the string generator — the ISSUE's
 #: acceptance floor for the columnar data plane.
 MIN_GENERATION_SPEEDUP = float(os.environ.get("REPRO_PERF_MIN_GENERATION", "3.0"))
+#: Workload scale for the sharded (partition-parallel) ingest timing.
+SHARD_RECORDS = int(os.environ.get("REPRO_PERF_SHARD_RECORDS", "20000000"))
+#: 4-node vs 1-node partition-parallel ingest — the ISSUE's floor.
+MIN_SHARDED_SPEEDUP = float(os.environ.get("REPRO_PERF_MIN_SHARDED", "2.0"))
 
 
 @pytest.fixture(scope="module")
@@ -242,6 +247,39 @@ def test_matrix_parallel_speedup(payload: dict) -> None:
         f"parallel matrix only {result['speedup']:.2f}x vs serial "
         f"(floor {floor:.2f}x from baseline {expected:.2f}x, "
         f"{result['cpu_count']} cores, {result['workers']} workers)"
+    )
+
+
+def test_sharded_ingest_accounting_smoke(payload: dict) -> None:
+    """Sharded ingest reconciles exactly on any host (tiny scale).
+
+    ``SenderReport.merge`` raises when the summed shard counters do not
+    reconcile, and ``run_sharded_ingest_bench`` raises when merged
+    ``records_sent`` loses records — so a clean return *is* the
+    assertion; the explicit checks document the contract.
+    """
+    result = run_sharded_ingest_bench(200_000, node_counts=(1, 4))
+    for entry in result["per_node"].values():
+        assert entry["records_sent"] == result["records"]
+        assert entry["records_offered"] == (
+            entry["records_sent"] + entry["records_shed"]
+        )
+    payload.setdefault("sharded_ingest_smoke", result)
+
+
+@pytest.mark.skipif(
+    available_cpus() < 4,
+    reason="shard fan-out cannot beat one node below 4 schedulable cores",
+)
+def test_sharded_ingest_speedup(payload: dict) -> None:
+    """4-node partition-parallel ingest keeps its ≥2x floor over 1 node."""
+    result = run_sharded_ingest_bench(SHARD_RECORDS, node_counts=(1, 4))
+    payload["sharded_ingest"] = result
+    gate = MIN_SHARDED_SPEEDUP * FLOOR_TOLERANCE
+    assert result["speedup"] >= gate, (
+        f"4-node sharded ingest only {result['speedup']:.2f}x vs 1 node "
+        f"(gate {gate:.2f}x = {MIN_SHARDED_SPEEDUP}x floor × "
+        f"{FLOOR_TOLERANCE} tolerance at {SHARD_RECORDS} records)"
     )
 
 

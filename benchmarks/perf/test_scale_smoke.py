@@ -1,0 +1,107 @@
+"""Scale smoke: a 10M-record chunk-streamed run stays in bounded memory.
+
+The scale-out data plane's promise is that workload size and resident
+memory are decoupled: a run streams O(chunk)-sized slab windows through
+generation -> bounded topic -> zero-copy drain -> grep, and the broker
+re-adopts each chunk's slab into the trimmed log, so nothing O(N) is
+ever resident.  This suite proves it the hard way:
+
+* the 10M-record run executes in a **fresh subprocess** (own peak-RSS
+  accounting via ``VmHWM``, which — unlike ``ru_maxrss`` — resets on
+  ``exec``) under a **hard ``resource.setrlimit`` address-space cap**: if
+  streaming regressed to materialising the workload (~1 GB of record
+  bytes at 10M, before Python string overhead), the child dies on
+  ``MemoryError`` instead of quietly passing with a big peak;
+* the child's measured peak RSS must stay under a ceiling that is a
+  small multiple of the chunk size plus interpreter baseline — orders of
+  magnitude below the materialised footprint;
+* the grep-match count is asserted against the generator's exact
+  expectation, so the bounded run did the same work, not less of it.
+
+Not part of the tier-1 suite; CI runs it as the dedicated scale-smoke
+job::
+
+    PYTHONPATH=src python -m pytest -q benchmarks/perf/test_scale_smoke.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+
+#: Streamed-run scale (records).  10M ≈ 560 MB of record bytes — far
+#: beyond the RSS ceiling, so only a genuinely streamed run can pass.
+SCALE_RECORDS = int(os.environ.get("REPRO_SCALE_RECORDS", "10000000"))
+#: Records per streamed chunk (the generator's default window).
+CHUNK_RECORDS = 100_000
+#: Peak-RSS ceiling for the child.  Interpreter + numpy import ~55 MB;
+#: the streamed pipeline holds a handful of chunk slabs (~5.6 MB each)
+#: plus broker bookkeeping.  256 MB is ~4x the measured peak and ~1/4 of
+#: the materialised footprint — O(chunk), with CI-noise headroom.
+RSS_CEILING_MB = int(os.environ.get("REPRO_SCALE_RSS_CEILING_MB", "256"))
+#: Hard address-space cap (the enforcement teeth): a materialising
+#: regression exhausts this and the child dies, whatever RSS it reports.
+ADDRESS_SPACE_CAP_MB = int(os.environ.get("REPRO_SCALE_AS_CAP_MB", "2048"))
+
+_CHILD = """
+import json, resource, sys
+cap = {cap_bytes}
+resource.setrlimit(resource.RLIMIT_AS, (cap, cap))
+sys.path.insert(0, {perf_dir!r})
+sys.path.insert(0, {src_dir!r})
+from pump_bench import _stream_shard
+result = _stream_shard({records}, 2006, 0, 1, {chunk})
+print(json.dumps({{
+    "peak_rss_kb": result["peak_rss_kb"],
+    "grep_matches": result["grep_matches"],
+    "records": result["records"],
+}}))
+"""
+
+
+def _native_generator_available() -> bool:
+    from repro.workloads.columnar import native_generator_available
+
+    return native_generator_available()
+
+
+@pytest.mark.skipif(
+    not _native_generator_available(),
+    reason="no C compiler: pure-Python generation is too slow at 10M",
+)
+def test_streamed_scale_run_is_memory_bounded() -> None:
+    """10M records stream under a hard rlimit with O(chunk) peak RSS."""
+    from repro.workloads.aol import expected_grep_matches
+
+    code = _CHILD.format(
+        cap_bytes=ADDRESS_SPACE_CAP_MB * 1024 * 1024,
+        perf_dir=str(pathlib.Path(__file__).resolve().parent),
+        src_dir=str(REPO_ROOT / "src"),
+        records=SCALE_RECORDS,
+        chunk=CHUNK_RECORDS,
+    )
+    proc = subprocess.run(
+        [sys.executable, "-c", code], capture_output=True, text=True, timeout=600
+    )
+    assert proc.returncode == 0, (
+        f"streamed child died under the {ADDRESS_SPACE_CAP_MB} MB address-"
+        f"space cap (a materialising regression?):\n{proc.stderr[-2000:]}"
+    )
+    result = json.loads(proc.stdout)
+    assert result["records"] == SCALE_RECORDS
+    assert result["grep_matches"] == expected_grep_matches(SCALE_RECORDS)
+    peak_mb = result["peak_rss_kb"] / 1024
+    assert peak_mb <= RSS_CEILING_MB, (
+        f"peak RSS {peak_mb:.0f} MB exceeds the {RSS_CEILING_MB} MB ceiling "
+        f"— resident memory is no longer O(chunk) "
+        f"({SCALE_RECORDS} records, {CHUNK_RECORDS}-record chunks)"
+    )

@@ -228,7 +228,9 @@ def run_probe(
     """One open-loop probe at ``rate`` in a fresh isolated world."""
     settings = config.capacity
     simulator = Simulator(seed=config.seed)
-    cluster = BrokerCluster(simulator, num_nodes=3)
+    from repro.broker.broker import default_num_nodes
+
+    cluster = BrokerCluster(simulator, num_nodes=default_num_nodes())
     admin = AdminClient(cluster)
     admin.create_topic(CAPACITY_TOPIC, max_queue=settings.queue_bound)
     if columnar is None:

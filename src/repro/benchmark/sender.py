@@ -9,7 +9,7 @@ globally ordered input.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Callable, Iterable, Sequence
 
 from repro.broker import AdminClient, BrokerCluster, Producer, RetryPolicy
 from repro.dataflow.kernels import SlabColumn
@@ -53,6 +53,39 @@ class SenderReport:
             return 0.0
         return self.records_sent / self.duration
 
+    @classmethod
+    def merge(cls, reports: Sequence["SenderReport"]) -> "SenderReport":
+        """Aggregate per-shard reports into one exact cluster-wide report.
+
+        Counters (sent, retries, duplicates avoided, offered, shed) are
+        summed exactly; the merged window spans the earliest start to the
+        latest finish.  The load-accounting invariant must reconcile
+        *across* shards, not just per partition — a merge whose summed
+        ``offered != accepted + shed`` means a shard under- or over-counted
+        and raises ``ValueError`` rather than hiding the imbalance.
+        """
+        reports = list(reports)
+        if not reports:
+            raise ValueError("cannot merge an empty sequence of reports")
+        topics = sorted({report.topic for report in reports})
+        merged = cls(
+            topic=topics[0] if len(topics) == 1 else "+".join(topics),
+            records_sent=sum(r.records_sent for r in reports),
+            started_at=min(r.started_at for r in reports),
+            finished_at=max(r.finished_at for r in reports),
+            retries=sum(r.retries for r in reports),
+            duplicates_avoided=sum(r.duplicates_avoided for r in reports),
+            records_offered=sum(r.records_offered for r in reports),
+            records_shed=sum(r.records_shed for r in reports),
+        )
+        if merged.records_offered != merged.records_accepted + merged.records_shed:
+            raise ValueError(
+                f"shard accounting does not reconcile: offered "
+                f"{merged.records_offered} != accepted {merged.records_accepted}"
+                f" + shed {merged.records_shed}"
+            )
+        return merged
+
 
 class DataSender:
     """Pushes records into a broker topic at a configured rate.
@@ -78,9 +111,12 @@ class DataSender:
         replication_factor: int = 1,
         retry_policy: RetryPolicy | None = None,
         idempotent: bool | None = None,
+        partition: int = 0,
     ) -> None:
         if ingestion_rate <= 0:
             raise ValueError(f"ingestion_rate must be > 0, got {ingestion_rate}")
+        if partition < 0:
+            raise ValueError(f"partition must be >= 0, got {partition}")
         self.cluster = cluster
         self.topic = topic
         self.ingestion_rate = ingestion_rate
@@ -90,6 +126,10 @@ class DataSender:
         self.replication_factor = replication_factor
         self.retry_policy = retry_policy
         self.idempotent = idempotent
+        #: Target partition — shard-parallel ingest points each sender at
+        #: its own partition of a sharded topic (default 0, the paper's
+        #: single-partition setup).
+        self.partition = partition
 
     def send(self, records: Sequence[str]) -> SenderReport:
         """Ingest all ``records``; returns a :class:`SenderReport`.
@@ -110,16 +150,57 @@ class DataSender:
                 self.topic, replication_factor=self.replication_factor
             )
         started = self.cluster.simulator.now()
-        producer = Producer(
+        producer = self._producer()
+        total = self._send_paced(producer, records)
+        producer.close()
+        return self._report(started, total, producer)
+
+    def send_stream(
+        self,
+        chunks: Iterable[Sequence[str]],
+        on_chunk: Callable[[int], None] | None = None,
+    ) -> SenderReport:
+        """Ingest an iterable of record chunks without materialising them.
+
+        The bounded-memory counterpart of :meth:`send` for chunk-streamed
+        workloads (:func:`repro.workloads.columnar.iter_column_chunks`
+        wrapped in per-chunk slab columns): each chunk is batched, paced
+        and sequenced exactly as :meth:`send` batches it, through one
+        producer spanning the whole stream, and is free to be released as
+        soon as the next chunk arrives.  ``on_chunk(total_so_far)`` fires
+        after each chunk lands — a scale run drains and acknowledges the
+        bounded topic there, keeping broker-resident memory at O(chunk).
+        """
+        if self.create_topic:
+            AdminClient(self.cluster).recreate_topic(
+                self.topic, replication_factor=self.replication_factor
+            )
+        started = self.cluster.simulator.now()
+        producer = self._producer()
+        total = 0
+        for chunk in chunks:
+            total += self._send_paced(producer, chunk)
+            if on_chunk is not None:
+                on_chunk(total)
+        producer.close()
+        return self._report(started, total, producer)
+
+    def _producer(self) -> Producer:
+        return Producer(
             self.cluster,
             acks=self.acks,
             batch_size=self.batch_size,
             retry_policy=self.retry_policy,
             idempotent=self.idempotent,
         )
-        # One transient batch-sized slice lives at a time; the producer
-        # reads it straight into the log's column storage without copying,
-        # so the workload is never duplicated in memory during ingestion.
+
+    def _send_paced(self, producer: Producer, records: Sequence[str]) -> int:
+        """Batch ``records`` into the topic at the configured pace.
+
+        One transient batch-sized slice lives at a time; the producer
+        reads it straight into the log's column storage without copying,
+        so the workload is never duplicated in memory during ingestion.
+        """
         is_column = type(records) is SlabColumn
         total = len(records)
         for start in range(0, total, self.batch_size):
@@ -131,14 +212,16 @@ class DataSender:
             # Rate pacing: the batch occupies batch/rate seconds of the
             # timeline before it lands in the log.
             self.cluster.simulator.charge(len(batch) / self.ingestion_rate)
-            producer.send_values(self.topic, batch)
-        producer.close()
+            producer.send_values(self.topic, batch, partition=self.partition)
+        return total
+
+    def _report(self, started: float, total: int, producer: Producer) -> SenderReport:
         return SenderReport(
             topic=self.topic,
-            records_sent=len(records),
+            records_sent=total,
             started_at=started,
             finished_at=self.cluster.simulator.now(),
             retries=producer.retries_performed,
             duplicates_avoided=producer.duplicates_avoided,
-            records_offered=len(records),
+            records_offered=total,
         )

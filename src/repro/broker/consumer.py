@@ -196,7 +196,7 @@ class Consumer:
     def seek_to_end(self) -> None:
         """Fast-forward every assigned partition to its log end."""
         for tp in self._assignment:
-            log = self.cluster.topic(tp.topic).partition(tp.partition)
+            log = self.cluster.partition_log(tp.topic, tp.partition)
             self._positions[tp] = log.end_offset
 
     def commit(self) -> None:
@@ -214,7 +214,7 @@ class Consumer:
         bookkeeping — the closed-loop measurement path never calls this.
         """
         for tp in self._assignment:
-            log = self.cluster.topic(tp.topic).partition(tp.partition)
+            log = self.cluster.partition_log(tp.topic, tp.partition)
             log.mark_consumed(self._positions[tp])
 
     # ------------------------------------------------------------------
@@ -329,7 +329,7 @@ class Consumer:
 
         def attempt() -> list[ConsumerRecord]:
             self.cluster.guard_request(tp.topic, tp.partition)
-            log = self.cluster.topic(tp.topic).partition(tp.partition)
+            log = self.cluster.partition_log(tp.topic, tp.partition)
             return log.read(self._positions[tp], budget)
 
         if self.retry_policy is None:
@@ -357,7 +357,7 @@ class Consumer:
 
         def attempt():
             self.cluster.guard_request(tp.topic, tp.partition)
-            log = self.cluster.topic(tp.topic).partition(tp.partition)
+            log = self.cluster.partition_log(tp.topic, tp.partition)
             position = self._positions[tp]
             chunk = log.read_values(position, budget, copy=copy)
             stamps = (

@@ -213,18 +213,29 @@ class PartitionLog:
         A window contiguous with the current adopted column widens it in
         place; a window arriving on an empty log becomes the column (a
         log-private copy of the window object, so the producer's batch
-        views are never aliased).  Anything else materialises.
+        views are never aliased).  Anything else materialises — except a
+        foreign-slab window hitting a log whose adopted column was trimmed
+        empty: that *re-adopts* (and releases the previous chunk's slab),
+        which is what keeps a chunk-streamed ingest of per-chunk slabs
+        resident-bounded at O(chunk) instead of materialising every chunk.
         """
         current = self._values
         if type(current) is SlabColumn:
             if current.slab is view.slab and view.start == current.stop:
                 current.extend_to(view.stop)
                 return
+            if len(current) == 0:
+                # Trimmed empty: re-adopt without degrading — degrading
+                # would decode the *old* slab's full record list just to
+                # copy zero rows out of it.
+                self._values = SlabColumn(view.slab, view.start, view.stop)
+                return
             self._degrade()
-        elif not current:
+            current = self._values
+        if not current:
             self._values = SlabColumn(view.slab, view.start, view.stop)
             return
-        self._values.extend(view)
+        current.extend(view)
         self._keys.extend([None] * len(view))
 
     def _degrade(self) -> None:

@@ -156,7 +156,7 @@ class Producer:
             raise ProducerClosedError("producer is closed")
         if not values:
             return
-        log = self.cluster.topic(topic).partition(partition)
+        log = self.cluster.partition_log(topic, partition)
         if log.timestamp_type is not TimestampType.LOG_APPEND_TIME:
             raise TimestampTypeError(
                 topic,
@@ -238,7 +238,9 @@ class Producer:
 
         def attempt() -> None:
             self.cluster.guard_request(topic, partition)
-            log = self.cluster.topic(topic).partition(partition)
+            # Resolve the log through the hosting broker (shard routing);
+            # after a failover this follows leadership to the promoted node.
+            log = self.cluster.partition_log(topic, partition)
             self.cluster.simulator.charge(charge)
             # A replay (the batch landed, its ack was lost) occupies no new
             # queue space: skip flow control entirely and just re-ack, or a

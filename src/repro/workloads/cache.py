@@ -464,16 +464,29 @@ def ensure_columns_cached(
     if num_records < 1:
         return None
     path = effective.columns_path(seed, num_records)
-    loaded = effective.load_columns(seed, num_records)
-    if loaded is not None:
-        return path
     key = (aol.GENERATOR_VERSION, seed, num_records)
-    memoised = _COLUMNS_MEMO.get(key)
-    if memoised is not None:
-        effective.store_columns(seed, num_records, memoised.data, memoised.starts)
-    else:
-        data, starts = generate_columns(num_records, seed)
-        effective.store_columns(seed, num_records, data, starts)
+    loaded = effective.load_columns(seed, num_records)
+    if loaded is None:
+        memoised = _COLUMNS_MEMO.get(key)
+        if memoised is not None:
+            effective.store_columns(seed, num_records, memoised.data, memoised.starts)
+        else:
+            data, starts = generate_columns(num_records, seed)
+            effective.store_columns(seed, num_records, data, starts)
+        loaded = effective.load_columns(seed, num_records)
+    # Re-point the memo at the mmap-backed entry: forked workers then share
+    # file-backed read-only pages through the page cache (and spawned
+    # workers mmap the same file) instead of inheriting anonymous heap
+    # pages — no worker ever holds a private copy of the workload.
+    if loaded is not None:
+        memoised = _COLUMNS_MEMO.get(key)
+        if memoised is None or not memoised.mmap_backed:
+            while (
+                key not in _COLUMNS_MEMO
+                and len(_COLUMNS_MEMO) >= _COLUMNS_MEMO_MAX_ENTRIES
+            ):
+                _COLUMNS_MEMO.pop(next(iter(_COLUMNS_MEMO)))
+            _COLUMNS_MEMO[key] = loaded
     return path
 
 

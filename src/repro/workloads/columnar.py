@@ -365,25 +365,71 @@ def generate_columns(
         raise ValueError(f"num_records must be >= 0, got {num_records}")
     if num_records == 0:
         return b"", array("q")
-    if _load_native() is not None:
-        return _generate_columns_native(num_records, seed)
-    return _generate_columns_python(num_records, seed)
-
-
-def _generate_columns_python(num_records: int, seed: int) -> tuple[bytes, array]:
-    """Slab-direct reference path: stream chunks straight into columns."""
-    starts = array("q")
     parts: list[bytes] = []
+    starts = array("q")
     offset = 0
-    for chunk in aol.iter_record_chunks(num_records, seed):
-        for line in chunk:
-            starts.append(offset)
-            offset += len(line) + 1
-        parts.append("\n".join(chunk).encode("ascii"))
+    for data, chunk_starts in iter_column_chunks(num_records, seed):
+        starts.extend(_shift_starts(chunk_starts, offset) if offset else chunk_starts)
+        parts.append(data)
+        offset += len(data) + 1
     return b"\n".join(parts), starts
 
 
-def _generate_columns_native(num_records: int, seed: int) -> tuple[bytes, array]:
+def iter_column_chunks(
+    num_records: int, seed: int = 2006, chunk_records: int = _CHUNK_RECORDS
+):
+    """Stream the workload as per-chunk ``(data, starts)`` column pairs.
+
+    The bounded-memory source of the scale-out data plane: each yielded
+    chunk holds at most ``chunk_records`` records as its own contiguous
+    byte buffer plus a *chunk-relative* ``array('q')`` line-start column —
+    ready for :func:`~repro.dataflow.kernels.slab_from_columns` — and
+    nothing larger than one chunk is ever resident in the generator.
+    Joining the chunk buffers with ``b"\\n"`` reproduces
+    :func:`generate_columns`'s byte stream exactly (each chunk is itself
+    ``"\\n".join(chunk_lines).encode()``, no trailing newline); the RNG
+    word stream runs seamlessly across chunk boundaries, so the chunking
+    never changes a single byte.
+    """
+    if num_records < 0:
+        raise ValueError(f"num_records must be >= 0, got {num_records}")
+    if chunk_records < 1:
+        raise ValueError(f"chunk_records must be >= 1, got {chunk_records}")
+    if num_records == 0:
+        return
+    if _load_native() is not None:
+        yield from _iter_columns_native(num_records, seed, chunk_records)
+    else:
+        yield from _iter_columns_python(num_records, seed, chunk_records)
+
+
+def _shift_starts(starts: array, offset: int) -> array:
+    """A copy of ``starts`` with ``offset`` added to every element."""
+    try:
+        import numpy as np
+    except ImportError:
+        shifted = array("q", starts)
+        for index in range(len(shifted)):
+            shifted[index] += offset
+        return shifted
+    shifted = array("q", bytes(8 * len(starts)))
+    out = np.frombuffer(shifted, dtype=np.int64)
+    np.add(np.frombuffer(starts, dtype=np.int64), offset, out=out)
+    return shifted
+
+
+def _iter_columns_python(num_records: int, seed: int, chunk_records: int):
+    """Slab-direct reference path: stream record chunks into column pairs."""
+    for chunk in aol.iter_record_chunks(num_records, seed, chunk_size=chunk_records):
+        starts = array("q")
+        offset = 0
+        for line in chunk:
+            starts.append(offset)
+            offset += len(line) + 1
+        yield "\n".join(chunk).encode("ascii"), starts
+
+
+def _iter_columns_native(num_records: int, seed: int, chunk_records: int):
     """C fast path: bulk word sourcing + native assembly of plain records.
 
     Python produces only the needle-bearing records (0.3% of the stream)
@@ -454,17 +500,15 @@ def _generate_columns_native(num_records: int, seed: int) -> tuple[bytes, array]
             + two[hh] + ":" + two[mm] + ":" + two[ss] + "\t" + tail + "\n"
         )
 
-    starts = array("q", bytes(8 * num_records))
-    starts_buf = (ctypes.c_int64 * num_records).from_buffer(starts)
     off_buf = (ctypes.c_int64 * len(table_off)).from_buffer(table_off)
     len_buf = (ctypes.c_int64 * len(table_len)).from_buffer(table_len)
     result = _GenResult()
-    parts: list[bytes] = []
-    total_bytes = 0
     record = 0
     match_index = 0
     while record < num_records:
-        n_chunk = min(_CHUNK_RECORDS, num_records - record)
+        n_chunk = min(chunk_records, num_records - record)
+        starts = array("q", bytes(8 * n_chunk))
+        starts_buf = (ctypes.c_int64 * n_chunk).from_buffer(starts)
         chunk_out = bytearray(n_chunk * MAX_LINE_BYTES)
         out_buf = (ctypes.c_char * len(chunk_out)).from_buffer(chunk_out)
         chunk_offset = 0
@@ -473,7 +517,7 @@ def _generate_columns_native(num_records: int, seed: int) -> tuple[bytes, array]
             row = record + done
             if match_index < len(match_rows) and match_rows[match_index] == row:
                 line = match_line().encode("ascii")
-                starts[row] = total_bytes + chunk_offset
+                starts[done] = chunk_offset
                 chunk_out[chunk_offset : chunk_offset + len(line)] = line
                 chunk_offset += len(line)
                 done += 1
@@ -496,8 +540,8 @@ def _generate_columns_native(num_records: int, seed: int) -> tuple[bytes, array]
                     _OFF_Q2, _OFF_Q3, _OFF_DH, _OFF_MS, _OFF_RU, _OFF_NC,
                     ctypes.addressof(out_buf) + chunk_offset,
                     len(chunk_out) - chunk_offset,
-                    ctypes.addressof(starts_buf) + 8 * (record + done),
-                    total_bytes + chunk_offset,
+                    ctypes.addressof(starts_buf) + 8 * done,
+                    chunk_offset,
                     ctypes.byref(result),
                 )
                 wpos = result.words_used
@@ -506,12 +550,12 @@ def _generate_columns_native(num_records: int, seed: int) -> tuple[bytes, array]
                 n_plain -= result.records_done
                 if n_plain > 0:  # stalled on words (or, rarely, space)
                     refill(13 * n_plain + 64)
-        del out_buf  # release the exported buffer before resizing the bytearray
-        parts.append(bytes(chunk_out[:chunk_offset]))
-        total_bytes += chunk_offset
+        # Release the exported buffers before resizing/handing them out.
+        del out_buf, starts_buf
         record += n_chunk
-    data = b"".join(parts)
-    return data[:-1], starts  # drop the final newline: data == "\n".join(lines)
+        # Every line ends with '\n'; strip the last so each chunk is
+        # exactly "\n".join(chunk_lines).encode() — join-compatible.
+        yield bytes(chunk_out[: chunk_offset - 1]), starts
 
 
 # ---------------------------------------------------------------------------
@@ -547,6 +591,11 @@ class ColumnarWorkload:
     def generate(cls, num_records: int, seed: int = 2006) -> "ColumnarWorkload":
         data, starts = generate_columns(num_records, seed)
         return cls(num_records, seed, data, starts)
+
+    @property
+    def mmap_backed(self) -> bool:
+        """Whether the columns are views over an ``mmap``\\ ped cache entry."""
+        return self._mmap is not None
 
     def to_slab(self):
         """The shared :class:`~repro.dataflow.kernels.WorkloadSlab` (cached)."""

@@ -50,9 +50,14 @@ class TestGenerateColumns:
 
     def test_python_fallback_matches_native(self):
         fast = columnar.generate_columns(3_000)
-        slow = columnar._generate_columns_python(3_000, 2006)
-        assert bytes(fast[0]) == bytes(slow[0])
-        assert list(fast[1]) == list(slow[1])
+        slow_chunks = list(columnar._iter_columns_python(3_000, 2006, 1_000))
+        assert bytes(fast[0]) == b"\n".join(data for data, _ in slow_chunks)
+        offset = 0
+        slow_starts = []
+        for data, starts in slow_chunks:
+            slow_starts.extend(value + offset for value in starts)
+            offset += len(data) + 1
+        assert list(fast[1]) == slow_starts
 
     def test_native_kill_switch(self, monkeypatch):
         monkeypatch.setenv(columnar.NATIVE_ENV, "0")
