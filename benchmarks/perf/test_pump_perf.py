@@ -34,7 +34,16 @@ across hardware, unlike absolute records/sec.  Checks:
   runner must keep its wall-clock speedup over the serial grid (skipped
   on smaller hosts, where process fan-out cannot win); the
   serial-vs-parallel *identity* check still runs everywhere at a tiny
-  scale.
+  scale;
+* the partition-parallel drain (P worker processes, per-shard consumers
+  over a P-partition topic) must reconcile its aggregate grep counts on
+  any host, and keep its ≥2x P=4-vs-P=1 wall-clock floor on ≥4-core
+  hosts (``null`` + note on single-CPU affinity, like the matrix and
+  sharded-ingest sections);
+* the simulated scalability curves (capacity knee vs parallelism) must
+  rise monotonically and sub-linearly with P, with the Beam knee at or
+  below native at every level — these are deterministic simulated-time
+  assertions that run identically on every host.
 
 The measured numbers are merged into ``BENCH_pump.json`` at the repo
 root; CI uploads it as an artifact for trend-watching.
@@ -61,6 +70,8 @@ from pump_bench import (
     run_generation_bench,
     run_matrix_scale,
     run_microbenchmark,
+    run_parallel_drain_bench,
+    run_scalability_bench,
     run_sharded_ingest_bench,
     run_workload_cache_bench,
     write_bench,
@@ -97,6 +108,12 @@ MIN_GENERATION_SPEEDUP = float(os.environ.get("REPRO_PERF_MIN_GENERATION", "3.0"
 SHARD_RECORDS = int(os.environ.get("REPRO_PERF_SHARD_RECORDS", "20000000"))
 #: 4-node vs 1-node partition-parallel ingest — the ISSUE's floor.
 MIN_SHARDED_SPEEDUP = float(os.environ.get("REPRO_PERF_MIN_SHARDED", "2.0"))
+#: Workload scale for the partition-parallel drain timing.
+DRAIN_RECORDS = int(os.environ.get("REPRO_PERF_DRAIN_RECORDS", "2000000"))
+#: P=4 vs P=1 partition-parallel drain — the ISSUE's floor.
+MIN_DRAIN_SPEEDUP = float(os.environ.get("REPRO_PERF_MIN_DRAIN", "2.0"))
+#: Records per probe for the scalability-curve sweep.
+SCALABILITY_RECORDS = int(os.environ.get("REPRO_PERF_SCALABILITY_RECORDS", "2000"))
 
 
 @pytest.fixture(scope="module")
@@ -281,6 +298,94 @@ def test_sharded_ingest_speedup(payload: dict) -> None:
         f"(gate {gate:.2f}x = {MIN_SHARDED_SPEEDUP}x floor × "
         f"{FLOOR_TOLERANCE} tolerance at {SHARD_RECORDS} records)"
     )
+
+
+def test_parallel_drain_accounting_smoke(payload: dict) -> None:
+    """The partition-parallel drain reconciles exactly on any host.
+
+    ``run_parallel_drain_bench`` raises when a topology's aggregate grep
+    count diverges from the generator's expectation, so a clean return is
+    the assertion; the explicit checks document the contract and the
+    single-CPU ``null``-speedup convention.
+    """
+    result = run_parallel_drain_bench(200_000, parallelisms=(1, 2))
+    counts = {
+        entry["matches"] for entry in result["per_parallelism"].values()
+    }
+    assert len(counts) == 1  # identical matches at every parallelism
+    if result["cpu_affinity"] == 1:
+        assert result["speedup"] is None
+        assert "speedup_note" in result
+    payload.setdefault("parallel_drain_smoke", result)
+
+
+@pytest.mark.skipif(
+    available_cpus() < 4,
+    reason="drain fan-out cannot beat one pump below 4 schedulable cores",
+)
+def test_parallel_drain_speedup(payload: dict) -> None:
+    """P=4 partition-parallel drain keeps its ≥2x floor over P=1."""
+    result = run_parallel_drain_bench(DRAIN_RECORDS, parallelisms=(1, 4))
+    payload["parallel_drain"] = result
+    gate = MIN_DRAIN_SPEEDUP * FLOOR_TOLERANCE
+    assert result["speedup"] >= gate, (
+        f"P=4 parallel drain only {result['speedup']:.2f}x vs P=1 "
+        f"(gate {gate:.2f}x = {MIN_DRAIN_SPEEDUP}x floor × "
+        f"{FLOOR_TOLERANCE} tolerance at {DRAIN_RECORDS} records)"
+    )
+
+
+@pytest.fixture(scope="module")
+def scalability(payload: dict) -> dict:
+    result = run_scalability_bench(num_records=SCALABILITY_RECORDS)
+    payload["scalability_curves"] = result
+    return result
+
+
+def test_scalability_knees_monotonic_and_sublinear(scalability: dict) -> None:
+    """Every curve's knee rises with P but below linear (simulated).
+
+    Host-independent: the knees are simulated-time measurements, so this
+    asserts the model's physics — more pipeline parallelism always helps,
+    but the broker's serial append/fetch fraction and the engines'
+    per-record coordination cost keep the speedup under P.
+    """
+    for name, curve in scalability["curves"].items():
+        rates = [point["sustainable_rate"] for point in curve]
+        assert rates == sorted(rates) and rates[0] < rates[-1], (
+            f"{name}: knees not monotonically increasing: {rates}"
+        )
+        for point in curve[1:]:
+            assert point["speedup_vs_p1"] < point["parallelism"], (
+                f"{name}: P={point['parallelism']} speedup "
+                f"{point['speedup_vs_p1']}x is not sub-linear"
+            )
+
+
+def test_scalability_beam_penalty_per_system(scalability: dict) -> None:
+    """The paper's per-system abstraction story holds at every level.
+
+    Flink pays a clear Beam penalty at the knee; Apex is near parity for
+    grep (the paper's sf ≈ 0.91 — Beam marginally *faster*), so there the
+    assertion is a parity band, not an ordering.
+    """
+    curves = scalability["curves"]
+    for native_point, beam_point in zip(
+        curves["flink/native/grep"], curves["flink/beam/grep"]
+    ):
+        assert (
+            beam_point["sustainable_rate"] < native_point["sustainable_rate"]
+        ), (
+            f"flink P={native_point['parallelism']}: Beam knee above native"
+        )
+    for native_point, beam_point in zip(
+        curves["apex/native/grep"], curves["apex/beam/grep"]
+    ):
+        ratio = beam_point["sustainable_rate"] / native_point["sustainable_rate"]
+        assert 0.75 <= ratio <= 1.25, (
+            f"apex P={native_point['parallelism']}: Beam/native knee ratio "
+            f"{ratio:.2f} outside the near-parity band"
+        )
 
 
 def test_batch_path_is_the_default() -> None:

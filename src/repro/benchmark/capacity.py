@@ -25,6 +25,21 @@ pattern), the pump charges raw cost-model costs (no variance draws), and
 the arrival schedule is precomputed once per probe — so the capacity
 report is bit-identical between serial and parallel execution, across all
 three execution tiers, and on both data planes.
+
+**Scalability curves** (:meth:`CapacityRunner.run_scalability`) sweep the
+knee over parallelism levels per system × SDK kind × query: a probe at
+parallelism P drains each polled chunk through a pump pool
+(:class:`~repro.engines.common.sharded.ShardedPump`) of P partition-group
+workers and charges the *straggler* shard's cost, while the stages are
+priced at that P — so the knee scales sub-linearly with the engine's
+``parallelism_per_record`` coordination term, knee(P) ≈ P·rate(1)/(1 +
+coord·(P−1)/cost).  The ``beam`` kind prices the same pipeline through the
+Beam runner's translation wrapping (:func:`build_beam_stages`), which is
+what puts an abstraction-penalty number on every point of the curve.  The
+sweep is simulated parallelism: bit-identical on every host regardless of
+cores (host thread fan-out happens inside the shard plane and never
+changes results); only the report-level ``effective_parallelism`` field
+records what the host could actually run side by side.
 """
 
 from __future__ import annotations
@@ -43,10 +58,12 @@ from repro.benchmark.queries import QuerySpec, get_query
 from repro.broker import AdminClient, BrokerCluster, Consumer, TopicPartition
 from repro.broker.broker import BrokerCosts
 from repro.dataflow.metrics import JobMetrics
+from repro.dataflow.sharding import effective_parallelism
 from repro.engines.apex import ApexCostModel
-from repro.engines.common.costs import RunVariance
+from repro.engines.common.costs import RunVariance, StageCosts
 from repro.engines.common.progress import LagTracker, PumpStalledError
 from repro.engines.common.pump import StreamPump
+from repro.engines.common.sharded import ShardedPump
 from repro.engines.common.stages import PhysicalStage, StageKind
 from repro.engines.flink import FlinkCostModel
 from repro.engines.spark import SparkCostModel
@@ -108,6 +125,10 @@ class CapacityCell:
     proc_p50: float
     proc_p95: float
     proc_p99: float
+    #: SDK kind of the probed pipeline: ``native`` or ``beam``.
+    kind: str = "native"
+    #: Simulated operator parallelism of the probed pipeline.
+    parallelism: int = 1
 
 
 @dataclass
@@ -115,6 +136,10 @@ class CapacityReport:
     """All capacity cells of a campaign, in grid order."""
 
     config: BenchmarkConfig
+    #: Host-side shard parallelism actually available while this report
+    #: was produced — ``min(requested, len(os.sched_getaffinity(0)))``.
+    #: Pure host metadata: the cells never depend on it.
+    effective_parallelism: int = 1
     cells: list[CapacityCell] = field(default_factory=list)
 
     def cell(self, system: str, query: str) -> CapacityCell:
@@ -123,6 +148,43 @@ class CapacityReport:
             if (cell.system, cell.query) == (system, query):
                 return cell
         raise KeyError((system, query))
+
+
+@dataclass
+class ScalabilityReport:
+    """Capacity knees swept over parallelism — the scalability curves.
+
+    One :class:`CapacityCell` per (system × kind × query × parallelism)
+    point, in sweep order.  :meth:`curve` returns one curve sorted by
+    parallelism, ready for the knee-vs-P rendering.
+    """
+
+    config: BenchmarkConfig
+    #: Host-side shard parallelism actually available (affinity-clamped
+    #: request); host metadata only — cells are host-independent.
+    effective_parallelism: int = 1
+    cells: list[CapacityCell] = field(default_factory=list)
+
+    def cell(
+        self, system: str, kind: str, query: str, parallelism: int
+    ) -> CapacityCell:
+        """Look one sweep point up; raises ``KeyError`` when absent."""
+        for cell in self.cells:
+            key = (cell.system, cell.kind, cell.query, cell.parallelism)
+            if key == (system, kind, query, parallelism):
+                return cell
+        raise KeyError((system, kind, query, parallelism))
+
+    def curve(
+        self, system: str, kind: str, query: str
+    ) -> list[CapacityCell]:
+        """One scalability curve, sorted by parallelism."""
+        cells = [
+            cell
+            for cell in self.cells
+            if (cell.system, cell.kind, cell.query) == (system, kind, query)
+        ]
+        return sorted(cells, key=lambda cell: cell.parallelism)
 
 
 class _FixedSchedule(ArrivalProcess):
@@ -191,19 +253,126 @@ def build_native_stages(
     return stages
 
 
+def build_beam_stages(
+    system: str, spec: QuerySpec, parallelism: int, data_rng: random.Random
+) -> list[PhysicalStage]:
+    """Native stages plus the Beam runner's translation wrapping costs.
+
+    Mirrors the runners' ``translate()`` charging onto the capacity
+    probe's simplified stage list: ``source_wrap_in`` on the source (plus
+    the per-parallelism extra, which Flink and Spark charge on the source
+    path and Apex on its partitioned output path), the KafkaIO-read
+    *Flat Map* identity stage that Flink and Apex insert (chained, so it
+    charges only its ParDo wrapping), the per-stage ParDo wrapping /
+    weight / RNG-draw penalties folded via the stage's own function
+    profile, and ``sink_wrap_out`` on the sink.  Micro-batch scheduling
+    overheads stay excluded exactly as in :func:`build_native_stages`:
+    capacity is the record-throughput knee, and excluding them for both
+    kinds keeps the abstraction penalty a like-for-like ratio.
+    """
+    from repro.beam.runners.apex import ApexRunnerOverheads
+    from repro.beam.runners.flink import FlinkRunnerOverheads
+    from repro.dataflow.functions import FlatMapFunction
+    from repro.dataflow.kernels import KernelSpec
+    from repro.beam.runners.spark import SparkRunnerOverheads
+
+    overheads = {
+        "flink": FlinkRunnerOverheads,
+        "spark": SparkRunnerOverheads,
+        "apex": ApexRunnerOverheads,
+    }[system]()
+    model = _COST_MODELS[system]()
+    function = spec.make_function(data_rng)
+    pardo_wrap = getattr(overheads, "pardo_wrap_in", 0.0)
+    weight_extra = getattr(overheads, "pardo_weight_extra", 0.0)
+    parallel_extra = overheads.parallel_extra_per_record * (parallelism - 1)
+
+    source_extra = overheads.source_wrap_in + (
+        parallel_extra if system != "apex" else 0.0
+    )
+    stages = [
+        PhysicalStage(
+            name="source",
+            kind=StageKind.SOURCE,
+            costs=model.source_costs(parallelism).plus(
+                extra_per_record_in=source_extra
+            ),
+            parallelism=parallelism,
+        )
+    ]
+    if system != "spark":
+        # The KafkaIO read translation (Figure 13's Flat Map): an extra
+        # identity ParDo that every record pays wrapping for.
+        stages.append(
+            PhysicalStage(
+                name="Flat Map",
+                kind=StageKind.OPERATOR,
+                costs=StageCosts(per_record_in=pardo_wrap),
+                function=FlatMapFunction(
+                    lambda record: (record,),
+                    name="Flat Map",
+                    kernel_spec=KernelSpec.identity(),
+                ),
+                parallelism=parallelism,
+            )
+        )
+    if function is not None:
+        if system == "flink":
+            operator_costs = model.operator_costs(chained_after_previous=False)
+        elif system == "spark":
+            operator_costs = model.operator_costs(shuffle_input=False)
+        else:
+            operator_costs = model.operator_costs()
+        stages.append(
+            PhysicalStage(
+                name=spec.name,
+                kind=StageKind.OPERATOR,
+                costs=operator_costs.plus(
+                    extra_per_record_in=pardo_wrap,
+                    extra_per_weight=weight_extra,
+                    extra_per_rng_draw=overheads.rng_penalty_per_draw,
+                ),
+                function=function,
+                parallelism=parallelism,
+            )
+        )
+    sink_extra = overheads.sink_wrap_out + (
+        parallel_extra if system == "apex" else 0.0
+    )
+    stages.append(
+        PhysicalStage(
+            name="sink",
+            kind=StageKind.SINK,
+            costs=model.sink_costs().plus(extra_per_record_out=sink_extra),
+            parallelism=parallelism,
+        )
+    )
+    return stages
+
+
+_STAGE_BUILDERS = {"native": build_native_stages, "beam": build_beam_stages}
+
+
 def estimate_service_rate(
-    config: BenchmarkConfig, system: str, query: str
+    config: BenchmarkConfig,
+    system: str,
+    query: str,
+    kind: str = "native",
+    parallelism: int | None = None,
 ) -> float:
     """Analytic records/second estimate seeding the bracketing search.
 
     Sums every stage's per-record charge (weights and RNG draws included)
-    plus the broker's append + fetch costs.  Only a starting point — the
-    geometric bracket corrects any error before the binary search begins.
+    plus the broker's append + fetch costs, then multiplies by the
+    parallelism: P partition-group workers split each drained chunk, so
+    the straggler's cost is ~1/P of the serial chunk's.  Only a starting
+    point — the geometric bracket corrects any error before the binary
+    search begins.
     """
     spec = get_query(query)
-    stages = build_native_stages(
-        system, spec, config.capacity.parallelism, random.Random(0)
-    )
+    if parallelism is None:
+        parallelism = config.capacity.parallelism
+    stages = _STAGE_BUILDERS[kind](system, spec, parallelism, random.Random(0))
     per_record = 0.0
     for stage in stages:
         per_record += stage.costs.charge(
@@ -215,7 +384,7 @@ def estimate_service_rate(
     # Broker participation: one append on admission, one fetch on drain.
     broker = BrokerCosts()
     per_record += broker.append_per_record + broker.fetch_per_record
-    return 1.0 / per_record
+    return parallelism / per_record
 
 
 def run_probe(
@@ -224,9 +393,22 @@ def run_probe(
     query: str,
     rate: float,
     columnar: bool | None = None,
+    kind: str = "native",
+    parallelism: int | None = None,
 ) -> ProbeResult:
-    """One open-loop probe at ``rate`` in a fresh isolated world."""
+    """One open-loop probe at ``rate`` in a fresh isolated world.
+
+    At ``parallelism`` > 1 the drain runs through a
+    :class:`~repro.engines.common.sharded.ShardedPump` pool of P workers —
+    one pump per partition group, each with its own stages, function
+    instance, RNG streams and lag tracker — charging the straggler
+    shard's cost per chunk.  At P = 1 the probe takes exactly the serial
+    path (same RNG stream names, same pump), so existing capacity
+    results are unchanged.
+    """
     settings = config.capacity
+    if parallelism is None:
+        parallelism = settings.parallelism
     simulator = Simulator(seed=config.seed)
     from repro.broker.broker import default_num_nodes
 
@@ -242,16 +424,36 @@ def run_probe(
     total = len(records)
 
     spec = get_query(query)
-    data_rng = simulator.random.stream(f"capacity/data/{system}/{query}")
-    stages = build_native_stages(system, spec, settings.parallelism, data_rng)
+    build_stages = _STAGE_BUILDERS[kind]
     metrics = JobMetrics(f"capacity/{system}/{query}")
-    pump = StreamPump(
-        simulator=simulator,
-        stages=stages,
-        variance=RunVariance(),  # probes charge raw costs: no noise draws
-        rng=simulator.random.stream("capacity/pump"),
-        job_name=metrics.job_name,
-    )
+    if parallelism <= 1:
+        data_rng = simulator.random.stream(f"capacity/data/{system}/{query}")
+        stages = build_stages(system, spec, parallelism, data_rng)
+        pump = StreamPump(
+            simulator=simulator,
+            stages=stages,
+            variance=RunVariance(),  # probes charge raw costs: no noise draws
+            rng=simulator.random.stream("capacity/pump"),
+            job_name=metrics.job_name,
+        )
+        sharded = None
+    else:
+        pumps = []
+        for shard in range(parallelism):
+            data_rng = simulator.random.stream(
+                f"capacity/data/{system}/{query}/shard{shard}"
+            )
+            pumps.append(
+                StreamPump(
+                    simulator=simulator,
+                    stages=build_stages(system, spec, parallelism, data_rng),
+                    variance=RunVariance(),
+                    rng=simulator.random.stream(f"capacity/pump/shard{shard}"),
+                    job_name=metrics.job_name,
+                )
+            )
+        sharded = ShardedPump(pumps, stall_timeout=settings.stall_timeout)
+        pump = pumps[0]  # tier/diagnostic surface of the pool
     consumer = Consumer(cluster)
     consumer.assign([TopicPartition(CAPACITY_TOPIC, 0)])
     log = cluster.topic(CAPACITY_TOPIC).partition(0)
@@ -284,7 +486,10 @@ def run_probe(
         )
         if not values:
             return 0
-        cost, _outputs = pump._process_chunk(values, metrics)
+        if sharded is None:
+            cost, _outputs = pump._process_chunk(values, metrics)
+        else:
+            cost, _outputs = sharded.process_chunk(values)
         simulator.charge(cost)
         consumer.acknowledge()
         done = simulator.now()
@@ -292,6 +497,8 @@ def run_probe(
             event_lat.append(done - arrivals[consumed + index])
             proc_lat.append(done - stamps[index])
         consumed += len(values)
+        if sharded is not None:
+            sharded.observe(done, backlog=log.queue_depth())
         return len(values)
 
     generator = LoadGenerator(
@@ -348,17 +555,31 @@ def find_capacity(
     system: str,
     query: str,
     columnar: bool | None = None,
+    kind: str = "native",
+    parallelism: int | None = None,
 ) -> CapacityCell:
     """Bracket + binary-search the capacity knee for one system × query."""
     settings = config.capacity
+    if parallelism is None:
+        parallelism = settings.parallelism
     probes = 0
 
     def probe(rate: float) -> ProbeResult:
         nonlocal probes
         probes += 1
-        return run_probe(config, system, query, rate, columnar=columnar)
+        return run_probe(
+            config,
+            system,
+            query,
+            rate,
+            columnar=columnar,
+            kind=kind,
+            parallelism=parallelism,
+        )
 
-    rate = estimate_service_rate(config, system, query)
+    rate = estimate_service_rate(
+        config, system, query, kind=kind, parallelism=parallelism
+    )
     result = probe(rate)
     if result.sustainable:
         low, low_probe = rate, result
@@ -401,6 +622,8 @@ def find_capacity(
     return CapacityCell(
         system=system,
         query=query,
+        kind=kind,
+        parallelism=parallelism,
         sustainable_rate=low,
         probes=probes,
         queue_bound=settings.queue_bound,
@@ -422,6 +645,18 @@ def _capacity_cell(
     """One cell, top-level so worker processes can pickle it."""
     system, query = pair
     return find_capacity(config, system, query, columnar=columnar)
+
+
+def _scalability_cell(
+    config: BenchmarkConfig,
+    columnar: bool | None,
+    point: tuple[str, str, str, int],
+) -> CapacityCell:
+    """One sweep point, top-level so worker processes can pickle it."""
+    system, kind, query, parallelism = point
+    return find_capacity(
+        config, system, query, columnar=columnar, kind=kind, parallelism=parallelism
+    )
 
 
 class CapacityRunner:
@@ -451,29 +686,54 @@ class CapacityRunner:
             for query in self.config.queries
         )
 
+    def scalability_cells(self) -> tuple[tuple[str, str, str, int], ...]:
+        """The sweep grid: system → kind → query → parallelism order."""
+        settings = self.config.capacity
+        return tuple(
+            (system, kind, query, parallelism)
+            for system in self.config.systems
+            for kind in settings.kinds
+            for query in self.config.queries
+            for parallelism in settings.parallelisms
+        )
+
+    def _warm_caches(self) -> None:
+        """Pre-build the shared workload cache before forking workers."""
+        from repro.workloads.cache import (
+            ensure_columns_cached,
+            ensure_disk_cached,
+        )
+
+        if self.columnar:
+            ensure_columns_cached(self.config.capacity.records, self.config.seed)
+        else:
+            ensure_disk_cached(self.config.capacity.records, self.config.seed)
+
+    def _worker_count(self, workers: int | None, jobs: int) -> int:
+        from repro.benchmark.parallel import default_workers
+
+        count = workers if workers is not None else default_workers()
+        if count < 1:
+            raise ValueError(f"workers must be >= 1, got {count}")
+        return min(count, jobs)
+
     def run(
         self, parallel: bool = False, workers: int | None = None
     ) -> CapacityReport:
         """Execute every cell; merge into a report in grid order."""
         pairs = self.cells()
-        report = CapacityReport(config=self.config)
+        report = CapacityReport(
+            config=self.config,
+            effective_parallelism=effective_parallelism(
+                self.config.capacity.parallelism
+            ),
+        )
         if not pairs:
             return report
         if parallel:
-            from repro.benchmark.parallel import default_workers
-            from repro.workloads.cache import (
-                ensure_columns_cached,
-                ensure_disk_cached,
-            )
-
-            if self.columnar:
-                ensure_columns_cached(self.config.capacity.records, self.config.seed)
-            else:
-                ensure_disk_cached(self.config.capacity.records, self.config.seed)
-            count = workers if workers is not None else default_workers()
-            if count < 1:
-                raise ValueError(f"workers must be >= 1, got {count}")
-            with ProcessPoolExecutor(max_workers=min(count, len(pairs))) as pool:
+            self._warm_caches()
+            count = self._worker_count(workers, len(pairs))
+            with ProcessPoolExecutor(max_workers=count) as pool:
                 cells = list(
                     pool.map(
                         _capacity_cell,
@@ -484,5 +744,43 @@ class CapacityRunner:
                 )
         else:
             cells = [_capacity_cell(self.config, self.columnar, p) for p in pairs]
+        report.cells.extend(cells)
+        return report
+
+    def run_scalability(
+        self, parallel: bool = False, workers: int | None = None
+    ) -> ScalabilityReport:
+        """Sweep the knee over systems × kinds × queries × parallelisms.
+
+        Each sweep point is an independent capacity search in fresh
+        isolated worlds, so the sweep parallelises cell-wise exactly like
+        :meth:`run` with the same bit-identity guarantee.
+        """
+        points = self.scalability_cells()
+        settings = self.config.capacity
+        report = ScalabilityReport(
+            config=self.config,
+            effective_parallelism=effective_parallelism(
+                max(settings.parallelisms)
+            ),
+        )
+        if not points:
+            return report
+        if parallel:
+            self._warm_caches()
+            count = self._worker_count(workers, len(points))
+            with ProcessPoolExecutor(max_workers=count) as pool:
+                cells = list(
+                    pool.map(
+                        _scalability_cell,
+                        repeat(self.config),
+                        repeat(self.columnar),
+                        points,
+                    )
+                )
+        else:
+            cells = [
+                _scalability_cell(self.config, self.columnar, p) for p in points
+            ]
         report.cells.extend(cells)
         return report

@@ -111,6 +111,44 @@ def build_parser() -> argparse.ArgumentParser:
         help="arrival process of the capacity probes (default: uniform)",
     )
     parser.add_argument(
+        "--scalability",
+        action="store_true",
+        help=(
+            "sweep the capacity knee over parallelism levels per system x "
+            "SDK kind x query and print the scalability curves"
+        ),
+    )
+    parser.add_argument(
+        "--capacity-parallelism",
+        type=int,
+        default=None,
+        help="probe pipeline parallelism for --capacity (default: 1)",
+    )
+    parser.add_argument(
+        "--capacity-parallelisms",
+        nargs="+",
+        type=int,
+        default=None,
+        help="parallelism levels swept by --scalability (default: 1 2 4 8)",
+    )
+    parser.add_argument(
+        "--capacity-kinds",
+        nargs="+",
+        choices=["native", "beam"],
+        default=None,
+        help="SDK kinds swept by --scalability (default: native beam)",
+    )
+    parser.add_argument(
+        "--query-parallelism",
+        type=int,
+        default=None,
+        help=(
+            "host-side shard parallelism for kernel execution (sets "
+            "REPRO_QUERY_PARALLELISM; bit-identical results at any value, "
+            "distinct from --parallel which fans out matrix cells)"
+        ),
+    )
+    parser.add_argument(
         "--predict",
         action="store_true",
         help=(
@@ -161,6 +199,12 @@ def main(argv: list[str] | None = None) -> int:
 
     records = FULL_SCALE_RECORDS if args.full_scale else args.records
     runs = 10 if args.full_scale else args.runs
+    if args.query_parallelism is not None:
+        import os
+
+        from repro.dataflow.sharding import QUERY_PARALLELISM_ENV
+
+        os.environ[QUERY_PARALLELISM_ENV] = str(args.query_parallelism)
     capacity_overrides = {}
     if args.capacity_records is not None:
         capacity_overrides["records"] = args.capacity_records
@@ -168,6 +212,12 @@ def main(argv: list[str] | None = None) -> int:
         capacity_overrides["queue_bound"] = args.queue_bound
     if args.arrival_process is not None:
         capacity_overrides["process"] = args.arrival_process
+    if args.capacity_parallelism is not None:
+        capacity_overrides["parallelism"] = args.capacity_parallelism
+    if args.capacity_parallelisms is not None:
+        capacity_overrides["parallelisms"] = tuple(args.capacity_parallelisms)
+    if args.capacity_kinds is not None:
+        capacity_overrides["kinds"] = tuple(args.capacity_kinds)
     config = BenchmarkConfig(
         records=records,
         runs=runs,
@@ -182,6 +232,17 @@ def main(argv: list[str] | None = None) -> int:
     )
     started = time.time()
     harness = StreamBenchHarness(config)
+    if args.scalability:
+        scalability_report = harness.run_scalability()
+        elapsed = time.time() - started
+        print(reporting.render_scalability(scalability_report))
+        print()
+        print(
+            f"[{len(scalability_report.cells)} sweep points, "
+            f"{config.capacity.records} records/probe, "
+            f"wall time {elapsed:.1f}s]"
+        )
+        return 0
     if args.capacity:
         capacity_report = harness.run_capacity()
         elapsed = time.time() - started

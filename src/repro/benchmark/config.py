@@ -51,6 +51,13 @@ class CapacitySettings:
     parallelism: int = 1
     #: Stall watchdog deadline (simulated seconds without progress).
     stall_timeout: float = 60.0
+    #: Parallelism levels swept by the scalability mode
+    #: (``run_scalability``: one capacity search per level).
+    parallelisms: tuple[int, ...] = (1, 2, 4, 8)
+    #: SDK kinds swept by the scalability mode — ``beam`` prices the
+    #: probe pipeline through the runner's translation wrapping, putting
+    #: an abstraction-penalty number on every curve point.
+    kinds: tuple[str, ...] = ("native", "beam")
 
     def __post_init__(self) -> None:
         if self.records < 1:
@@ -79,6 +86,15 @@ class CapacitySettings:
             raise ValueError(
                 f"stall_timeout must be > 0, got {self.stall_timeout}"
             )
+        if not self.parallelisms or any(p < 1 for p in self.parallelisms):
+            raise ValueError(
+                f"parallelisms must be non-empty and >= 1, got {self.parallelisms}"
+            )
+        if not self.kinds:
+            raise ValueError("kinds must be non-empty")
+        for kind in self.kinds:
+            if kind not in KINDS:
+                raise ValueError(f"unknown kind {kind!r}; known: {KINDS}")
 
 
 @dataclass(frozen=True)

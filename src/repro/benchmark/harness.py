@@ -365,6 +365,30 @@ class StreamBenchHarness:
             workers=workers if workers is not None else self.config.workers,
         )
 
+    def run_scalability(
+        self, parallel: bool | None = None, workers: int | None = None
+    ):
+        """Capacity knees swept over parallelism: the scalability curves.
+
+        One capacity search per (system × SDK kind × query × parallelism)
+        point of the ``capacity.parallelisms`` / ``capacity.kinds``
+        sweep: probes at parallelism P drain through a pump pool of P
+        partition-group workers charging the straggler shard's cost, and
+        the ``beam`` kind prices the pipeline through the runner's
+        translation wrapping — so each curve carries both the simulated
+        scaling knee and the abstraction penalty at every level.
+
+        Returns a :class:`~repro.benchmark.capacity.ScalabilityReport`.
+        """
+        from repro.benchmark.capacity import CapacityRunner
+
+        use_parallel = self.config.parallel if parallel is None else parallel
+        runner = CapacityRunner(self.config, columnar=self.columnar)
+        return runner.run_scalability(
+            parallel=use_parallel,
+            workers=workers if workers is not None else self.config.workers,
+        )
+
     def run_setup(
         self, system: str, query_name: str, kind: str, parallelism: int
     ) -> list[RunRecord]:

@@ -245,6 +245,66 @@ def render_capacity(report) -> str:
     return f"{title}\n\n{_table(headers, rows)}"
 
 
+def render_scalability(report) -> str:
+    """Scalability curves: knee and latency vs parallelism per pipeline.
+
+    Renders a :class:`~repro.benchmark.capacity.ScalabilityReport` — the
+    second capacity figure family.  Each curve shows the sustainable-rate
+    knee across parallelism levels with its speedup over the P=1 point
+    and the knee's processing-latency percentiles; native and Beam rows
+    of the same system × query sit adjacent so the abstraction penalty is
+    readable per level.  The footer records the *host's* effective shard
+    parallelism (affinity-clamped), which never affects the simulated
+    numbers.
+    """
+    headers = (
+        "System",
+        "Kind",
+        "Query",
+        "P",
+        "Sustainable (rec/s)",
+        "Speedup vs P=1",
+        "Proc p50/p95/p99 (ms)",
+    )
+
+    def ms(value: float) -> str:
+        return f"{value * 1e3:.3f}"
+
+    settings = report.config.capacity
+    rows = []
+    for system in report.config.systems:
+        for kind in settings.kinds:
+            for query in report.config.queries:
+                curve = report.curve(system, kind, query)
+                if not curve:
+                    continue
+                base = curve[0].sustainable_rate
+                for cell in curve:
+                    speedup = cell.sustainable_rate / base if base else 0.0
+                    rows.append(
+                        (
+                            _SYSTEM_TITLES.get(cell.system, cell.system),
+                            cell.kind,
+                            cell.query,
+                            str(cell.parallelism),
+                            f"{cell.sustainable_rate:,.0f}",
+                            f"{speedup:.2f}x",
+                            f"{ms(cell.proc_p50)}/{ms(cell.proc_p95)}"
+                            f"/{ms(cell.proc_p99)}",
+                        )
+                    )
+    title = (
+        "Scalability curves (capacity knee vs parallelism; "
+        f"P ∈ {{{', '.join(str(p) for p in settings.parallelisms)}}}, "
+        f"{settings.records} records/probe)"
+    )
+    footer = (
+        f"[host effective shard parallelism: {report.effective_parallelism}; "
+        "simulated knees are host-independent]"
+    )
+    return f"{title}\n\n{_table(headers, rows)}\n{footer}"
+
+
 def render_full_report(report: BenchmarkReport) -> str:
     """Every table and figure, concatenated (the CLI's default output)."""
     sections = [render_table1(), render_table2(report)]

@@ -54,6 +54,27 @@ class PumpStalledError(RuntimeError):
         self.stall_timeout = stall_timeout
 
 
+class ProgressGroup:
+    """Shared liveness signal for sibling shard trackers.
+
+    Partition-parallel drains run one :class:`LagTracker` per shard.  A
+    shard that momentarily receives no records must not trip its
+    watchdog while *any* sibling still advances — that is load skew, not
+    a wedge.  Trackers registered with the same group fold the group's
+    most recent progress instant into their stall arithmetic, so the
+    watchdog fires only when the whole group has been silent past the
+    deadline.
+    """
+
+    def __init__(self) -> None:
+        self.progress_at: float | None = None
+
+    def note_progress(self, now: float) -> None:
+        """Record that some member advanced its offset at ``now``."""
+        if self.progress_at is None or now > self.progress_at:
+            self.progress_at = now
+
+
 class LagTracker:
     """Records queue depth and consumption lag over simulated time.
 
@@ -62,7 +83,10 @@ class LagTracker:
     depth recorded is the caller-supplied pump-side backlog (records
     available but not yet consumed), which is the consumption lag of a
     bounded run.  ``stall_timeout`` arms the watchdog; ``None`` disables
-    it and the tracker is observation-only.
+    it and the tracker is observation-only.  ``group`` joins this tracker
+    to a :class:`ProgressGroup` of sibling shards: the watchdog then
+    measures silence from the *group's* last progress, not just this
+    shard's.
     """
 
     def __init__(
@@ -70,12 +94,14 @@ class LagTracker:
         depth_fn: Callable[[], int] | None = None,
         stall_timeout: float | None = None,
         tier: str = "unknown",
+        group: "ProgressGroup | None" = None,
     ) -> None:
         if stall_timeout is not None and stall_timeout <= 0:
             raise ValueError(f"stall_timeout must be > 0, got {stall_timeout}")
         self.depth_fn = depth_fn
         self.stall_timeout = stall_timeout
         self.tier = tier
+        self.group = group
         #: Parallel sample columns (compact slabs, like the broker's
         #: timestamp column): simulated time, consumed offset, queue depth.
         self.times: array = array("d")
@@ -100,11 +126,17 @@ class LagTracker:
         if offset > self._last_offset:
             self._last_offset = offset
             self._progress_at = now
+            if self.group is not None:
+                self.group.note_progress(now)
             return
         if self._progress_at is None:
             self._progress_at = now
             return
-        stalled_for = now - self._progress_at
+        progress_at = self._progress_at
+        if self.group is not None and self.group.progress_at is not None:
+            # A sibling's progress resets this shard's deadline too.
+            progress_at = max(progress_at, self.group.progress_at)
+        stalled_for = now - progress_at
         if self.stall_timeout is not None and stalled_for > self.stall_timeout:
             raise PumpStalledError(
                 queue_depth=depth,
@@ -145,3 +177,38 @@ class LagTracker:
         if not self.depths:
             return 0
         return self.depths[-1] - self.depths[0]
+
+
+def merge_trackers(trackers: "list[LagTracker]") -> LagTracker:
+    """Fold per-shard sample series into one monotonic aggregate series.
+
+    Samples merge in global time order (ties broken by shard index, so
+    the merge order is pinned and the result deterministic at any thread
+    schedule).  At each merged instant the recorded offset and depth are
+    the *sums* of every shard's latest value — total records consumed and
+    total backlog — which makes the merged offsets monotonically
+    non-decreasing even though individual shards sample at different
+    times.  The result is observation-only (no watchdog), with the tier
+    taken from the first tracker.
+    """
+    if not trackers:
+        return LagTracker()
+    merged = LagTracker(tier=trackers[0].tier)
+    samples = sorted(
+        (tracker.times[i], shard, tracker.offsets[i], tracker.depths[i])
+        for shard, tracker in enumerate(trackers)
+        for i in range(len(tracker.times))
+    )
+    latest_offset = [0] * len(trackers)
+    latest_depth = [0] * len(trackers)
+    for now, shard, offset, depth in samples:
+        latest_offset[shard] = offset
+        latest_depth[shard] = depth
+        merged.times.append(now)
+        total_offset = sum(latest_offset)
+        merged.offsets.append(total_offset)
+        merged.depths.append(sum(latest_depth))
+        if total_offset > merged._last_offset:
+            merged._last_offset = total_offset
+            merged._progress_at = now
+    return merged

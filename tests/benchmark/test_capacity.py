@@ -169,3 +169,170 @@ class TestCapacityReport:
         assert "Sustainable throughput" in text
         assert "Flink" in text
         assert "grep" in text
+
+
+SWEEP = CapacitySettings(
+    records=2_000,
+    queue_bound=500,
+    search_iterations=3,
+    parallelisms=(1, 2, 4),
+    kinds=("native", "beam"),
+)
+
+
+class TestParallelProbes:
+    """Capacity probes at P > 1: pump-pool drain, same open-loop physics."""
+
+    def test_parallel_probe_drains_and_accounts(self):
+        # The pipeline estimate scales with P but the broker append path
+        # does not, so 0.5x the P=4 estimate already overloads; 0.15x is
+        # safely below the serial fraction's ceiling.
+        cfg = config()
+        rate = estimate_service_rate(cfg, "flink", "grep", parallelism=4) * 0.15
+        probe = run_probe(
+            cfg, "flink", "grep", rate, columnar=False, parallelism=4
+        )
+        assert probe.sustainable
+        assert probe.accepted == SMALL.records
+        assert probe.offered == probe.accepted + probe.shed
+
+    def test_parallel_probe_is_deterministic(self):
+        cfg = config()
+        a = run_probe(
+            cfg, "apex", "sample", 100_000.0, columnar=False, parallelism=2
+        )
+        b = run_probe(
+            cfg, "apex", "sample", 100_000.0, columnar=False, parallelism=2
+        )
+        assert a == b
+
+    def test_parallelism_one_matches_legacy_path(self):
+        # P=1 goes through the exact serial pump with the old stream
+        # names — a probe asked for parallelism=1 must equal one that
+        # never mentioned parallelism at all.
+        cfg = config()
+        legacy = run_probe(cfg, "flink", "grep", 80_000.0, columnar=False)
+        explicit = run_probe(
+            cfg, "flink", "grep", 80_000.0, columnar=False, parallelism=1
+        )
+        assert explicit == legacy
+
+    def test_knee_grows_sublinearly_with_parallelism(self):
+        # More pipeline parallelism raises the knee, but the broker
+        # append/fetch path stays serial (Amdahl) and the engines charge
+        # per-record coordination — so speedup stays below linear.
+        cfg = config()
+        knees = {
+            p: find_capacity(
+                cfg, "flink", "grep", columnar=False, parallelism=p
+            ).sustainable_rate
+            for p in (1, 2, 4)
+        }
+        assert knees[1] < knees[2] < knees[4]
+        assert knees[2] < 2 * knees[1]
+        assert knees[4] < 4 * knees[1]
+
+    def test_beam_knee_below_native(self):
+        # The abstraction penalty holds at the capacity knee too.
+        cfg = config()
+        for parallelism in (1, 2):
+            native = find_capacity(
+                cfg, "flink", "grep", columnar=False,
+                kind="native", parallelism=parallelism,
+            )
+            beam = find_capacity(
+                cfg, "flink", "grep", columnar=False,
+                kind="beam", parallelism=parallelism,
+            )
+            assert beam.sustainable_rate < native.sustainable_rate
+
+    def test_beam_estimate_includes_runner_overheads(self):
+        cfg = config()
+        native = estimate_service_rate(cfg, "spark", "grep", kind="native")
+        beam = estimate_service_rate(cfg, "spark", "grep", kind="beam")
+        assert beam < native
+
+
+class TestScalabilityReport:
+    def test_sweep_shape_order_and_lookups(self):
+        cfg = config(capacity=SWEEP)
+        report = CapacityRunner(cfg, columnar=False).run_scalability()
+        assert [
+            (c.system, c.kind, c.query, c.parallelism) for c in report.cells
+        ] == [
+            ("flink", kind, "grep", p)
+            for kind in ("native", "beam")
+            for p in (1, 2, 4)
+        ]
+        assert report.cell("flink", "beam", "grep", 4).parallelism == 4
+        curve = report.curve("flink", "native", "grep")
+        assert [c.parallelism for c in curve] == [1, 2, 4]
+        with pytest.raises(KeyError):
+            report.cell("flink", "native", "grep", 8)
+
+    def test_sweep_serial_parallel_bit_identical(self):
+        cfg = config(capacity=SWEEP)
+        runner = CapacityRunner(cfg, columnar=False)
+        serial = runner.run_scalability(parallel=False)
+        parallel = runner.run_scalability(parallel=True, workers=2)
+        assert serial.cells == parallel.cells
+
+    def test_curves_monotonic_per_kind(self):
+        cfg = config(capacity=SWEEP)
+        report = CapacityRunner(cfg, columnar=False).run_scalability()
+        for kind in ("native", "beam"):
+            rates = [
+                c.sustainable_rate
+                for c in report.curve("flink", kind, "grep")
+            ]
+            assert rates == sorted(rates)
+            assert rates[0] < rates[-1]
+
+    def test_reports_record_effective_parallelism(self):
+        from repro.dataflow.sharding import effective_parallelism
+
+        cfg = config(capacity=SWEEP)
+        runner = CapacityRunner(cfg, columnar=False)
+        assert (
+            runner.run_scalability().effective_parallelism
+            == effective_parallelism(4)
+        )
+        assert runner.run().effective_parallelism == effective_parallelism(
+            SWEEP.parallelism
+        )
+
+    def test_harness_entry_point(self):
+        from repro.benchmark.harness import StreamBenchHarness
+
+        cfg = config(
+            capacity=CapacitySettings(
+                records=2_000,
+                queue_bound=500,
+                search_iterations=3,
+                parallelisms=(1, 2),
+                kinds=("native",),
+            )
+        )
+        report = StreamBenchHarness(cfg, columnar=False).run_scalability()
+        assert len(report.cells) == 2
+
+    def test_sweep_settings_validation(self):
+        with pytest.raises(ValueError):
+            CapacitySettings(parallelisms=())
+        with pytest.raises(ValueError):
+            CapacitySettings(parallelisms=(1, 0))
+        with pytest.raises(ValueError):
+            CapacitySettings(kinds=())
+        with pytest.raises(ValueError):
+            CapacitySettings(kinds=("native", "storm"))
+
+    def test_render_scalability(self):
+        from repro.benchmark.reporting import render_scalability
+
+        cfg = config(capacity=SWEEP)
+        report = CapacityRunner(cfg, columnar=False).run_scalability()
+        text = render_scalability(report)
+        assert "Scalability curves" in text
+        assert "Speedup vs P=1" in text
+        assert "1.00x" in text
+        assert "host effective shard parallelism" in text

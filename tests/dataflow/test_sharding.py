@@ -1,0 +1,230 @@
+"""Unit tests for the shard plane: spans, knobs, and merge invariants.
+
+The heavyweight proof that sharded execution is observationally identical
+to serial lives in ``tests/engines/test_query_parallel.py`` (full matrix,
+chaos, recovery).  This file pins the *unit* behaviours those suites rest
+on: span arithmetic, knob parsing, thread-pool equivalence, pinned
+key-insertion order after a keyed merge, and the wire kernels' serial
+fallback on malformed input.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.benchmark.queries import get_query
+from repro.dataflow import kernels, sharding
+from repro.dataflow.compiler import lower_stage
+from repro.dataflow.functions import compose
+from repro.workloads.nexmark import NexmarkGenerator
+from repro.workloads.nexmark_queries import (
+    nexmark_decode,
+    q3_local_item_suggestion,
+    q4_category_average,
+    q5_hot_items,
+)
+
+
+class TestSpansAndKnobs:
+    def test_spans_cover_and_balance(self):
+        for total in (0, 1, 7, 512, 1001):
+            for parallelism in (1, 2, 3, 8):
+                spans = sharding.shard_spans(total, parallelism)
+                assert spans[0][0] == 0 and spans[-1][1] == total
+                # Contiguous, non-overlapping, balanced within one record.
+                sizes = []
+                for (a, b), (c, _d) in zip(spans, spans[1:]):
+                    assert b == c
+                for a, b in spans:
+                    assert b >= a
+                    sizes.append(b - a)
+                assert max(sizes) - min(sizes) <= 1
+
+    def test_query_parallelism_parsing(self, monkeypatch):
+        monkeypatch.delenv(sharding.QUERY_PARALLELISM_ENV, raising=False)
+        assert sharding.query_parallelism() == 1
+        monkeypatch.setenv(sharding.QUERY_PARALLELISM_ENV, "0")
+        assert sharding.query_parallelism() == 1
+        monkeypatch.setenv(sharding.QUERY_PARALLELISM_ENV, "4")
+        assert sharding.query_parallelism() == 4
+        monkeypatch.setenv(sharding.QUERY_PARALLELISM_ENV, "-2")
+        with pytest.raises(ValueError):
+            sharding.query_parallelism()
+
+    def test_effective_parallelism_clamps_to_affinity(self, monkeypatch):
+        monkeypatch.setattr(sharding, "affinity_count", lambda: 3)
+        assert sharding.effective_parallelism(1) == 1
+        assert sharding.effective_parallelism(3) == 3
+        assert sharding.effective_parallelism(8) == 3
+        monkeypatch.setattr(sharding, "affinity_count", lambda: 1)
+        assert sharding.effective_parallelism(8) == 1
+
+
+def _lines(count: int, seed: int = 7) -> list[str]:
+    rng = random.Random(seed)
+    words = ["alpha", "beta", "gamma", "delta", "web", "search"]
+    return [
+        "\t".join(
+            (
+                str(rng.randrange(100)),
+                " ".join(rng.choice(words) for _ in range(3)),
+                str(rng.random()),
+            )
+        )
+        for _ in range(count)
+    ]
+
+
+def _serial_and_sharded(query: str, parallelism: int, chunks: list) -> tuple:
+    """Run one stateful query serially and sharded over the same chunks.
+
+    Returns ((serial outputs, serial state), (sharded outputs, sharded
+    state)) where state includes the *insertion order* of the owner dict —
+    the bit the merge must pin for finish()/snapshot equivalence.
+    """
+    results = []
+    for p in (1, parallelism):
+        function = get_query(query).make_function(random.Random(3))
+        kernel = lower_stage(function, parallelism=p)
+        outputs = [kernel(chunk) for chunk in chunks]
+        kernel.flush()
+        state = {
+            name: (dict(value), list(value))
+            for name, value in vars(function).items()
+            if isinstance(value, dict)
+        }
+        sets = {
+            name: sorted(value)
+            for name, value in vars(function).items()
+            if isinstance(value, set)
+        }
+        results.append((outputs, state, sets))
+    return results[0], results[1]
+
+
+class TestKeyedSharding:
+    @pytest.mark.parametrize("query", ("wordcount", "distinct-count"))
+    @pytest.mark.parametrize("parallelism", (2, 3, 4))
+    def test_bit_identical_to_serial(self, query, parallelism):
+        lines = _lines(600)
+        chunks = [lines[:250], lines[250:251], [], lines[251:]]
+        serial, sharded = _serial_and_sharded(query, parallelism, chunks)
+        assert sharded == serial
+
+    def test_merge_pins_key_insertion_order(self):
+        lines = _lines(400)
+        serial, sharded = _serial_and_sharded("wordcount", 4, [lines])
+        # Not just equal dicts: the same first-occurrence insertion order.
+        for name in serial[1]:
+            assert sharded[1][name][1] == serial[1][name][1]
+
+    def test_sharded_kernel_engages(self):
+        function = get_query("wordcount").make_function(random.Random(3))
+        kernel = lower_stage(function, parallelism=2)
+        assert isinstance(kernel, sharding.ShardedStatefulKernel)
+        serial = lower_stage(
+            get_query("wordcount").make_function(random.Random(3)), parallelism=1
+        )
+        assert not isinstance(serial, sharding.ShardedStatefulKernel)
+
+
+class TestPureSharding:
+    def test_thread_pool_matches_sequential(self, monkeypatch):
+        spec_chain = [kernels.KernelSpec.contains("web")]
+        lines = _lines(2_000)
+        baseline = sharding.shard_pure_chain(spec_chain, 3)(lines)
+        monkeypatch.setattr(sharding, "FORCE_THREADS", True)
+        threaded = sharding.shard_pure_chain(spec_chain, 3)(lines)
+        assert threaded == baseline
+        assert baseline == [line for line in lines if "web" in line]
+
+    def test_small_chunks_bypass_split(self):
+        chain = sharding.shard_pure_chain([kernels.KernelSpec.contains("web")], 4)
+        assert isinstance(chain, sharding.ShardedPureKernel)
+        few = _lines(10)
+        assert chain(few) == [line for line in few if "web" in line]
+
+
+def _wire_outputs(query_fn, events: list, parallelism: int) -> tuple:
+    composed = compose([nexmark_decode(), query_fn()])
+    composed.open()
+    kernel = lower_stage(composed, parallelism=parallelism)
+    outputs = []
+    error = None
+    try:
+        outputs = [kernel(events[:1500]), kernel(events[1500:])]
+    except Exception as exc:  # malformed input: compare error + state
+        error = (type(exc).__name__, str(exc))
+    kernel.flush()
+    snapshot = composed.snapshot() if hasattr(composed, "snapshot") else None
+    finish = list(composed.finish())
+    composed.close()
+    return outputs, error, snapshot, finish
+
+
+class TestWireSharding:
+    @pytest.fixture(scope="class")
+    def events(self):
+        return NexmarkGenerator(3_000, seed=11).encoded()
+
+    @pytest.mark.parametrize(
+        "query_fn",
+        (
+            q3_local_item_suggestion,
+            q4_category_average,
+            lambda: q5_hot_items(window_seconds=3.0),
+        ),
+        ids=("q3", "q4", "q5"),
+    )
+    @pytest.mark.parametrize("parallelism", (2, 4))
+    def test_bit_identical_to_serial(self, events, query_fn, parallelism):
+        assert _wire_outputs(query_fn, events, parallelism) == _wire_outputs(
+            query_fn, events, 1
+        )
+
+    @pytest.mark.parametrize(
+        "query_fn",
+        (
+            q3_local_item_suggestion,
+            q4_category_average,
+            lambda: q5_hot_items(window_seconds=3.0),
+        ),
+        ids=("q3", "q4", "q5"),
+    )
+    def test_malformed_chunk_falls_back_to_serial(self, events, query_fn):
+        # An unknown tag mid-chunk must produce exactly the serial wire
+        # kernel's behaviour for the whole chunk (error state included).
+        poisoned = events[:500] + ["X\tnot-an-event"] + events[500:600]
+        assert _wire_outputs(query_fn, poisoned, 4) == _wire_outputs(
+            query_fn, poisoned, 1
+        )
+
+    @pytest.mark.parametrize(
+        "query_fn",
+        (
+            q3_local_item_suggestion,
+            q4_category_average,
+            lambda: q5_hot_items(window_seconds=3.0),
+        ),
+        ids=("q3", "q4", "q5"),
+    )
+    @pytest.mark.parametrize(
+        "bad_line",
+        (
+            "A\t9\titem\t0.5\t1\tnot-a-seller\t7\t3",
+            "B\t5\t1\tnot-a-price\tnot-a-time",
+        ),
+        ids=("bad-auction", "bad-bid"),
+    )
+    def test_malformed_numeric_falls_back_to_serial(
+        self, events, query_fn, bad_line
+    ):
+        # Numeric corruption passes the tag pre-scan and surfaces in the
+        # shard phase — before any owner mutation, so the serial replay
+        # must reproduce the reference prefix state and exception.
+        poisoned = events[:520] + [bad_line] + events[520:620]
+        assert _wire_outputs(query_fn, poisoned, 4) == _wire_outputs(
+            query_fn, poisoned, 1
+        )

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.engines.common import LagTracker, PumpStalledError, StreamPump
+from repro.engines.common.progress import ProgressGroup, merge_trackers
 from repro.engines.common.costs import RunVariance, StageCosts
 from repro.engines.common.recovery import RecoveringPump
 from repro.engines.common.stages import PhysicalStage, StageKind
@@ -89,6 +90,92 @@ class TestStallWatchdog:
         tracker = LagTracker()
         for step in range(100):
             tracker.observe(float(step), 0, backlog=1)
+
+
+class TestProgressGroup:
+    """Sibling-shard liveness: skew must not trip the watchdog, silence must."""
+
+    def _pair(self, stall_timeout=1.0):
+        group = ProgressGroup()
+        return [
+            LagTracker(stall_timeout=stall_timeout, tier="kernel", group=group)
+            for _ in range(2)
+        ]
+
+    def test_sibling_progress_defers_watchdog(self):
+        starved, busy = self._pair(stall_timeout=1.0)
+        starved.observe(0.0, 3)
+        busy.observe(0.0, 5)
+        # The starved shard receives nothing for 2.4s of simulated time —
+        # well past its private deadline — but the busy sibling keeps
+        # advancing, so the group is live and no watchdog fires.
+        for step in range(1, 5):
+            now = step * 0.6
+            busy.observe(now, 5 + step)
+            starved.observe(now, 3)
+
+    def test_whole_group_silence_trips(self):
+        left, right = self._pair(stall_timeout=1.0)
+        left.observe(0.0, 3)
+        right.observe(0.0, 5)
+        left.observe(0.8, 3)
+        right.observe(0.8, 5)
+        with pytest.raises(PumpStalledError) as excinfo:
+            left.observe(1.5, 3)
+        assert excinfo.value.last_offset == 3  # the shard's own offset
+
+    def test_deadline_measured_from_latest_group_progress(self):
+        left, right = self._pair(stall_timeout=1.0)
+        left.observe(0.0, 1)
+        right.observe(0.7, 9)  # group progress at 0.7
+        left.observe(1.5, 1)  # 1.5s own silence, 0.8s group silence: fine
+        with pytest.raises(PumpStalledError):
+            left.observe(1.8, 1)  # 1.1s past the group's last progress
+
+    def test_groupless_trackers_unaffected(self):
+        tracker = LagTracker(stall_timeout=1.0)
+        tracker.observe(0.0, 1)
+        with pytest.raises(PumpStalledError):
+            tracker.observe(1.5, 1)
+
+
+class TestMergeTrackers:
+    def test_merged_series_sums_and_stays_monotonic(self):
+        a, b = LagTracker(tier="kernel"), LagTracker(tier="kernel")
+        a.observe(1.0, 10, backlog=4)
+        b.observe(1.5, 7, backlog=2)
+        a.observe(2.0, 12, backlog=1)
+        b.observe(3.0, 9, backlog=0)
+        merged = merge_trackers([a, b])
+        assert list(merged.times) == [1.0, 1.5, 2.0, 3.0]
+        # At each instant: sum of every shard's latest offset/depth.
+        assert list(merged.offsets) == [10, 17, 19, 21]
+        assert list(merged.depths) == [4, 6, 3, 1]
+        assert merged.last_offset == 21
+        assert merged.tier == "kernel"
+        assert merged.stall_timeout is None  # observation-only
+
+    def test_monotonic_even_with_interleaved_sampling(self):
+        a, b = LagTracker(), LagTracker()
+        for now, offset in [(0.1, 5), (0.9, 11), (1.7, 30)]:
+            a.observe(now, offset)
+        for now, offset in [(0.5, 2), (1.3, 20)]:
+            b.observe(now, offset)
+        merged = merge_trackers([a, b])
+        assert list(merged.offsets) == sorted(merged.offsets)
+
+    def test_ties_break_by_shard_index(self):
+        a, b = LagTracker(), LagTracker()
+        a.observe(1.0, 3, backlog=1)
+        b.observe(1.0, 4, backlog=2)
+        merged = merge_trackers([a, b])
+        # Same instant: shard 0's sample lands first, pinned.
+        assert list(merged.offsets) == [3, 7]
+        assert list(merged.depths) == [1, 3]
+
+    def test_empty_inputs(self):
+        assert len(merge_trackers([])) == 0
+        assert len(merge_trackers([LagTracker(), LagTracker()])) == 0
 
 
 class TestPumpIntegration:

@@ -1,0 +1,283 @@
+"""Partition-parallel execution is observationally identical to serial.
+
+The shard plane (``repro.dataflow.sharding``) promises that
+``REPRO_QUERY_PARALLELISM`` is a pure host-performance knob: at any P the
+simulated observables — run durations, measurements, output topics, fault
+schedules, snapshots — are **bit-identical** to the serial pump.  This
+suite proves it where it is hardest:
+
+* the full stateless benchmark matrix (48 cells: 3 systems × 4 queries ×
+  2 kinds × 2 pipeline parallelisms, 2 runs each) at P ∈ {1, 2, 4};
+* the stateful keyed matrix and the Nexmark wire-fused pipelines, where
+  sharded execution hash-partitions owner state;
+* a biting chaos campaign, where one extra or reordered broker request
+  would land the fault schedule differently;
+* checkpointing recovery with a mid-drain failure at P = 4, where the
+  snapshot/replay path observes owner state between chunks.
+
+``SHARD_MIN_CHUNK`` is lowered so the shard plane genuinely engages at
+test scale — each class asserts non-vacuity explicitly.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+import repro.dataflow.kernels as kernels
+from repro.benchmark.config import BenchmarkConfig
+from repro.benchmark.harness import StreamBenchHarness
+from repro.benchmark.queries import get_query
+from repro.broker.faults import FaultPlan, NodeOutage
+from repro.dataflow import sharding
+from repro.dataflow.compiler import lower_stage
+from repro.dataflow.functions import compose
+from repro.engines.common.costs import RunVariance, StageCosts
+from repro.engines.common.pump import StreamPump
+from repro.engines.common.recovery import FailureInjector, RecoveringPump
+from repro.engines.common.stages import PhysicalStage, StageKind
+from repro.simtime import Simulator
+from repro.workloads.nexmark import NexmarkGenerator
+from repro.workloads.nexmark_queries import (
+    nexmark_decode,
+    q3_local_item_suggestion,
+    q4_category_average,
+    q5_hot_items,
+)
+
+SHARD_LEVELS = ("1", "2", "4")
+
+
+def _at_parallelism(level: str, fn):
+    """Run ``fn`` with the shard knob set to ``level`` (and engaged)."""
+    mp = pytest.MonkeyPatch()
+    try:
+        mp.setattr(sharding, "SHARD_MIN_CHUNK", 16)
+        mp.setattr(kernels, "SLAB_MIN_RECORDS", 64)
+        mp.setenv(sharding.QUERY_PARALLELISM_ENV, level)
+        return fn()
+    finally:
+        mp.undo()
+
+
+class TestStatelessGridBitIdentity:
+    """The full 48-cell stateless matrix, serial vs sharded."""
+
+    @pytest.fixture(scope="class")
+    def reports(self):
+        def campaign():
+            config = BenchmarkConfig(records=2_000, runs=2)
+            return StreamBenchHarness(config).run_matrix(parallel=False)
+
+        return {
+            level: _at_parallelism(level, campaign) for level in SHARD_LEVELS
+        }
+
+    def test_grid_is_full(self, reports):
+        assert len(reports["1"].runs) == 48 * 2
+
+    def test_reports_bit_identical(self, reports):
+        assert reports["2"] == reports["1"]
+        assert reports["4"] == reports["1"]
+
+    def test_sharding_engages(self):
+        """Non-vacuity: the grep chain lowers to the sharded wrapper."""
+
+        def lowered():
+            function = get_query("grep").make_function(random.Random(0))
+            return lower_stage(function)
+
+        assert isinstance(
+            _at_parallelism("4", lowered), sharding.ShardedPureKernel
+        )
+        assert not isinstance(
+            _at_parallelism("1", lowered), sharding.ShardedPureKernel
+        )
+
+
+class TestKeyedMatrixBitIdentity:
+    """Stateful queries (hash-partitioned owner state), serial vs sharded."""
+
+    @pytest.fixture(scope="class")
+    def reports(self):
+        def campaign():
+            config = BenchmarkConfig(
+                records=2_000,
+                runs=2,
+                systems=("flink", "apex"),
+                queries=("wordcount", "distinct-count", "statistics"),
+                kinds=("native", "beam"),
+                parallelisms=(1,),
+            )
+            return StreamBenchHarness(config).run_matrix(parallel=False)
+
+        return {
+            level: _at_parallelism(level, campaign) for level in SHARD_LEVELS
+        }
+
+    def test_reports_bit_identical(self, reports):
+        assert reports["2"] == reports["1"]
+        assert reports["4"] == reports["1"]
+
+
+class TestChaosBitIdentity:
+    """Broker faults: any extra/reordered request would shift the schedule."""
+
+    @pytest.fixture(scope="class")
+    def reports(self):
+        plan = FaultPlan(
+            seed=5,
+            error_rate=0.05,
+            timeout_rate=0.02,
+            latency_jitter=0.0005,
+            outages=(NodeOutage(node_id=1, start=0.01, duration=0.05),),
+        )
+
+        def campaign():
+            config = BenchmarkConfig(
+                records=1_500,
+                runs=2,
+                systems=("flink", "apex"),
+                queries=("grep", "wordcount"),
+                kinds=("native", "beam"),
+                parallelisms=(1,),
+            )
+            harness = StreamBenchHarness(config, chaos=plan)
+            return harness.run_matrix(parallel=False)
+
+        return {
+            level: _at_parallelism(level, campaign) for level in SHARD_LEVELS
+        }
+
+    def test_chaos_reports_bit_identical(self, reports):
+        assert reports["2"] == reports["1"]
+        assert reports["4"] == reports["1"]
+
+    def test_chaos_actually_bit(self, reports):
+        assert reports["1"].sender_report.retries > 0
+
+
+NEXMARK_PIPELINES = {
+    "q3": q3_local_item_suggestion,
+    "q4": q4_category_average,
+    "q5": lambda: q5_hot_items(window_seconds=3.0),
+}
+
+
+def _pump_nexmark(records: list, query: str) -> tuple:
+    """Pump encoded events through decode |> query at the active knob.
+
+    chunk_size 977 exceeds ``SHARD_MIN_CHUNK`` so the sharded wire
+    kernels engage without lowering the threshold.
+    """
+    function = NEXMARK_PIPELINES[query]()
+    composed = compose([nexmark_decode(), function])
+    composed.open()
+    pump = StreamPump(
+        simulator=Simulator(seed=3),
+        stages=[
+            PhysicalStage("source", StageKind.SOURCE, StageCosts(per_record_in=1e-6)),
+            PhysicalStage(
+                "op", StageKind.OPERATOR, StageCosts(per_weight=1e-6), function=composed
+            ),
+            PhysicalStage("sink", StageKind.SINK, StageCosts(per_record_out=1e-6)),
+        ],
+        variance=RunVariance(),
+        rng=random.Random(3),
+        chunk_size=977,
+    )
+    outputs: list = []
+    pump.emit = outputs.extend
+    result = pump.run(records)
+    snapshot = function.snapshot() if hasattr(function, "snapshot") else None
+    pane_order = list(function.panes) if hasattr(function, "panes") else None
+    composed.close()
+    return (
+        outputs,
+        (result.records_out, result.duration, result.base_duration),
+        snapshot,
+        pane_order,
+    )
+
+
+class TestNexmarkBitIdentity:
+    @pytest.fixture(scope="class")
+    def events(self):
+        return NexmarkGenerator(3_000, seed=11).encoded()
+
+    @pytest.mark.parametrize("query", sorted(NEXMARK_PIPELINES))
+    def test_wire_pipelines_bit_identical(self, events, query, monkeypatch):
+        monkeypatch.setenv(sharding.QUERY_PARALLELISM_ENV, "1")
+        serial = _pump_nexmark(events, query)
+        for level in ("2", "4"):
+            monkeypatch.setenv(sharding.QUERY_PARALLELISM_ENV, level)
+            assert _pump_nexmark(events, query) == serial, (
+                f"{query}: P={level} diverges from serial"
+            )
+
+    def test_sharded_wire_kernel_engages(self, monkeypatch):
+        monkeypatch.setenv(sharding.QUERY_PARALLELISM_ENV, "4")
+        composed = compose([nexmark_decode(), q4_category_average()])
+        assert isinstance(
+            lower_stage(composed), sharding.ShardedNexmarkQ4WireKernel
+        )
+
+
+def _lines(count: int, seed: int = 7) -> list[str]:
+    rng = random.Random(seed)
+    words = ["alpha", "beta", "gamma", "delta", "web", "search"]
+    return [
+        "\t".join(
+            (
+                str(rng.randrange(100)),
+                " ".join(rng.choice(words) for _ in range(3)),
+                str(rng.random()),
+            )
+        )
+        for _ in range(count)
+    ]
+
+
+class TestRecoveryBitIdentity:
+    """Snapshot/replay observes owner state mid-drain between chunks."""
+
+    def _run(self, failure: FailureInjector | None) -> tuple:
+        lines = _lines(3_000)
+        function = get_query("wordcount").make_function(random.Random(3))
+        stages = [
+            PhysicalStage(
+                "src", StageKind.SOURCE, StageCosts(per_record_in=1e-5)
+            ),
+            PhysicalStage("op", StageKind.OPERATOR, StageCosts(), function=function),
+            PhysicalStage(
+                "snk", StageKind.SINK, StageCosts(per_record_out=1e-5)
+            ),
+        ]
+        outputs: list = []
+        pump = RecoveringPump(
+            simulator=Simulator(seed=5),
+            stages=stages,
+            rng=random.Random(1),
+            emit=outputs.extend,
+            checkpoint_interval_records=600,
+            exactly_once=True,
+            failure=failure,
+        )
+        report = pump.run(lines)
+        return report, outputs, dict(function.counts), list(function.counts)
+
+    @pytest.mark.parametrize("fraction", (0.35, 0.7))
+    def test_mid_drain_failure_bit_identical(self, fraction, monkeypatch):
+        monkeypatch.setenv(sharding.QUERY_PARALLELISM_ENV, "1")
+        serial = self._run(FailureInjector(at_fraction=fraction))
+        monkeypatch.setenv(sharding.QUERY_PARALLELISM_ENV, "4")
+        sharded = self._run(FailureInjector(at_fraction=fraction))
+        assert sharded == serial
+        assert serial[0].failures == 1
+
+    def test_clean_run_bit_identical(self, monkeypatch):
+        monkeypatch.setenv(sharding.QUERY_PARALLELISM_ENV, "1")
+        serial = self._run(None)
+        monkeypatch.setenv(sharding.QUERY_PARALLELISM_ENV, "4")
+        assert self._run(None) == serial
