@@ -49,6 +49,13 @@ Two kinds of measurement:
   asserted against the generator's expectation at every topology, and
   the P=4-vs-P=1 wall-clock ratio is CI's drain-speedup floor on
   multi-core runners (``parallel_drain`` in the JSON).
+* **Order-sensitive drains** — the same partition-parallel drain topology
+  pointed at the kernels ISSUE 10 un-serialised: the split-stream-RNG
+  sample filter and the extract/fold statistics aggregate.  Every shard
+  asserts its *exact* expected output count (the reference RNG's kept
+  count for sample, one running tuple per record for statistics) on any
+  host, and the per-query P=4-vs-P=1 ratio carries the same ≥2x CI floor
+  on multi-core runners (``sharded_order_sensitive`` in the JSON).
 * **Scalability curves** — the *simulated* capacity knee swept over
   pipeline parallelism per system × SDK kind
   (:meth:`~repro.benchmark.capacity.CapacityRunner.run_scalability`).
@@ -821,6 +828,182 @@ def run_parallel_drain_bench(
     return result
 
 
+#: Queries of the order-sensitive drain family: the two whose kernels
+#: ISSUE 10 moved from the "honestly serial" fallback onto the shard
+#: plane and whose drains carry CI speedup floors.  The windowed
+#: aggregate shards too, but its knee-vs-parallelism behaviour is gated
+#: through the simulated scalability curves instead — its drain-phase
+#: pane materialisation would dominate a host-clock ratio.
+ORDER_SENSITIVE_DRAIN_QUERIES = ("sample", "statistics")
+
+
+def _drain_order_sensitive_shard(
+    num_records: int, seed: int, shard: int, n_shards: int, query: str
+) -> dict[str, Any]:
+    """One shard's drain world for an order-sensitive query (picklable).
+
+    Mirrors :func:`_drain_shard`, but pumps the partition through the
+    production sample or statistics kernel instead of grep, and computes
+    the shard's *exact* expected output count: statistics emits one
+    running ``(min, max, mean)`` tuple per record, and the sample
+    kernel's split-stream RNG is bit-identical to the per-record
+    reference draw ``rng.random() < SAMPLE_FRACTION``, so a fresh
+    ``Random`` seeded like the worker's predicts the kept count exactly.
+    The reference draws run after the timed drain, off the clock.
+    """
+    from repro.benchmark.sender import DataSender
+    from repro.broker import AdminClient, BrokerCluster, Consumer, TopicPartition
+    from repro.dataflow.metrics import JobMetrics
+    from repro.simtime import Simulator
+    from repro.workloads.cache import load_columnar_workload
+
+    workload = load_columnar_workload(num_records, seed)
+    column = workload.column()
+    lo = shard * num_records // n_shards
+    hi = (shard + 1) * num_records // n_shards
+
+    simulator = Simulator(seed=11)
+    cluster = BrokerCluster(simulator, num_nodes=n_shards)
+    AdminClient(cluster).create_topic(
+        "order-drain", num_partitions=n_shards, num_nodes=n_shards
+    )
+    sender = DataSender(cluster, "order-drain", create_topic=False, partition=shard)
+    sender.send(column.view(lo, hi))
+
+    rng_seed = seed + 31 * shard
+    function = get_query(query).make_function(random.Random(rng_seed))
+    function.open()
+    pump = StreamPump(
+        simulator=simulator,
+        stages=_build_stages(function),
+        variance=RunVariance(),
+        rng=random.Random(7),
+    )
+    consumer = Consumer(cluster)
+    consumer.assign([TopicPartition("order-drain", shard)])
+    metrics = JobMetrics(f"order-drain/{query}/shard{shard}")
+    outputs_seen = 0
+    mark = time.perf_counter()
+    while True:
+        values = consumer.poll_values(max_records=8_192)
+        if not values:
+            break
+        cost, outputs = pump._process_chunk(values, metrics)
+        simulator.charge(cost)
+        consumer.acknowledge()
+        outputs_seen += len(outputs)
+    cost, outputs = pump.drain(metrics)
+    simulator.charge(cost)
+    outputs_seen += len(outputs)
+    drain_seconds = time.perf_counter() - mark
+    function.close()
+    if query == "sample":
+        reference = random.Random(rng_seed)
+        expected = sum(
+            reference.random() < SAMPLE_FRACTION for _ in range(hi - lo)
+        )
+    else:
+        expected = hi - lo
+    return {
+        "shard": shard,
+        "records": hi - lo,
+        "outputs": outputs_seen,
+        "expected": expected,
+        "drain_seconds": drain_seconds,
+    }
+
+
+def run_sharded_order_sensitive_bench(
+    num_records: int = 2_000_000,
+    parallelisms: tuple[int, ...] = (1, 4),
+    queries: tuple[str, ...] = ORDER_SENSITIVE_DRAIN_QUERIES,
+) -> dict[str, Any]:
+    """Partition-parallel drains of the newly-sharded kernels.
+
+    Same topology as :func:`run_parallel_drain_bench` — P worker
+    processes, each with a per-shard consumer over its own partition —
+    but per order-sensitive query.  Accounting is exact on any host:
+    every shard's output count must equal its computed expectation (the
+    reference RNG's kept count for sample, one tuple per record for
+    statistics) or the run raises — a drain that miscounts is not a
+    measurement.  Each query reports its own ``speedup``
+    (wall(P=1) / wall(P=max), the CI floor on multi-core runners); on a
+    single-CPU affinity the speedups are ``null`` with a note, matching
+    the other partition-parallel sections.
+    """
+    from concurrent.futures import ProcessPoolExecutor
+
+    from repro.workloads.cache import ensure_columns_cached
+
+    seed = 2006
+    ensure_columns_cached(num_records, seed)
+    single_cpu = available_cpus() == 1
+    per_query: dict[str, Any] = {}
+    for query in queries:
+        per_parallelism: dict[str, Any] = {}
+        walls: dict[int, float] = {}
+        for n_shards in parallelisms:
+            started = time.perf_counter()
+            with ProcessPoolExecutor(max_workers=n_shards) as pool:
+                shards = list(
+                    pool.map(
+                        _drain_order_sensitive_shard,
+                        [num_records] * n_shards,
+                        [seed] * n_shards,
+                        range(n_shards),
+                        [n_shards] * n_shards,
+                        [query] * n_shards,
+                    )
+                )
+            wall = time.perf_counter() - started
+            walls[n_shards] = wall
+            for s in shards:
+                if s["outputs"] != s["expected"]:
+                    raise AssertionError(
+                        f"{query} P={n_shards} shard {s['shard']}: "
+                        f"{s['outputs']} outputs, expected {s['expected']}"
+                    )
+            per_parallelism[str(n_shards)] = {
+                "parallelism": n_shards,
+                "wall_seconds": round(wall, 3),
+                "aggregate_records_per_sec": round(num_records / wall),
+                "outputs": sum(s["outputs"] for s in shards),
+                "per_shard": [
+                    {
+                        "shard": s["shard"],
+                        "records": s["records"],
+                        "outputs": s["outputs"],
+                        "drain_seconds": round(s["drain_seconds"], 3),
+                        "drain_records_per_sec": round(
+                            s["records"] / s["drain_seconds"]
+                        ),
+                    }
+                    for s in shards
+                ],
+            }
+        entry: dict[str, Any] = {
+            "per_parallelism": per_parallelism,
+            "speedup": round(
+                walls[min(parallelisms)] / walls[max(parallelisms)], 2
+            ),
+        }
+        if single_cpu:
+            entry["speedup"] = None
+            entry["speedup_note"] = (
+                "single-CPU affinity: drain workers cannot run "
+                "concurrently, so P=1 vs P=N wall-clock is not a speedup "
+                "measurement"
+            )
+        per_query[query] = entry
+    return {
+        "records": num_records,
+        "parallelisms": list(parallelisms),
+        "queries": list(queries),
+        "cpu_affinity": available_cpus(),
+        "per_query": per_query,
+    }
+
+
 def run_scalability_bench(
     num_records: int = 2_000, parallelisms: tuple[int, ...] = (1, 2, 4, 8)
 ) -> dict[str, Any]:
@@ -832,15 +1015,19 @@ def run_scalability_bench(
     speedup over the P=1 knee.  The curve shape is the point — the knee
     rises monotonically but sub-linearly (the broker append/fetch path
     does not parallelise, and the engines charge per-record coordination
-    for P > 1), and Beam's knee trails native's at every level.  Only
-    ``wall_seconds`` is host-dependent.
+    for P > 1), and Beam's knee trails native's at every level.  The
+    query set covers one kernel discipline each: grep (pure chain),
+    sample (split-stream RNG), statistics (extract/fold) and the
+    windowed aggregate (pane partitioning) — before ISSUE 10 the last
+    three flatlined on the serial fallback.  Only ``wall_seconds`` is
+    host-dependent.
     """
     from repro.benchmark.capacity import CapacityRunner
     from repro.benchmark.config import CapacitySettings
 
     config = BenchmarkConfig(
         systems=("flink", "apex"),
-        queries=("grep",),
+        queries=("grep", "sample", "statistics", "windowed"),
         capacity=CapacitySettings(
             records=num_records,
             queue_bound=500,
@@ -854,21 +1041,25 @@ def run_scalability_bench(
     curves: dict[str, Any] = {}
     for system in config.systems:
         for kind in ("native", "beam"):
-            curve = report.curve(system, kind, "grep")
-            base = curve[0].sustainable_rate
-            curves[f"{system}/{kind}/grep"] = [
-                {
-                    "parallelism": cell.parallelism,
-                    "sustainable_rate": round(cell.sustainable_rate, 1),
-                    "speedup_vs_p1": round(cell.sustainable_rate / base, 2),
-                    "proc_p99_ms": round(cell.proc_p99 * 1e3, 4),
-                }
-                for cell in curve
-            ]
+            for query in config.queries:
+                curve = report.curve(system, kind, query)
+                base = curve[0].sustainable_rate
+                curves[f"{system}/{kind}/{query}"] = [
+                    {
+                        "parallelism": cell.parallelism,
+                        "sustainable_rate": round(cell.sustainable_rate, 1),
+                        "speedup_vs_p1": round(
+                            cell.sustainable_rate / base, 2
+                        ),
+                        "proc_p99_ms": round(cell.proc_p99 * 1e3, 4),
+                    }
+                    for cell in curve
+                ]
     return {
         "records_per_probe": num_records,
         "parallelisms": list(parallelisms),
         "kinds": ["native", "beam"],
+        "queries": list(config.queries),
         "effective_parallelism": report.effective_parallelism,
         "curves": curves,
         "wall_seconds": round(wall, 3),
@@ -1221,6 +1412,13 @@ def main() -> None:
     )
     parser.add_argument("--skip-drain", action="store_true")
     parser.add_argument(
+        "--order-records",
+        type=int,
+        default=2_000_000,
+        help="workload scale for the order-sensitive drain timings",
+    )
+    parser.add_argument("--skip-order-sensitive", action="store_true")
+    parser.add_argument(
         "--scalability-records",
         type=int,
         default=2_000,
@@ -1268,6 +1466,10 @@ def main() -> None:
         )
     if not args.skip_drain:
         payload["parallel_drain"] = run_parallel_drain_bench(args.drain_records)
+    if not args.skip_order_sensitive:
+        payload["sharded_order_sensitive"] = run_sharded_order_sensitive_bench(
+            args.order_records
+        )
     if not args.skip_scale:
         scales = tuple(
             int(scale) for scale in args.scale_records.split(",") if scale

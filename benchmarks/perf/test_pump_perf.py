@@ -40,6 +40,11 @@ across hardware, unlike absolute records/sec.  Checks:
   any host, and keep its ≥2x P=4-vs-P=1 wall-clock floor on ≥4-core
   hosts (``null`` + note on single-CPU affinity, like the matrix and
   sharded-ingest sections);
+* the order-sensitive drains (same topology, through the split-stream
+  sample kernel and the extract/fold statistics kernel) must match every
+  shard's exact expected output count on any host, and each keep the
+  same ≥2x P=4-vs-P=1 floor on ≥4-core hosts (``null`` + note on
+  single-CPU affinity);
 * the simulated scalability curves (capacity knee vs parallelism) must
   rise monotonically and sub-linearly with P, with the Beam knee at or
   below native at every level — these are deterministic simulated-time
@@ -73,6 +78,7 @@ from pump_bench import (
     run_parallel_drain_bench,
     run_scalability_bench,
     run_sharded_ingest_bench,
+    run_sharded_order_sensitive_bench,
     run_workload_cache_bench,
     write_bench,
 )
@@ -112,6 +118,10 @@ MIN_SHARDED_SPEEDUP = float(os.environ.get("REPRO_PERF_MIN_SHARDED", "2.0"))
 DRAIN_RECORDS = int(os.environ.get("REPRO_PERF_DRAIN_RECORDS", "2000000"))
 #: P=4 vs P=1 partition-parallel drain — the ISSUE's floor.
 MIN_DRAIN_SPEEDUP = float(os.environ.get("REPRO_PERF_MIN_DRAIN", "2.0"))
+#: Workload scale for the order-sensitive (sample/statistics) drains.
+ORDER_RECORDS = int(os.environ.get("REPRO_PERF_ORDER_RECORDS", "2000000"))
+#: P=4 vs P=1 order-sensitive drains — ISSUE 10's floor per query.
+MIN_ORDER_SPEEDUP = float(os.environ.get("REPRO_PERF_MIN_ORDER", "2.0"))
 #: Records per probe for the scalability-curve sweep.
 SCALABILITY_RECORDS = int(os.environ.get("REPRO_PERF_SCALABILITY_RECORDS", "2000"))
 
@@ -333,6 +343,51 @@ def test_parallel_drain_speedup(payload: dict) -> None:
         f"(gate {gate:.2f}x = {MIN_DRAIN_SPEEDUP}x floor × "
         f"{FLOOR_TOLERANCE} tolerance at {DRAIN_RECORDS} records)"
     )
+
+
+def test_order_sensitive_drain_accounting_smoke(payload: dict) -> None:
+    """Sample and statistics drains account exactly on any host.
+
+    ``run_sharded_order_sensitive_bench`` raises when any shard's output
+    count diverges from its computed expectation (the reference RNG's
+    kept count for sample, one running tuple per record for statistics),
+    so a clean return is the assertion; the explicit checks document the
+    contract and the single-CPU ``null``-speedup convention.
+    """
+    result = run_sharded_order_sensitive_bench(100_000, parallelisms=(1, 2))
+    for query, entry in result["per_query"].items():
+        for topology in entry["per_parallelism"].values():
+            for shard in topology["per_shard"]:
+                if query == "statistics":
+                    assert shard["outputs"] == shard["records"]
+                else:
+                    assert 0 < shard["outputs"] < shard["records"]
+        if result["cpu_affinity"] == 1:
+            assert entry["speedup"] is None
+            assert "speedup_note" in entry
+    payload.setdefault("sharded_order_sensitive_smoke", result)
+
+
+@pytest.mark.skipif(
+    available_cpus() < 4,
+    reason="drain fan-out cannot beat one pump below 4 schedulable cores",
+)
+def test_order_sensitive_drain_speedups(payload: dict) -> None:
+    """Sample and statistics drains each keep the ≥2x P=4 floor."""
+    result = run_sharded_order_sensitive_bench(
+        ORDER_RECORDS, parallelisms=(1, 4)
+    )
+    payload["sharded_order_sensitive"] = result
+    gate = MIN_ORDER_SPEEDUP * FLOOR_TOLERANCE
+    failures = []
+    for query, entry in result["per_query"].items():
+        if entry["speedup"] < gate:
+            failures.append(
+                f"{query}: P=4 drain only {entry['speedup']:.2f}x vs P=1 "
+                f"(gate {gate:.2f}x = {MIN_ORDER_SPEEDUP}x floor × "
+                f"{FLOOR_TOLERANCE} tolerance at {ORDER_RECORDS} records)"
+            )
+    assert not failures, "order-sensitive drain floors:\n" + "\n".join(failures)
 
 
 @pytest.fixture(scope="module")

@@ -108,6 +108,13 @@ class DirectRunner(PipelineRunner):
                     continue
                 for result in results:
                     produced.append(wv.with_value(result))
+            last = elements[-1] if elements else None
+            for result in dofn.finish_bundle():
+                produced.append(
+                    WindowedValue(result, MIN_TIMESTAMP)
+                    if last is None
+                    else last.with_value(result)
+                )
             return produced
         finally:
             dofn.teardown()

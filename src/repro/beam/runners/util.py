@@ -55,6 +55,9 @@ class DoFnAdapter(StreamFunction):
     def open(self) -> None:
         self.dofn.setup()
 
+    def finish(self) -> Iterable[Any]:
+        return self.dofn.finish_bundle()
+
     def close(self) -> None:
         self.dofn.teardown()
 

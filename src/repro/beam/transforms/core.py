@@ -72,6 +72,10 @@ class DoFn:
         """Produce zero or more outputs for ``element``."""
         raise NotImplementedError
 
+    def finish_bundle(self) -> Iterable[Any]:
+        """Outputs emitted when the bounded input ends (default: none)."""
+        return ()
+
     def teardown(self) -> None:
         """Called once after processing."""
 

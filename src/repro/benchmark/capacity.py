@@ -102,6 +102,11 @@ class ProbeResult:
     proc_p50: float
     proc_p95: float
     proc_p99: float
+    #: Cumulative simulated cost charged per shard over the whole probe
+    #: (empty at parallelism 1: the serial pump has no shard pool).  The
+    #: spread between max and mean is the straggler skew the straggler-max
+    #: merge paid for.
+    shard_costs: tuple[float, ...] = ()
 
 
 @dataclass(frozen=True, slots=True)
@@ -129,6 +134,9 @@ class CapacityCell:
     kind: str = "native"
     #: Simulated operator parallelism of the probed pipeline.
     parallelism: int = 1
+    #: Per-shard cumulative drain costs at the knee probe (straggler skew
+    #: surface; empty at parallelism 1).
+    shard_costs: tuple[float, ...] = ()
 
 
 @dataclass
@@ -547,6 +555,9 @@ def run_probe(
         proc_p50=stats.percentile(proc_lat, 50),
         proc_p95=stats.percentile(proc_lat, 95),
         proc_p99=stats.percentile(proc_lat, 99),
+        shard_costs=(
+            tuple(sharded.shard_costs) if sharded is not None else ()
+        ),
     )
 
 
@@ -636,6 +647,7 @@ def find_capacity(
         proc_p50=low_probe.proc_p50,
         proc_p95=low_probe.proc_p95,
         proc_p99=low_probe.proc_p99,
+        shard_costs=low_probe.shard_costs,
     )
 
 

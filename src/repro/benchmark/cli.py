@@ -53,7 +53,11 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--queries",
         nargs="+",
-        default=["identity", "sample", "projection", "grep"],
+        default=None,
+        help=(
+            "query set (default: the stateless four; --scalability adds "
+            "statistics and windowed, which shard with P)"
+        ),
     )
     parser.add_argument(
         "--parallelisms", nargs="+", type=int, default=[1, 2]
@@ -162,6 +166,12 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     """Entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
+    if args.queries is None:
+        from repro.benchmark.config import SCALABILITY_QUERIES, STATELESS_QUERIES
+
+        args.queries = list(
+            SCALABILITY_QUERIES if args.scalability else STATELESS_QUERIES
+        )
     if args.predict:
         from repro.benchmark.calibration import PAPER_SLOWDOWN_FACTORS
         from repro.benchmark.predictor import QueryProfile, SlowdownPredictor

@@ -226,6 +226,43 @@ def _query_column(line: str) -> str:
     return parts[1] if len(parts) > 1 else line
 
 
+def _aol_timestamp(line: str) -> float:
+    """Event time in seconds from the fixed-width AOL ``QueryTime`` column.
+
+    The generator emits ``2006-03-DD HH:MM:SS`` (fixed width), so the
+    digits slice positionally — no datetime parsing on the hot path.
+    """
+    t = line.split("\t", 3)[2]
+    return float(
+        int(t[8:10]) * 86400
+        + int(t[11:13]) * 3600
+        + int(t[14:16]) * 60
+        + int(t[17:19])
+    )
+
+
+def _aol_first_word(line: str) -> str:
+    return _query_column(line).partition(" ")[0]
+
+
+def _windowed_function() -> StreamFunction:
+    """Hourly per-first-word query counts over event time.
+
+    Trigger-less fixed windows, so the function declares the
+    ``windowed_aggregate`` spec and every execution tier — including the
+    pane-partitioned shard plane — applies; panes surface at drain.
+    """
+    from repro.dataflow.windowing import WindowedAggregateFunction
+
+    return WindowedAggregateFunction(
+        window_fn=beam.FixedWindows(3600.0),
+        key_fn=_aol_first_word,
+        timestamp_fn=_aol_timestamp,
+        name="Windowed",
+        cost_weight=2.4,
+    )
+
+
 class _StatefulFunctionDoFn(beam.DoFn):
     """Adapts a stateful StreamFunction as a (stateful) Beam DoFn."""
 
@@ -244,6 +281,11 @@ class _StatefulFunctionDoFn(beam.DoFn):
 
     def process(self, element: Any) -> Iterable[Any]:
         return self._function.process(element)
+
+    def finish_bundle(self) -> Iterable[Any]:
+        # Drain-time results (windowed panes) survive the Beam
+        # translation the same way the semantics declaration does.
+        return self._function.finish()
 
     def teardown(self) -> None:
         self._function.close()
@@ -326,6 +368,12 @@ QUERIES: dict[str, QuerySpec] = {
         "Running min/max/mean of the query length (stateful).",
         _StatisticsFunction,
         ratio=1.0,
+    ),
+    "windowed": _stateful_spec(
+        "windowed",
+        "Hourly per-word query counts over event-time windows (stateful).",
+        _windowed_function,
+        ratio=0.0,
     ),
 }
 

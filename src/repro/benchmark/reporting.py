@@ -253,9 +253,12 @@ def render_scalability(report) -> str:
     knee across parallelism levels with its speedup over the P=1 point
     and the knee's processing-latency percentiles; native and Beam rows
     of the same system × query sit adjacent so the abstraction penalty is
-    readable per level.  The footer records the *host's* effective shard
-    parallelism (affinity-clamped), which never affects the simulated
-    numbers.
+    readable per level.  ``Shard skew`` is max/mean of the knee probe's
+    per-shard cumulative drain costs — 1.00 means perfectly balanced
+    shards, higher means the straggler-max merge paid for load skew ("-"
+    at P=1, where there is no shard pool).  The footer records the
+    *host's* effective shard parallelism (affinity-clamped), which never
+    affects the simulated numbers.
     """
     headers = (
         "System",
@@ -264,6 +267,7 @@ def render_scalability(report) -> str:
         "P",
         "Sustainable (rec/s)",
         "Speedup vs P=1",
+        "Shard skew",
         "Proc p50/p95/p99 (ms)",
     )
 
@@ -281,6 +285,11 @@ def render_scalability(report) -> str:
                 base = curve[0].sustainable_rate
                 for cell in curve:
                     speedup = cell.sustainable_rate / base if base else 0.0
+                    costs = getattr(cell, "shard_costs", ())
+                    if costs and sum(costs) > 0.0:
+                        skew = f"{max(costs) * len(costs) / sum(costs):.2f}"
+                    else:
+                        skew = "-"
                     rows.append(
                         (
                             _SYSTEM_TITLES.get(cell.system, cell.system),
@@ -289,6 +298,7 @@ def render_scalability(report) -> str:
                             str(cell.parallelism),
                             f"{cell.sustainable_rate:,.0f}",
                             f"{speedup:.2f}x",
+                            skew,
                             f"{ms(cell.proc_p50)}/{ms(cell.proc_p95)}"
                             f"/{ms(cell.proc_p99)}",
                         )

@@ -30,9 +30,12 @@ Lowering rules:
    argument), shardable lowerings are wrapped by
    :mod:`repro.dataflow.sharding` — pure stateless runs get
    chunk-sharded, keyed stateful kinds and the fused Nexmark wire
-   kernels get hash-partitioned by key.  Sequential shapes (``bernoulli``,
-   ``statistics``, ``windowed_aggregate``, opaque parts) keep their
-   serial lowering at any P.  Sharding is host-side only: outputs,
+   kernels get hash-partitioned by key, and the order-sensitive shapes
+   get their dedicated disciplines — ``bernoulli`` the split-stream RNG
+   mask, ``statistics`` parallel extraction with an ordered fold,
+   trigger-less ``windowed_aggregate`` pane partitioning.  Only the
+   decoded-object Nexmark joins and opaque parts keep a serial lowering
+   at any P.  Sharding is host-side only: outputs,
    per-chunk counts and owner state stay bit-identical to the serial
    pump, which is what lets one knob parallelise every engine, the Beam
    runners, the capacity drains and the recovery path at once.
@@ -142,13 +145,18 @@ def _lower_specs(specs: list, parallelism: int) -> Kernel:
     for spec in specs:
         if spec.kind in _sharding.PURE_SHARD_KINDS:
             pure_run.append(spec)
-        elif spec.kind in _sharding.KEYED_SHARD_KINDS:
-            close_pure_run()
+            continue
+        close_pure_run()
+        if spec.kind in _sharding.KEYED_SHARD_KINDS:
             ops.append(_sharding.shard_stateful_kernel(spec, parallelism))
+        elif spec.kind == "bernoulli":
+            ops.append(_sharding.shard_sample_kernel(spec, parallelism))
+        elif spec.kind == "statistics":
+            ops.append(_sharding.shard_statistics_kernel(spec, parallelism))
+        elif spec.kind in _sharding.WINDOWED_SHARD_KINDS:
+            ops.append(_sharding.shard_windowed_kernel(spec, parallelism))
         else:
-            # Sequential shapes (bernoulli, statistics, windowed panes,
-            # decoded-object Nexmark): serial kernel at any P.
-            close_pure_run()
+            # Decoded-object Nexmark Q3/Q4 joins: serial kernel at any P.
             ops.append(_kernels._build_chain([spec]))
     close_pure_run()
     if len(ops) == 1:

@@ -658,12 +658,27 @@ class SampleKernel(Kernel):
             return [v for v in values if rng_random() < fraction]
         if not values:
             return []
+        mask = self._mask(len(values))
+        if mask is None:  # unknown state version: stay per-record
+            return self(values)
+        return list(compress(values, mask))
+
+    def _mask(self, count: int) -> list | None:
+        """The next ``count`` Bernoulli draws as a list of bools.
+
+        Adopts the Python RNG state into NumPy on first use; an unknown
+        state version returns ``None`` and demotes the kernel to the
+        per-record path.  Exposed for the shard plane: the sharded sample
+        kernel materialises one chunk-wide mask here (the identical draw
+        stream — draw index == global record index) and fans only the
+        gather work across spans.
+        """
         state = self._state
         if state is None:
             py_state = self.rng.getstate()
-            if py_state[0] != 3:  # unknown state version: stay per-record
+            if py_state[0] != 3:
                 self._bulk = False
-                return self(values)
+                return None
             state = _np.random.RandomState()
             state.set_state(
                 ("MT19937", _np.array(py_state[1][:-1], dtype=_np.uint32),
@@ -671,8 +686,7 @@ class SampleKernel(Kernel):
             )
             self._state = state
             self._gauss = py_state[2]
-        mask = state.random_sample(len(values)) < self.fraction
-        return list(compress(values, mask.tolist()))
+        return (state.random_sample(count) < self.fraction).tolist()
 
     def flush(self) -> None:
         state = self._state
@@ -919,15 +933,30 @@ class StatisticsKernel(StatefulKernel):
     2**53, so NumPy's sequential accumulates are exact and folding the
     prior totals in after the fact equals the reference's running fold.
     Small chunks (or no NumPy) take a hoisted reference-shaped loop.
+
+    Split into two phases so the shard plane can parallelise the hot
+    part: :meth:`extract` parses the per-record query lengths (stateless
+    — it raises before any owner mutation on malformed input) and
+    :meth:`fold` replays the reference accumulation over the extracted
+    array, touching the owner exactly as the serial loop would.
     """
 
-    def __call__(self, values: Sequence[Any]) -> list:
-        fn = self._fn
+    @staticmethod
+    def extract(values: Sequence[Any]) -> list:
+        """Per-record query lengths (the parse-heavy, stateless phase)."""
         lengths: list = []
         append = lengths.append
         for line in values:
             parts = line.split("\t", 2)
             append(float(len(parts[1] if len(parts) > 1 else line)))
+        return lengths
+
+    def __call__(self, values: Sequence[Any]) -> list:
+        return self.fold(self.extract(values))
+
+    def fold(self, lengths: list) -> list:
+        """Fold extracted lengths into the owner state (reference order)."""
+        fn = self._fn
         n = len(lengths)
         if _np is None or n < _MIN_BULK:
             out: list = []

@@ -10,7 +10,7 @@ pure performance knob, exactly like ``REPRO_COLUMNAR`` and
 ``REPRO_BROKER_NODES``: it is env-only (never a config field), so reports
 embedding a config can never diverge across hosts.
 
-Two shard disciplines, chosen per operator shape:
+Five shard disciplines, chosen per operator shape:
 
 * **Chunk sharding** (stateless operators): the chunk splits into P
   *contiguous* spans; each span runs through a private kernel instance
@@ -29,13 +29,32 @@ Two shard disciplines, chosen per operator shape:
   serial kernel's.  Because all occurrences of one key land on one
   shard, its running aggregate is computed sequentially, exactly as the
   serial loop would.
+* **Split-stream RNG** (``bernoulli``): the draw sequence is one
+  ``random()`` per record, so draw index == global record index.  The
+  sharded sample kernel materialises the whole chunk's Bernoulli mask in
+  one vectorised call from the transplanted MT19937 state — the
+  identical draw stream, draw for draw, with the exact post-chunk
+  generator state restored on ``flush`` — then slices the mask per
+  :func:`shard_spans` span and fans only the gather work across P tasks.
+* **Parallel extract / ordered fold** (``statistics``): shards parse the
+  per-span query-length arrays in parallel (the hot part, stateless);
+  the driver concatenates them in span order and replays the reference
+  accumulation over the combined array, so the floating-point fold order
+  — and with it every emitted ``(min, max, mean)`` triple — never
+  changes.
+* **Pane partitioning** (``windowed_aggregate``, decoded-object
+  ``nexmark_q5``): a serial driver pass replays the reference's
+  per-record callable order (filter, timestamp, window assignment, key
+  extraction), then shards fold only panes they own
+  (``hash(pane key) % P``) and the driver applies the deltas with the
+  same pinned first-occurrence merge order the keyed kernels use.  An
+  honest whole-chunk serial fallback remains for degenerate window
+  bounds (inf/NaN timestamps) and user-callable exceptions;
+  ``AfterCount`` triggers never lower to the kernel tier at all.
 
-Operators whose semantics are inherently sequential keep the serial
-kernel at any P and are documented as such: ``bernoulli`` (one ordered
-RNG draw per record), ``statistics`` (a single global scalar
-accumulator), ``windowed_aggregate`` with arbitrary reducers, and the
-decoded-object Nexmark kernels (the wire-fused Q3/Q4/Q5 kernels *are*
-sharded — see :func:`shard_wire_kernel`).
+The decoded-object Nexmark Q3/Q4 joins keep the serial kernel at any P
+(the wire-fused Q3/Q4/Q5 kernels *are* sharded — see
+:func:`shard_wire_kernel`).
 
 The partition *assignment* uses Python's built-in ``hash``, which is
 randomized per process for strings.  That is deliberate and safe: the
@@ -53,6 +72,7 @@ from __future__ import annotations
 
 import os
 from concurrent.futures import ThreadPoolExecutor
+from itertools import compress
 from threading import Lock
 from typing import Any, Callable, Sequence
 
@@ -67,11 +87,20 @@ QUERY_PARALLELISM_ENV = "REPRO_QUERY_PARALLELISM"
 
 #: Chunks smaller than this run unsharded through one kernel instance
 #: (identical output either way; splitting tiny chunks only costs).
+#: Overridable per process via ``REPRO_SHARD_MIN_CHUNK`` — see
+#: :func:`shard_min_chunk`, which every sharded kernel consults per call.
 SHARD_MIN_CHUNK = 512
+
+#: Environment variable overriding :data:`SHARD_MIN_CHUNK`.  A host-side
+#: tuning knob exactly like ``REPRO_QUERY_PARALLELISM``: the bypass takes
+#: the serial kernel, whose output is bit-identical, so the boundary can
+#: never leak into results.
+SHARD_MIN_CHUNK_ENV = "REPRO_SHARD_MIN_CHUNK"
 
 #: Stateless spec kinds that are chunk-shardable (record-wise, no state,
 #: no ordered RNG).  ``bernoulli`` is excluded: its draw sequence is
-#: ordered across the whole chunk.
+#: ordered across the whole chunk, so it gets the dedicated
+#: split-stream-RNG kernel (:class:`ShardedSampleKernel`) instead.
 PURE_SHARD_KINDS = frozenset(
     {"contains", "column", "item", "kv_value", "identity", "nexmark_decode"}
 )
@@ -84,7 +113,32 @@ KEYED_SHARD_KINDS = frozenset(
 #: Wire-fused Nexmark kinds with a hash-partitioned shard executor.
 WIRE_SHARD_KINDS = frozenset({"nexmark_q3", "nexmark_q4", "nexmark_q5"})
 
+#: Windowed-pane spec kinds with a pane-partitioned shard executor (the
+#: decoded-object Q5 owner *is* a windowed-aggregate function).
+WINDOWED_SHARD_KINDS = frozenset({"windowed_aggregate", "nexmark_q5"})
+
 _MISSING = object()
+
+
+def shard_min_chunk() -> int:
+    """The small-chunk bypass boundary, env-overridable per process.
+
+    ``REPRO_SHARD_MIN_CHUNK`` must parse as an integer (anything else
+    raises ``ValueError`` naming the variable); values below 1 clamp to
+    1, the smallest meaningful boundary (a 0-record chunk bypasses
+    vacuously either way).  Unset or empty falls back to the module's
+    :data:`SHARD_MIN_CHUNK` default.
+    """
+    raw = os.environ.get(SHARD_MIN_CHUNK_ENV, "")
+    if not raw:
+        return SHARD_MIN_CHUNK
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ValueError(
+            f"{SHARD_MIN_CHUNK_ENV} must be an integer, got {raw!r}"
+        ) from None
+    return max(1, value)
 
 
 def affinity_count() -> int:
@@ -186,7 +240,7 @@ class ShardedPureKernel(Kernel):
 
     def __call__(self, values: Sequence[Any]) -> list:
         total = len(values)
-        if total < SHARD_MIN_CHUNK:
+        if total < shard_min_chunk():
             return self.inners[0](values)
         spans = shard_spans(total, self.parallelism)
         results = run_shard_tasks(
@@ -205,7 +259,7 @@ class ShardedPureKernel(Kernel):
         self, slab: WorkloadSlab, base: int, values: Sequence[Any]
     ) -> list:
         total = len(values)
-        if total < SHARD_MIN_CHUNK:
+        if total < shard_min_chunk():
             return self.inners[0].call_slab(slab, base, values)
         spans = shard_spans(total, self.parallelism)
         # A span of an untransformed slab window is itself one: the
@@ -606,7 +660,7 @@ class ShardedNexmarkQ3WireKernel(_ShardedWireKernel):
 
     def __call__(self, values: Sequence[Any]) -> list:
         parallelism = self.parallelism
-        if len(values) < SHARD_MIN_CHUNK:
+        if len(values) < shard_min_chunk():
             return self._fallback(values)
         tags = []
         append_tag = tags.append
@@ -700,7 +754,7 @@ class ShardedNexmarkQ4WireKernel(_ShardedWireKernel):
 
     def __call__(self, values: Sequence[Any]) -> list:
         parallelism = self.parallelism
-        if len(values) < SHARD_MIN_CHUNK:
+        if len(values) < shard_min_chunk():
             return self._fallback(values)
         tags = []
         append_tag = tags.append
@@ -832,7 +886,7 @@ class ShardedNexmarkQ5WireKernel(_ShardedWireKernel):
 
     def __call__(self, values: Sequence[Any]) -> list:
         parallelism = self.parallelism
-        if len(values) < SHARD_MIN_CHUNK:
+        if len(values) < shard_min_chunk():
             return self._fallback(values)
         owner = self.owner
         window_fn = owner.window_fn
@@ -912,6 +966,249 @@ _WIRE_SHARD_BUILDERS = {
 
 
 # ---------------------------------------------------------------------------
+# Order-sensitive kernels: split-stream RNG, parallel-extract/ordered-fold,
+# pane partitioning.
+#
+# These three shapes look inherently sequential — an ordered draw stream,
+# a global scalar accumulator, arbitrary user reducers — but each has a
+# decomposition that keeps the *order-sensitive* part serial (and cheap)
+# while fanning the hot part across shards.  Every fallback below replays
+# the whole chunk through the serial kernel *outside* the guarding try,
+# the PR 9 wire-kernel rule: the replay's own mid-chunk exception must
+# propagate, never trigger a second, state-doubling replay.
+
+
+class ShardedSampleKernel(_kernels.SampleKernel):
+    """``bernoulli`` with a split-stream mask: draw once, gather per span.
+
+    Inherits :class:`~repro.dataflow.kernels.SampleKernel`'s MT19937
+    state transplant wholesale — the NumPy state is adopted between
+    ``flush`` calls and restored exactly, so any outside observer of the
+    Python ``rng`` (checkpoints, subsequent runs) sees the true
+    post-chunk state.  Per chunk the whole uniform vector materialises in
+    one vectorised draw (:meth:`SampleKernel._mask` — the identical
+    stream, draw for draw, because draw index == global record index);
+    only the expensive survivor gather (``compress`` into fresh lists)
+    fans out across :func:`shard_spans` spans.  Mask slices are
+    position-aligned with value spans, so span concatenation equals the
+    serial output bit for bit.
+
+    Small chunks, a NumPy-less host and unknown RNG state versions all
+    take the inherited serial paths — identical output either way.
+    """
+
+    def __init__(self, fraction: float, rng: Any, parallelism: int) -> None:
+        super().__init__(fraction, rng)
+        self.parallelism = parallelism
+
+    def __call__(self, values: Sequence[Any]) -> list:
+        total = len(values)
+        if not self._bulk or total < shard_min_chunk():
+            return _kernels.SampleKernel.__call__(self, values)
+        mask = self._mask(total)
+        if mask is None:  # unknown RNG state version: per-record reference
+            return _kernels.SampleKernel.__call__(self, values)
+        spans = shard_spans(total, self.parallelism)
+        results = run_shard_tasks(
+            [
+                (lambda a=a, b=b: list(compress(values[a:b], mask[a:b])))
+                for a, b in spans
+                if b > a
+            ]
+        )
+        out: list = []
+        for result in results:
+            out.extend(result)
+        return out
+
+    def describe(self) -> str:
+        return (
+            f"sharded[p={self.parallelism}] "
+            + _kernels.SampleKernel.describe(self)
+        )
+
+
+class ShardedStatisticsKernel(Kernel):
+    """``statistics`` as parallel per-span extraction + one ordered fold.
+
+    Shards run :meth:`StatisticsKernel.extract` (the parse-heavy,
+    stateless phase) over contiguous spans in parallel; the driver
+    concatenates the per-span length arrays in span order and hands the
+    combined array to the serial kernel's :meth:`StatisticsKernel.fold`,
+    which replays the reference accumulation verbatim — same
+    floating-point fold order, same owner mutations, same emitted
+    ``(min, max, mean)`` stream.
+
+    Malformed records (non-string, un-sizable) raise during extraction,
+    strictly *before* any owner-state mutation — the serial kernel has
+    the same phase order — so the whole-chunk serial replay reproduces
+    the reference error state exactly: untouched accumulators and the
+    identical exception from the identical record.
+    """
+
+    def __init__(self, owner: Any, parallelism: int) -> None:
+        self.owner = owner
+        self.parallelism = parallelism
+        self._serial = _kernels.StatisticsKernel(owner)
+
+    def __call__(self, values: Sequence[Any]) -> list:
+        total = len(values)
+        if total < shard_min_chunk():
+            return self._serial(values)
+        spans = shard_spans(total, self.parallelism)
+        extract = _kernels.StatisticsKernel.extract
+        bad = False
+        # Fallback outside the try: the serial replay's own extraction
+        # error must propagate, not trigger a second replay.
+        try:
+            results = run_shard_tasks(
+                [
+                    (lambda a=a, b=b: extract(values[a:b]))
+                    for a, b in spans
+                    if b > a
+                ]
+            )
+        except (AttributeError, TypeError, ValueError, IndexError):
+            bad = True
+        if bad:
+            return self._serial(values)
+        lengths: list = []
+        for result in results:
+            lengths.extend(result)
+        return self._serial.fold(lengths)
+
+    def describe(self) -> str:
+        label = getattr(self.owner, "name", type(self.owner).__name__)
+        return f"sharded[p={self.parallelism}] statistics[{label}]"
+
+
+class ShardedWindowedAggregateKernel(Kernel):
+    """Trigger-less windowed panes, hash-partitioned by window pane.
+
+    A serial driver pass replays the reference's per-record callable
+    order exactly — filter, timestamp extraction, window assignment
+    (the inlined ``FixedWindows`` arithmetic, or ``assign`` per element
+    for other window functions), key extraction — and precomputes every
+    surviving record's pane key and owning shard.  Shards then fold only
+    panes they own into private dicts: all occurrences of one pane land
+    on one shard, so its accumulator folds sequentially in record order,
+    exactly as the serial loop would.  The driver applies the per-shard
+    deltas with the pinned first-occurrence merge order
+    (:func:`_merge_keyed_state`), keeping the owner pane dict's insertion
+    order — which ``finish()`` output and snapshots observe — serial-
+    identical.
+
+    The honest whole-chunk serial fallback is retained for degenerate
+    window bounds (inf/NaN timestamps: the serial kernel delegates
+    validation to ``window_fn.assign``) and for exceptions out of the
+    user callables or reducer — in every such case no owner state has
+    been mutated yet (driver and shards work on locals), so the serial
+    replay reproduces the reference error state verbatim: the prefix
+    pane mutations plus the identical exception.  ``AfterCount``
+    triggers never lower to the kernel tier at all (the owner declares
+    no spec), so mid-stream firing never needs replication here.
+    """
+
+    def __init__(self, owner: Any, parallelism: int) -> None:
+        self.owner = owner
+        self.parallelism = parallelism
+        self._serial = _kernels.WindowedAggregateKernel(owner)
+
+    def __call__(self, values: Sequence[Any]) -> list:
+        total = len(values)
+        parallelism = self.parallelism
+        if total < shard_min_chunk():
+            return self._serial(values)
+        fn = self.owner
+        keep = fn.filter_fn
+        key_of = fn.key_fn
+        ts_of = fn.timestamp_fn
+        window_fn = fn.window_fn
+        fixed = self._serial._fixed
+        if fixed:
+            size, offset = window_fn.size, window_fn.offset
+        keys: list = [None] * total
+        owners = [-1] * total
+        bad = False
+        # Fallback outside the try (the PR 9 wire-kernel rule): the
+        # serial replay's own mid-chunk exception must propagate, never
+        # trigger a second, state-doubling replay.
+        try:
+            for pos, value in enumerate(values):
+                if keep is not None and not keep(value):
+                    continue
+                timestamp = ts_of(value)
+                if fixed:
+                    start = ((timestamp - offset) // size) * size + offset
+                    end = start + size
+                    if not end > start:  # inf/NaN: the serial kernel decides
+                        bad = True
+                        break
+                else:
+                    window = window_fn.assign(timestamp)
+                    start, end = window.start, window.end
+                keys[pos] = key = (key_of(value), start, end)
+                owners[pos] = hash(key) % parallelism
+        except Exception:
+            # A user callable raised (or a pane key is unhashable): no
+            # owner state touched yet — the replay reproduces the
+            # reference's prefix mutations and the identical exception.
+            bad = True
+        if bad:
+            return self._serial(values)
+        panes = fn.panes
+        reducer = fn.reducer
+        initial = fn.initial
+
+        def shard(s: int):
+            local: dict = {}
+            local_get = local.get
+            news: list = []
+            for pos, owner_id in enumerate(owners):
+                if owner_id != s:
+                    continue
+                key = keys[pos]
+                acc = local_get(key, _MISSING)
+                if acc is _MISSING:
+                    if key in panes:
+                        acc = panes[key]
+                    else:
+                        news.append((pos, key))
+                        acc = initial
+                if reducer is None:
+                    acc = acc + 1
+                else:
+                    acc = reducer(acc, values[pos])
+                local[key] = acc
+            return news, local
+
+        bad = False
+        try:
+            results = run_shard_tasks(
+                [lambda s=s: shard(s) for s in range(parallelism)]
+            )
+        except Exception:
+            # A reducer raised on a shard: only shard-local dicts were
+            # touched, so the serial replay reproduces the reference's
+            # prefix pane mutations and the identical exception.
+            bad = True
+        if bad:
+            return self._serial(values)
+        _merge_keyed_state(
+            panes,
+            [
+                ([(pos, key, local[key]) for pos, key in news], local)
+                for news, local in results
+            ],
+        )
+        return []
+
+    def describe(self) -> str:
+        label = getattr(self.owner, "name", type(self.owner).__name__)
+        return f"sharded[p={self.parallelism}] windowed-panes[{label}]"
+
+
+# ---------------------------------------------------------------------------
 # Lowering entry points (used by the plan compiler's shard context)
 
 
@@ -931,3 +1228,18 @@ def shard_stateful_kernel(spec: Any, parallelism: int) -> Kernel:
 def shard_wire_kernel(kind: str, owner: Any, parallelism: int) -> Kernel:
     """A hash-partitioned wire kernel for a fused decode→Qn pair."""
     return _WIRE_SHARD_BUILDERS[kind](owner, parallelism)
+
+
+def shard_sample_kernel(spec: Any, parallelism: int) -> Kernel:
+    """A split-stream RNG kernel for one ``bernoulli`` spec."""
+    return ShardedSampleKernel(spec.fraction, spec.rng, parallelism)
+
+
+def shard_statistics_kernel(spec: Any, parallelism: int) -> Kernel:
+    """A parallel-extract/ordered-fold kernel for one ``statistics`` spec."""
+    return ShardedStatisticsKernel(spec.owner, parallelism)
+
+
+def shard_windowed_kernel(spec: Any, parallelism: int) -> Kernel:
+    """A pane-partitioned kernel for one trigger-less windowed spec."""
+    return ShardedWindowedAggregateKernel(spec.owner, parallelism)

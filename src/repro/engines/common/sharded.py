@@ -19,7 +19,11 @@ deterministically:
   share one :class:`~repro.engines.common.progress.ProgressGroup` so no
   shard trips while a sibling still advances;
 * **measurements** merge per operator in shard order
-  (:meth:`merged_operator_totals`), summing exact integer record counts.
+  (:meth:`merged_operator_totals`), summing exact integer record counts;
+* **per-shard cumulative costs** accumulate in ``shard_costs`` so the
+  capacity reports can surface straggler skew: the gap between
+  ``max(shard_costs)`` and the mean is simulated time lost to the
+  slowest shard.
 
 Host-side, the per-shard ``_process_chunk`` calls fan out over the
 shared shard thread pool (:mod:`repro.dataflow.sharding`) — they touch
@@ -61,6 +65,7 @@ class ShardedPump:
             for index, pump in enumerate(self.pumps)
         ]
         self._consumed = [0] * self.parallelism
+        self.shard_costs = [0.0] * self.parallelism
 
     def process_chunk(self, values: Sequence[Any]) -> tuple[float, list[Any]]:
         """Run one polled chunk through the pump pool.
@@ -88,6 +93,7 @@ class ShardedPump:
         cost = 0.0
         outputs: list[Any] = []
         for shard, (shard_cost, shard_outputs) in zip(active, results):
+            self.shard_costs[shard] += shard_cost
             if shard_cost > cost:
                 cost = shard_cost
             outputs.extend(shard_outputs)
@@ -115,6 +121,7 @@ class ShardedPump:
         outputs: list[Any] = []
         for shard, pump in enumerate(self.pumps):
             shard_cost, shard_outputs = pump.drain(self.metrics[shard])
+            self.shard_costs[shard] += shard_cost
             if shard_cost > cost:
                 cost = shard_cost
             outputs.extend(shard_outputs)

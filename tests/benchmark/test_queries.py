@@ -45,9 +45,9 @@ class TestRegistry:
             "grep",
         ]
 
-    def test_all_seven_streambench_queries_present(self):
-        assert len(QUERIES) == 7
-        assert sum(1 for q in QUERIES.values() if q.stateful) == 3
+    def test_all_eight_streambench_queries_present(self):
+        assert len(QUERIES) == 8
+        assert sum(1 for q in QUERIES.values() if q.stateful) == 4
 
 
 class TestStatelessSemantics:

@@ -106,7 +106,7 @@ class TestKeyedMatrixBitIdentity:
                 records=2_000,
                 runs=2,
                 systems=("flink", "apex"),
-                queries=("wordcount", "distinct-count", "statistics"),
+                queries=("wordcount", "distinct-count", "statistics", "windowed"),
                 kinds=("native", "beam"),
                 parallelisms=(1,),
             )
@@ -139,7 +139,10 @@ class TestChaosBitIdentity:
                 records=1_500,
                 runs=2,
                 systems=("flink", "apex"),
-                queries=("grep", "wordcount"),
+                # grep pins the PR 9 pure discipline under chaos; sample/
+                # statistics/windowed pin the order-sensitive ones (the
+                # keyed discipline is chaos-covered by the keyed suites).
+                queries=("grep", "sample", "statistics", "windowed"),
                 kinds=("native", "beam"),
                 parallelisms=(1,),
             )
@@ -232,19 +235,25 @@ def _lines(count: int, seed: int = 7) -> list[str]:
             (
                 str(rng.randrange(100)),
                 " ".join(rng.choice(words) for _ in range(3)),
-                str(rng.random()),
+                # Fixed-width AOL QueryTime so the windowed query parses.
+                f"2006-03-{rng.randrange(1, 29):02d} "
+                f"{rng.randrange(24):02d}:{rng.randrange(60):02d}"
+                f":{rng.randrange(60):02d}",
             )
         )
         for _ in range(count)
     ]
 
 
+RECOVERY_QUERIES = ("wordcount", "sample", "statistics", "windowed")
+
+
 class TestRecoveryBitIdentity:
     """Snapshot/replay observes owner state mid-drain between chunks."""
 
-    def _run(self, failure: FailureInjector | None) -> tuple:
+    def _run(self, query: str, failure: FailureInjector | None) -> tuple:
         lines = _lines(3_000)
-        function = get_query("wordcount").make_function(random.Random(3))
+        function = get_query(query).make_function(random.Random(3))
         stages = [
             PhysicalStage(
                 "src", StageKind.SOURCE, StageCosts(per_record_in=1e-5)
@@ -265,19 +274,73 @@ class TestRecoveryBitIdentity:
             failure=failure,
         )
         report = pump.run(lines)
-        return report, outputs, dict(function.counts), list(function.counts)
+        state = {
+            name: (dict(value), list(value))
+            for name, value in vars(function).items()
+            if isinstance(value, dict)
+        }
+        scalars = {
+            name: value
+            for name, value in vars(function).items()
+            if isinstance(value, (int, float))
+        }
+        return report, outputs, state, scalars
 
+    @pytest.mark.parametrize("query", RECOVERY_QUERIES)
     @pytest.mark.parametrize("fraction", (0.35, 0.7))
-    def test_mid_drain_failure_bit_identical(self, fraction, monkeypatch):
+    def test_mid_drain_failure_bit_identical(self, query, fraction, monkeypatch):
         monkeypatch.setenv(sharding.QUERY_PARALLELISM_ENV, "1")
-        serial = self._run(FailureInjector(at_fraction=fraction))
+        serial = self._run(query, FailureInjector(at_fraction=fraction))
         monkeypatch.setenv(sharding.QUERY_PARALLELISM_ENV, "4")
-        sharded = self._run(FailureInjector(at_fraction=fraction))
+        sharded = self._run(query, FailureInjector(at_fraction=fraction))
         assert sharded == serial
         assert serial[0].failures == 1
 
-    def test_clean_run_bit_identical(self, monkeypatch):
+    @pytest.mark.parametrize("query", RECOVERY_QUERIES)
+    def test_clean_run_bit_identical(self, query, monkeypatch):
         monkeypatch.setenv(sharding.QUERY_PARALLELISM_ENV, "1")
-        serial = self._run(None)
+        serial = self._run(query, None)
         monkeypatch.setenv(sharding.QUERY_PARALLELISM_ENV, "4")
-        assert self._run(None) == serial
+        assert self._run(query, None) == serial
+
+
+ORDER_SENSITIVE_QUERIES = ("sample", "statistics", "windowed")
+
+
+class TestCapacityProbesBothPlanes:
+    """Capacity probes for the newly-sharded queries, row and columnar.
+
+    A :class:`~repro.benchmark.capacity.ProbeResult` folds every simulated
+    observable of one open-loop drain — elapsed time, queue behaviour,
+    latency percentiles, per-shard costs — so probe equality across the
+    *host* shard knob is the end-to-end statement that the ShardedPump +
+    order-sensitive kernels change nothing but host wall-clock, on either
+    data plane.  (The probe's ``parallelism`` argument is *simulated*
+    parallelism — a different pipeline, deliberately not compared here.)
+    """
+
+    @pytest.mark.parametrize("query", ORDER_SENSITIVE_QUERIES)
+    @pytest.mark.parametrize("columnar", (False, True), ids=("rows", "columns"))
+    def test_probe_bit_identical_across_host_knob(self, query, columnar):
+        from repro.benchmark.capacity import run_probe
+        from repro.benchmark.config import BenchmarkConfig, CapacitySettings
+
+        config = BenchmarkConfig(
+            records=1_200,
+            capacity=CapacitySettings(records=1_200),
+        )
+
+        def probe():
+            return run_probe(
+                config,
+                "flink",
+                query,
+                rate=40_000.0,
+                columnar=columnar,
+                parallelism=2,  # the pump pool engages (simulated P)
+            )
+
+        results = {level: _at_parallelism(level, probe) for level in SHARD_LEVELS}
+        assert results["2"] == results["1"]
+        assert results["4"] == results["1"]
+        assert len(results["1"].shard_costs) == 2  # the pool really ran
